@@ -1,0 +1,46 @@
+"""Ablation — client-side batching (recommendations III-E.5 / V-E.5).
+
+Sweeps the batch-size limit used to pack a fixed stream of circuits into
+jobs and reports the effective per-circuit queue time, reproducing the
+paper's argument that batching amortises the (dominant) queue time.
+"""
+
+from repro.analysis import queue_time_percentile_report
+from repro.analysis.report import render_table
+from repro.cloud.job import CircuitSpec
+from repro.devices import build_backend
+from repro.scheduling import BatchingPlanner
+
+BATCH_LIMITS = [1, 10, 50, 100, 300, 900]
+NUM_CIRCUITS = 1800
+
+
+def test_ablation_batching(benchmark, study_trace, emit):
+    backend = build_backend("ibmq_athens", seed=7)
+    # Use the trace's own median queue time as the expected wait per job.
+    median_queue_minutes = queue_time_percentile_report(
+        study_trace, per_circuit=False).median_minutes
+    planner = BatchingPlanner(backend, expected_queue_minutes=median_queue_minutes)
+    circuits = [CircuitSpec(name=f"c{i}", width=3, depth=12, num_gates=24,
+                            cx_count=8, cx_depth=5) for i in range(NUM_CIRCUITS)]
+
+    def sweep():
+        rows = []
+        for limit in BATCH_LIMITS:
+            plan = planner.plan(circuits, max_batch=limit)
+            rows.append({
+                "batch_limit": limit,
+                "jobs_submitted": plan.num_jobs,
+                "per_circuit_queue_minutes": plan.per_circuit_queue_minutes,
+                "total_queue_minutes": plan.total_queue_minutes,
+            })
+        return rows
+
+    rows = benchmark(sweep)
+    emit(render_table(
+        f"Ablation — batch-size sweep ({NUM_CIRCUITS} circuits, expected "
+        f"queue {median_queue_minutes:.0f} min/job)", rows))
+
+    per_circuit = [row["per_circuit_queue_minutes"] for row in rows]
+    assert per_circuit == sorted(per_circuit, reverse=True)
+    assert per_circuit[-1] < 0.01 * per_circuit[0]

@@ -1,0 +1,67 @@
+"""Ablation — vendor-side load balancing (recommendation V-E.4).
+
+Takes the jobs the study's users routed to 5-qubit machines by their own
+heuristics and re-assigns them with the vendor-side least-backlog balancer;
+reports the backlog imbalance and worst-machine backlog under both policies.
+"""
+
+from repro.analysis.report import render_table
+from repro.cloud.execution_model import ExecutionTimeModel
+from repro.cloud.job import CircuitSpec, Job
+from repro.devices import build_fleet
+from repro.scheduling import LoadBalancer
+
+FIVE_QUBIT_MACHINES = ["ibmq_athens", "ibmq_santiago", "ibmq_lima", "ibmq_belem",
+                       "ibmq_quito", "ibmq_rome", "ibmq_bogota", "ibmqx2"]
+
+
+def _jobs_from_trace(trace):
+    jobs = []
+    for record in trace:
+        if record.machine not in FIVE_QUBIT_MACHINES:
+            continue
+        spec = CircuitSpec(
+            name=record.job_id, width=record.circuit_width,
+            depth=record.circuit_depth, num_gates=record.circuit_gates,
+            cx_count=record.circuit_cx, cx_depth=record.circuit_cx_depth,
+            family=record.circuit_family,
+        )
+        jobs.append(Job(provider=record.provider, backend_name=record.machine,
+                        circuits=[spec] * record.batch_size, shots=record.shots,
+                        submit_time=record.submit_time))
+    return jobs
+
+
+def test_ablation_load_balancing(benchmark, study_trace, emit):
+    fleet = build_fleet(FIVE_QUBIT_MACHINES, seed=7)
+    jobs = _jobs_from_trace(study_trace)
+    model = ExecutionTimeModel()
+
+    def estimator(job, backend):
+        return model.expected_seconds(job, backend)
+
+    balancer = LoadBalancer(fleet)
+    balanced = benchmark.pedantic(
+        balancer.assign, args=(jobs,), kwargs={"job_runtime_estimator": estimator},
+        rounds=1, iterations=1)
+    baseline = LoadBalancer.user_driven_baseline(jobs, fleet,
+                                                 job_runtime_estimator=estimator)
+
+    rows = []
+    for name in sorted(fleet):
+        rows.append({
+            "machine": name,
+            "user_routed_backlog_hours": baseline.backlog_seconds[name] / 3600.0,
+            "balanced_backlog_hours": balanced.backlog_seconds[name] / 3600.0,
+        })
+    emit(render_table(
+        "Ablation — user-heuristic routing vs vendor load balancing "
+        f"({len(jobs)} jobs on 5-qubit machines)", rows))
+    emit(f"imbalance (max/mean backlog): user-routed {baseline.imbalance:.2f}, "
+         f"balanced {balanced.imbalance:.2f}; "
+         f"worst backlog: {baseline.max_backlog / 3600:.1f}h -> "
+         f"{balanced.max_backlog / 3600:.1f}h")
+
+    assert len(jobs) > 100
+    assert balanced.imbalance < baseline.imbalance
+    assert balanced.max_backlog < 0.8 * baseline.max_backlog

@@ -1,0 +1,69 @@
+"""Ablation — machine-selection policy (recommendations IV-D.1 / V-E.3).
+
+Compares the CX-metric-driven machine selector under its three objectives
+(fidelity-first, queue-first, balanced) and a random baseline, measuring the
+estimated success probability and the expected wait of the chosen machine.
+"""
+
+from repro.analysis.report import render_table
+from repro.circuits import qft_echo_circuit
+from repro.core.rng import RandomSource
+from repro.devices import build_backend
+from repro.scheduling import MachineSelector, SelectionObjective
+
+CANDIDATES = ["ibmq_athens", "ibmq_santiago", "ibmq_casablanca", "ibmq_toronto",
+              "ibmq_guadalupe", "ibmq_manhattan"]
+#: expected queue minutes per machine (public machines busier, as in Fig. 9)
+EXPECTED_WAITS = {
+    "ibmq_athens": 420.0, "ibmq_santiago": 300.0, "ibmq_casablanca": 45.0,
+    "ibmq_toronto": 90.0, "ibmq_guadalupe": 60.0, "ibmq_manhattan": 120.0,
+}
+
+
+def _run_ablation():
+    backends = [build_backend(name, seed=19) for name in CANDIDATES]
+    circuit = qft_echo_circuit(4)
+    rows = []
+    for objective in (SelectionObjective.FIDELITY, SelectionObjective.BALANCED,
+                      SelectionObjective.QUEUE):
+        selector = MachineSelector(objective, fidelity_weight=0.6,
+                                   optimization_level=2, seed=19)
+        choice = selector.select(circuit, backends,
+                                 expected_wait_minutes=EXPECTED_WAITS)
+        rows.append({
+            "policy": objective.value,
+            "chosen_machine": choice.machine,
+            "estimated_success": choice.estimated_success,
+            "expected_wait_minutes": choice.expected_wait_minutes,
+            "cx_total": choice.cx_total,
+        })
+    # Random baseline: average the candidates.
+    selector = MachineSelector(SelectionObjective.FIDELITY, seed=19)
+    evaluated = selector.evaluate(circuit, backends,
+                                  expected_wait_minutes=EXPECTED_WAITS)
+    rng = RandomSource(19)
+    random_choice = rng.choice(evaluated)
+    rows.append({
+        "policy": "random (baseline)",
+        "chosen_machine": random_choice.machine,
+        "estimated_success": random_choice.estimated_success,
+        "expected_wait_minutes": random_choice.expected_wait_minutes,
+        "cx_total": random_choice.cx_total,
+    })
+    return rows
+
+
+def test_ablation_machine_selection(benchmark, emit):
+    rows = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    emit(render_table(
+        "Ablation — machine selection policies (4q QFT-echo)", rows))
+
+    by_policy = {row["policy"]: row for row in rows}
+    fidelity = by_policy["fidelity"]
+    queue = by_policy["queue"]
+    balanced = by_policy["balanced"]
+    # Fidelity-first gets the best success; queue-first gets the lowest wait;
+    # balanced sits between them on at least one axis.
+    assert fidelity["estimated_success"] >= balanced["estimated_success"] - 1e-9
+    assert queue["expected_wait_minutes"] <= balanced["expected_wait_minutes"] + 1e-9
+    assert queue["expected_wait_minutes"] <= fidelity["expected_wait_minutes"]

@@ -1,0 +1,45 @@
+"""Ablation — transpiler optimisation levels (recommendation III-E.2).
+
+The paper recommends separating mandatory passes from nice-to-have
+optimisations.  This ablation compiles the same circuit at levels 0-3 and
+reports compile time versus the CX count of the output, quantifying that
+trade-off.
+"""
+
+from repro.analysis.report import render_table
+from repro.circuits import qft_circuit
+from repro.devices import build_backend
+from repro.transpiler import transpile
+
+MACHINE = "ibmq_toronto"
+CIRCUIT_QUBITS = 6
+
+
+def _sweep_levels():
+    backend = build_backend(MACHINE, seed=5)
+    circuit = qft_circuit(CIRCUIT_QUBITS)
+    rows = []
+    for level in (0, 1, 2, 3):
+        result = transpile(circuit, backend, optimization_level=level, seed=5)
+        summary = result.summary()
+        rows.append({
+            "optimization_level": level,
+            "compile_seconds": result.total_seconds,
+            "cx_count": summary["cx_count"],
+            "depth": summary["depth"],
+            "swap_count": summary["swap_count"],
+        })
+    return rows
+
+
+def test_ablation_optimization_levels(benchmark, emit):
+    rows = benchmark.pedantic(_sweep_levels, rounds=1, iterations=1)
+    emit(render_table(
+        f"Ablation — optimisation levels ({CIRCUIT_QUBITS}q QFT on {MACHINE})",
+        rows))
+
+    by_level = {row["optimization_level"]: row for row in rows}
+    # Higher levels spend more compile effort...
+    assert by_level[3]["compile_seconds"] > by_level[0]["compile_seconds"]
+    # ...and do not produce worse circuits than the unoptimised pipeline.
+    assert by_level[3]["cx_count"] <= by_level[0]["cx_count"]

@@ -1,0 +1,37 @@
+"""Fig. 2a — cumulative machine trials over the two-year study window.
+
+Paper shape: the cumulative trial count grows to ~10 billion, with clearly
+accelerating growth over the final 12 months (log-scale plot).
+"""
+
+from repro.analysis import cumulative_trials_by_month
+from repro.analysis.report import render_table
+
+
+def test_fig02a_cumulative_trials(benchmark, study_trace, emit):
+    series = benchmark(cumulative_trials_by_month, study_trace)
+
+    rows = [
+        {
+            "month": entry.month_index,
+            "jobs": entry.jobs,
+            "circuits": entry.circuits,
+            "trials": entry.trials,
+            "cumulative_trials": entry.cumulative_trials,
+        }
+        for entry in series
+    ]
+    emit(render_table("Fig. 2a — cumulative machine trials per month", rows))
+
+    total = series[-1].cumulative_trials
+    first_half = series[len(series) // 2].cumulative_trials
+    emit(f"total trials: {total:.3g} "
+         f"(paper: ~10 billion; shape target: accelerating growth)\n"
+         f"growth in the second half of the window: "
+         f"{total / max(first_half, 1):.1f}x")
+
+    # Shape assertions: monotone growth that accelerates over time.
+    cumulative = [entry.cumulative_trials for entry in series]
+    assert cumulative == sorted(cumulative)
+    assert total > 4 * first_half
+    assert total > 1e8

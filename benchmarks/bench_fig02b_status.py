@@ -1,0 +1,22 @@
+"""Fig. 2b — execution status breakdown.
+
+Paper shape: around 95 % of jobs are DONE; roughly 5 % end in ERROR or
+CANCELLED (the "wasted executions" of insight 1).
+"""
+
+from repro.analysis import status_breakdown, wasted_execution_fraction
+from repro.analysis.report import render_table
+
+
+def test_fig02b_status_breakdown(benchmark, study_trace, emit):
+    breakdown = benchmark(status_breakdown, study_trace)
+
+    rows = [{"status": status, "fraction": fraction}
+            for status, fraction in sorted(breakdown.items())]
+    emit(render_table("Fig. 2b — job execution status breakdown", rows))
+    wasted = wasted_execution_fraction(study_trace)
+    emit(f"wasted (non-DONE) fraction: {wasted:.3f} (paper: ~0.05)")
+
+    assert abs(sum(breakdown.values()) - 1.0) < 1e-9
+    assert breakdown["DONE"] > 0.85
+    assert 0.01 < wasted < 0.15

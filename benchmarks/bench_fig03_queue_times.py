@@ -1,0 +1,39 @@
+"""Fig. 3 — sorted per-circuit queuing times.
+
+Paper shape: only ~20 % of circuits wait under a minute, the median wait is
+about an hour, more than 30 % wait over two hours, and ~10 % wait a day or
+longer.
+"""
+
+import numpy as np
+
+from repro.analysis import queue_time_percentile_report
+from repro.analysis.queuing import sorted_queue_times_minutes
+from repro.analysis.report import render_table
+
+
+def test_fig03_sorted_queue_times(benchmark, study_trace, emit):
+    report = benchmark(queue_time_percentile_report, study_trace)
+
+    minutes = sorted_queue_times_minutes(study_trace, per_circuit=True)
+    percentile_rows = [
+        {"percentile": p, "queue_minutes": float(np.percentile(minutes, p))}
+        for p in (10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 99)
+    ]
+    emit(render_table("Fig. 3 — sorted per-circuit queue times (percentiles)",
+                      percentile_rows))
+    emit(render_table("Fig. 3 — headline statistics (paper targets in comments)", [
+        {"metric": "fraction under 1 minute (paper ~0.20)",
+         "value": report.fraction_under_one_minute},
+        {"metric": "median minutes (paper ~60)", "value": report.median_minutes},
+        {"metric": "fraction over 2 hours (paper >0.30)",
+         "value": report.fraction_over_two_hours},
+        {"metric": "fraction over 1 day (paper ~0.10)",
+         "value": report.fraction_over_one_day},
+    ]))
+
+    # Shape assertions.
+    assert report.fraction_under_one_minute < 0.5
+    assert 10.0 < report.median_minutes < 600.0
+    assert report.fraction_over_two_hours > 0.15
+    assert 0.02 < report.fraction_over_one_day < 0.4

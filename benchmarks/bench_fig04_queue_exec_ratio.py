@@ -1,0 +1,31 @@
+"""Fig. 4 — per-job queue:execution time ratios (sorted).
+
+Paper shape: ~30 % of jobs have a ratio at or below 1x, the median ratio is
+around 10x, and ~25 % of jobs see 100x or worse.
+"""
+
+import numpy as np
+
+from repro.analysis import ratio_report
+from repro.analysis.queuing import queue_to_run_ratios
+from repro.analysis.report import render_table
+
+
+def test_fig04_queue_to_run_ratio(benchmark, study_trace, emit):
+    report = benchmark(ratio_report, study_trace)
+
+    ratios = queue_to_run_ratios(study_trace)
+    rows = [{"percentile": p, "queue_to_run_ratio": float(np.percentile(ratios, p))}
+            for p in (10, 25, 50, 75, 90, 99)]
+    emit(render_table("Fig. 4 — queue:execution ratio percentiles", rows))
+    emit(render_table("Fig. 4 — headline statistics", [
+        {"metric": "fraction <= 1x (paper ~0.30)",
+         "value": report.fraction_at_or_below_one},
+        {"metric": "median ratio (paper ~10x)", "value": report.median_ratio},
+        {"metric": "fraction >= 100x (paper ~0.25)",
+         "value": report.fraction_at_or_above_hundred},
+    ]))
+
+    assert 0.1 < report.fraction_at_or_below_one < 0.6
+    assert 2.0 < report.median_ratio < 100.0
+    assert 0.1 < report.fraction_at_or_above_hundred < 0.6

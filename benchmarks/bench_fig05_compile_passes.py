@@ -1,0 +1,82 @@
+"""Fig. 5 — per-pass compile time: today's machines vs a ~1000-qubit target.
+
+Paper shape: for a 64-qubit QFT on the 65-qubit Manhattan every pass costs
+roughly a second or less, while compiling a ~1000-qubit QFT for a fake
+1000-qubit machine blows the layout and routing passes up by 100-1000x.
+
+The full-size 980-qubit compile takes hours with a pure-Python transpiler,
+so by default the bench compiles a scaled-down large circuit (set by
+``REPRO_FIG5_LARGE_QUBITS``, default 96 qubits on a 128-qubit fake device),
+measures the per-pass scaling exponent between the small and large runs and
+extrapolates it to 1000 qubits — preserving the figure's conclusion that
+layout/routing dominate and grow by orders of magnitude.
+"""
+
+import math
+import os
+
+from repro.analysis.report import render_table
+from repro.circuits import qft_circuit
+from repro.devices import build_backend, fake_large_backend
+from repro.transpiler import preset_pass_manager
+
+SMALL_QUBITS = int(os.environ.get("REPRO_FIG5_SMALL_QUBITS", "24"))
+LARGE_QUBITS = int(os.environ.get("REPRO_FIG5_LARGE_QUBITS", "96"))
+TARGET_QUBITS = 980
+
+
+def _compile_timing(num_qubits: int, backend) -> dict:
+    manager = preset_pass_manager(optimization_level=2, seed=3)
+    circuit = qft_circuit(num_qubits, measure=True)
+    result = manager.run(circuit, backend=backend)
+    return result.timing_by_pass()
+
+
+def test_fig05_per_pass_compile_time(benchmark, emit):
+    small_backend = build_backend("ibmq_manhattan", seed=3)
+    large_backend = fake_large_backend(max(LARGE_QUBITS + 32, 128), seed=3)
+
+    small = _compile_timing(SMALL_QUBITS, small_backend)
+
+    def compile_large():
+        return _compile_timing(LARGE_QUBITS, large_backend)
+
+    large = benchmark.pedantic(compile_large, rounds=1, iterations=1)
+
+    scale = math.log(LARGE_QUBITS / SMALL_QUBITS)
+    rows = []
+    for pass_name in sorted(set(small) | set(large)):
+        small_seconds = small.get(pass_name, 0.0)
+        large_seconds = large.get(pass_name, 0.0)
+        if small_seconds > 1e-6 and large_seconds > 1e-6:
+            exponent = math.log(large_seconds / small_seconds) / scale
+            extrapolated = large_seconds * (TARGET_QUBITS / LARGE_QUBITS) ** exponent
+        else:
+            exponent = float("nan")
+            extrapolated = large_seconds
+        rows.append({
+            "pass": pass_name,
+            f"{SMALL_QUBITS}q_seconds": small_seconds,
+            f"{LARGE_QUBITS}q_seconds": large_seconds,
+            "scaling_exponent": exponent,
+            f"extrapolated_{TARGET_QUBITS}q_seconds": extrapolated,
+        })
+    rows.sort(key=lambda r: -r[f"{LARGE_QUBITS}q_seconds"])
+    emit(render_table(
+        "Fig. 5 — compile time per pass (small vs large QFT, with extrapolation)",
+        rows))
+
+    total_small = sum(small.values())
+    total_large = sum(large.values())
+    emit(f"total compile time: {total_small:.2f}s at {SMALL_QUBITS}q -> "
+         f"{total_large:.2f}s at {LARGE_QUBITS}q "
+         f"({total_large / max(total_small, 1e-9):.0f}x; paper: 100-1000x "
+         f"from 64q to ~1000q)")
+
+    # Shape assertions: the large compile is much slower, and the routing /
+    # layout family of passes dominates it (as in the paper).
+    assert total_large > 5 * total_small
+    routing_like = sum(seconds for name, seconds in large.items()
+                       if name in ("StochasticSwap", "CSPLayout", "DenseLayout",
+                                   "NoiseAdaptiveLayout", "SabreLayout"))
+    assert routing_like > 0.3 * total_large

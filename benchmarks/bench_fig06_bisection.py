@@ -1,0 +1,37 @@
+"""Fig. 6 — qubit count vs bisection bandwidth across the machine fleet.
+
+Paper shape: bisection bandwidth stays tiny (<= ~4) even for the 65-qubit
+Manhattan, far below the bandwidth of a comparable classical mesh (a
+64-node mesh has bisection bandwidth 8).
+"""
+
+from repro.analysis import bisection_bandwidth_table
+from repro.analysis.report import render_table
+from repro.devices.topology import grid_topology
+
+
+def test_fig06_bisection_bandwidth(benchmark, study_fleet, emit):
+    rows = benchmark(bisection_bandwidth_table, study_fleet)
+
+    table = [
+        {
+            "machine": row.machine,
+            "qubits": row.num_qubits,
+            "bisection_bandwidth": row.bisection_bandwidth,
+            "access": row.access,
+        }
+        for row in rows
+    ]
+    mesh = grid_topology(8, 8).bisection_bandwidth()
+    emit(render_table("Fig. 6 — qubits vs bisection bandwidth", table))
+    emit(f"classical 64-node mesh bisection bandwidth for comparison: {mesh} "
+         "(paper: 8, vs 3 for the 65-qubit Manhattan)")
+
+    by_name = {row.machine: row for row in rows}
+    largest = max(rows, key=lambda r: r.num_qubits)
+    assert largest.num_qubits == 65
+    assert largest.bisection_bandwidth <= 5
+    assert largest.bisection_bandwidth < mesh
+    assert by_name["ibmq_athens"].bisection_bandwidth == 1
+    # Bisection bandwidth grows far slower than machine size.
+    assert largest.bisection_bandwidth < largest.num_qubits / 8

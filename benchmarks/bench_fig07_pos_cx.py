@@ -1,0 +1,69 @@
+"""Fig. 7 — Probability of Success of a 4-qubit QFT vs CX metrics.
+
+Paper shape: POS varies widely (62 % down to 19 %) across Casablanca (7q),
+Toronto (27q), Guadalupe (16q), Rome (5q) and Manhattan (65q); it does NOT
+track machine size, but it anti-correlates with the CX metrics (CX-Depth,
+CX-Total, and each multiplied by the average CX error).
+
+The POS here is measured by the noisy sampler on a QFT-echo benchmark (the
+hardware-style way of giving the QFT a definite correct answer).
+"""
+
+from repro.analysis.report import render_table
+from repro.analysis.stats import pearson_correlation
+from repro.circuits import qft_echo_circuit
+from repro.devices import build_backend
+from repro.fidelity import measure_probability_of_success, compute_cx_metrics
+from repro.transpiler import transpile
+
+MACHINES = ["ibmq_casablanca", "ibmq_toronto", "ibmq_guadalupe", "ibmq_rome",
+            "ibmq_manhattan"]
+
+
+def _evaluate_machines():
+    circuit = qft_echo_circuit(4)
+    rows = []
+    for name in MACHINES:
+        backend = build_backend(name, seed=11)
+        calibration = backend.calibration_at(6 * 3600.0)
+        compiled = transpile(circuit, backend, optimization_level=3, seed=11,
+                             compile_time=6 * 3600.0)
+        metrics = compute_cx_metrics(compiled.circuit, calibration)
+        pos = measure_probability_of_success(circuit, compiled.circuit,
+                                             calibration, shots=4096, seed=11)
+        rows.append({
+            "machine": name,
+            "machine_qubits": backend.num_qubits,
+            "pos_percent": 100.0 * pos,
+            "cx_depth": metrics.cx_depth,
+            "cx_total": metrics.cx_total,
+            "cx_depth_x_err": metrics.cx_depth_x_error,
+            "cx_total_x_err": metrics.cx_total_x_error,
+        })
+    return rows
+
+
+def test_fig07_pos_vs_cx_metrics(benchmark, emit):
+    rows = benchmark.pedantic(_evaluate_machines, rounds=1, iterations=1)
+
+    emit(render_table("Fig. 7 — POS of the 4q QFT vs CX metrics", rows))
+
+    pos = [row["pos_percent"] for row in rows]
+    sizes = [row["machine_qubits"] for row in rows]
+    cx_total_err = [row["cx_total_x_err"] for row in rows]
+    cx_depth_err = [row["cx_depth_x_err"] for row in rows]
+    correlation_total = pearson_correlation(pos, cx_total_err)
+    correlation_depth = pearson_correlation(pos, cx_depth_err)
+    correlation_size = pearson_correlation(pos, sizes)
+    emit(f"corr(POS, CX-Total*err) = {correlation_total:.2f}, "
+         f"corr(POS, CX-Depth*err) = {correlation_depth:.2f}, "
+         f"corr(POS, machine size) = {correlation_size:.2f} "
+         "(paper: POS anti-correlates with CX metrics, not with machine size)")
+
+    # Shape assertions: wide POS spread, anti-correlation with CX*error
+    # metrics, and the best machine is not the largest one.
+    assert max(pos) - min(pos) > 15.0
+    assert correlation_total < -0.4
+    assert correlation_depth < -0.4
+    best = max(rows, key=lambda r: r["pos_percent"])
+    assert best["machine_qubits"] < 65

@@ -1,0 +1,41 @@
+"""Fig. 8 — machine utilisation distribution per machine.
+
+Paper shape: small machines are highly utilised (circuits use most of their
+qubits); utilisation drops sharply on the larger machines; machines of the
+same size are not utilised uniformly.
+"""
+
+import numpy as np
+
+from repro.analysis import utilization_by_machine
+from repro.analysis.report import render_table
+
+
+def test_fig08_machine_utilization(benchmark, study_trace, emit):
+    utilization = benchmark(utilization_by_machine, study_trace)
+
+    machine_qubits = {r.machine: r.machine_qubits for r in study_trace}
+    rows = [
+        {
+            "machine": machine,
+            "qubits": machine_qubits[machine],
+            "jobs": summary.count,
+            "p25": summary.p25,
+            "median": summary.median,
+            "p75": summary.p75,
+        }
+        for machine, summary in sorted(utilization.items(),
+                                       key=lambda kv: machine_qubits[kv[0]])
+    ]
+    emit(render_table("Fig. 8 — machine utilisation (fraction of qubits used)",
+                      rows))
+
+    small = [s.median for m, s in utilization.items() if machine_qubits[m] <= 7]
+    large = [s.median for m, s in utilization.items() if machine_qubits[m] >= 27]
+    emit(f"median utilisation: small machines {np.mean(small):.2f}, "
+         f"27q+ machines {np.mean(large):.2f} "
+         "(paper: high on small machines, low on large ones)")
+
+    assert small and large
+    assert np.mean(small) > 2.5 * np.mean(large)
+    assert all(0.0 <= s.maximum <= 1.0 for s in utilization.values())

@@ -1,0 +1,52 @@
+"""Fig. 9 — average pending jobs per machine over a one-week window.
+
+Paper shape (week in March 2021, i.e. near the end of the study window):
+within every machine-size class the busiest machine is a public one, public
+machines carry 10-100x the pending jobs of comparable privileged machines,
+and the load is unequal even between machines of the same size.
+"""
+
+import numpy as np
+
+from repro.analysis import pending_jobs_by_machine
+from repro.analysis.report import render_table
+from repro.core.units import DAY_SECONDS
+
+# A week late in the study window (month 26 of 28 ~ March 2021).
+WINDOW_START = 26 * 30.4 * DAY_SECONDS
+
+
+def test_fig09_pending_jobs(benchmark, study_fleet, study_trace, emit):
+    pending = benchmark(
+        pending_jobs_by_machine, study_fleet, WINDOW_START, 7.0, 64, 7,
+        study_trace,
+    )
+
+    rows = [
+        {
+            "machine": name,
+            "qubits": study_fleet[name].num_qubits,
+            "access": study_fleet[name].access.value,
+            "avg_pending_jobs": value,
+        }
+        for name, value in sorted(pending.items(),
+                                  key=lambda kv: study_fleet[kv[0]].num_qubits)
+        if not study_fleet[name].is_simulator
+    ]
+    emit(render_table("Fig. 9 — average pending jobs per machine (1-week window)",
+                      rows))
+
+    five_q_public = [pending[n] for n, b in study_fleet.items()
+                     if b.num_qubits == 5 and b.is_public]
+    five_q_privileged = [pending[n] for n, b in study_fleet.items()
+                         if b.num_qubits == 5 and not b.is_public]
+    emit(f"5-qubit machines: busiest public {max(five_q_public):.0f} vs busiest "
+         f"privileged {max(five_q_privileged):.0f} pending jobs "
+         "(paper: public 10-100x busier)")
+
+    assert max(five_q_public) > 10 * max(five_q_privileged)
+    # Load is unequal even among same-size public machines.
+    assert max(five_q_public) > 3 * min(five_q_public)
+    # Larger privileged machines still hold non-trivial queues.
+    big = [pending[n] for n, b in study_fleet.items() if b.num_qubits >= 27]
+    assert max(big) > 1.0

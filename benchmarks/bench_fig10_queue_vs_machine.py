@@ -1,0 +1,46 @@
+"""Fig. 10 — queue-time distribution per machine.
+
+Paper shape: queue times vary widely across machines; public machines show
+mean queue times of multiple hours; privileged machines (especially the
+large ones) average around a couple of hours or less.
+"""
+
+import numpy as np
+
+from repro.analysis import queue_time_by_machine
+from repro.analysis.report import render_table
+
+
+def test_fig10_queue_time_by_machine(benchmark, study_trace, emit):
+    distribution = benchmark(queue_time_by_machine, study_trace)
+
+    access = {r.machine: r.access for r in study_trace}
+    qubits = {r.machine: r.machine_qubits for r in study_trace}
+    rows = [
+        {
+            "machine": machine,
+            "qubits": qubits[machine],
+            "access": access[machine],
+            "jobs": summary.count,
+            "median_minutes": summary.median,
+            "p90_minutes": summary.p90,
+            "max_minutes": summary.maximum,
+        }
+        for machine, summary in sorted(distribution.items(),
+                                       key=lambda kv: qubits[kv[0]])
+    ]
+    emit(render_table("Fig. 10 — queue time per job vs machine (minutes)", rows))
+
+    public_medians = [s.median for m, s in distribution.items()
+                      if access[m] == "public" and "simulator" not in m]
+    privileged_medians = [s.median for m, s in distribution.items()
+                          if access[m] == "privileged"]
+    emit(f"median of medians: public {np.median(public_medians):.0f} min, "
+         f"privileged {np.median(privileged_medians):.0f} min "
+         "(paper: public = hours, privileged <= ~1-2 hours)")
+
+    assert public_medians and privileged_medians
+    assert np.median(public_medians) > np.median(privileged_medians)
+    # Wide spread: some machines see day-plus waits, others only minutes.
+    assert max(s.maximum for s in distribution.values()) > 12 * 60
+    assert min(s.median for s in distribution.values()) < 60

@@ -1,0 +1,37 @@
+"""Fig. 11 — queue time vs batch size.
+
+Paper shape: batch sizes span the full 1-900 range; the per-job queue time
+tends to grow with batch size, while the *effective per-circuit* queue time
+almost always decreases as batches grow (the whole batch pays the queue
+once).
+"""
+
+from repro.analysis import per_circuit_queue_by_batch_size, queue_time_by_batch_size
+from repro.analysis.report import render_table
+
+
+def test_fig11_queue_vs_batch_size(benchmark, study_trace, emit):
+    per_job = benchmark(queue_time_by_batch_size, study_trace, 100)
+    per_circuit = per_circuit_queue_by_batch_size(study_trace, bin_width=100)
+
+    rows = []
+    for key in sorted(per_job):
+        low, high = key
+        rows.append({
+            "batch_bin": f"{low}-{high}",
+            "jobs": per_job[key].count,
+            "median_queue_min_per_job": per_job[key].median,
+            "median_queue_sec_per_circuit": per_circuit.get(key, float("nan")),
+        })
+    emit(render_table("Fig. 11 — queue time vs batch size", rows))
+
+    bins = sorted(per_circuit)
+    smallest_bin, largest_bin = bins[0], bins[-1]
+    emit(f"effective per-circuit queue: {per_circuit[smallest_bin]:.0f}s in the "
+         f"smallest batches vs {per_circuit[largest_bin]:.0f}s in the largest "
+         "(paper: decreases with batch size)")
+
+    # Shape assertions.
+    batch_sizes = study_trace.numeric_column("batch_size")
+    assert batch_sizes.min() >= 1 and batch_sizes.max() > 700
+    assert per_circuit[largest_bin] < 0.25 * per_circuit[smallest_bin]

@@ -1,0 +1,24 @@
+"""Fig. 12a — fraction of jobs crossing a calibration boundary.
+
+Paper shape: roughly 22 % of jobs were compiled against one day's
+calibration but executed after the next recalibration (78 % stay within the
+same calibration epoch).
+"""
+
+from repro.analysis import crossover_statistics
+from repro.analysis.report import render_table
+
+
+def test_fig12a_calibration_crossover(benchmark, study_trace, emit):
+    stats = benchmark(crossover_statistics, study_trace)
+
+    emit(render_table("Fig. 12a — calibration crossovers", [
+        {"category": "intra-calibration (paper ~78.1%)",
+         "fraction": stats.intra_calibration_fraction},
+        {"category": "crossover (paper ~21.9%)",
+         "fraction": stats.crossover_fraction},
+        {"category": "jobs considered", "fraction": stats.total_jobs},
+    ]))
+
+    assert 0.08 < stats.crossover_fraction < 0.45
+    assert stats.total_jobs > 0.8 * len(study_trace)

@@ -1,0 +1,46 @@
+"""Fig. 13 — run-time distribution per machine.
+
+Paper shape: run times are far below queue times but vary non-trivially,
+from sub-minute to ~15 minutes per job, with larger machines showing higher
+run times (larger circuits plus larger machine overheads).
+"""
+
+import numpy as np
+
+from repro.analysis import run_time_by_machine
+from repro.analysis.report import render_table
+
+
+def test_fig13_run_time_by_machine(benchmark, study_trace, emit):
+    distribution = benchmark(run_time_by_machine, study_trace)
+
+    qubits = {r.machine: r.machine_qubits for r in study_trace}
+    rows = [
+        {
+            "machine": machine,
+            "qubits": qubits[machine],
+            "jobs": summary.count,
+            "median_minutes": summary.median,
+            "p90_minutes": summary.p90,
+            "max_minutes": summary.maximum,
+        }
+        for machine, summary in sorted(distribution.items(),
+                                       key=lambda kv: qubits[kv[0]])
+    ]
+    emit(render_table("Fig. 13 — run time per job vs machine (minutes)", rows))
+
+    per_circuit = study_trace.numeric_column("per_circuit_run_seconds")
+    emit(f"per-circuit run time: median {np.median(per_circuit):.1f}s, "
+         f"{100 * float((per_circuit < 60).mean()):.0f}% under a minute "
+         "(paper: the vast majority of circuits execute in well under a minute)")
+
+    small = [s.median for m, s in distribution.items()
+             if qubits[m] <= 7 and "simulator" not in m]
+    large = [s.median for m, s in distribution.items() if qubits[m] >= 27]
+    assert small and large
+    # Larger machines show higher run times on average.
+    assert np.mean(large) > np.mean(small)
+    # Run times span sub-minute to tens of minutes.
+    assert min(s.median for s in distribution.values()) < 5
+    assert max(s.p90 for s in distribution.values()) > 5
+    assert float((per_circuit < 60).mean()) > 0.9

@@ -1,0 +1,33 @@
+"""Fig. 14 — job run time vs batch size.
+
+Paper shape: run times grow proportionally with batch size (the red trend
+line), with scatter around the trend caused by shots and machine overheads.
+"""
+
+from repro.analysis import batch_runtime_trend, run_time_by_batch_size
+from repro.analysis.report import render_table
+
+
+def test_fig14_run_time_vs_batch(benchmark, study_trace, emit):
+    trend = benchmark(batch_runtime_trend, study_trace)
+
+    binned = run_time_by_batch_size(study_trace, bin_width=100)
+    rows = []
+    for key in sorted(binned):
+        low, high = key
+        midpoint = (low + high) / 2
+        rows.append({
+            "batch_bin": f"{low}-{high}",
+            "jobs": binned[key].count,
+            "median_run_minutes": binned[key].median,
+            "trend_line_minutes": trend.predict_minutes(midpoint),
+        })
+    emit(render_table("Fig. 14 — run time vs batch size", rows))
+    emit(f"trend: run_minutes = {trend.slope_minutes_per_circuit:.3f} * batch "
+         f"+ {trend.intercept_minutes:.2f} (correlation {trend.correlation:.2f}; "
+         "paper: proportional growth)")
+
+    assert trend.slope_minutes_per_circuit > 0
+    assert trend.correlation > 0.6
+    medians = [binned[key].median for key in sorted(binned)]
+    assert medians[-1] > 3 * medians[0]

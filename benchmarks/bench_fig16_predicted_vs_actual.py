@@ -1,0 +1,56 @@
+"""Fig. 16 — predicted vs actual runtimes on individual machines.
+
+Paper shape: a machine with a wide runtime range (Manhattan) shows visually
+tight prediction; the worst machine (Vigo) has a narrow runtime range so its
+correlation looks poor even though the absolute errors are small
+(~1 minute).
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.analysis.stats import pearson_correlation
+from repro.prediction import RuntimePredictionStudy
+
+
+def test_fig16_predicted_vs_actual(benchmark, study_trace, emit):
+    study = RuntimePredictionStudy(min_jobs_per_machine=60, seed=3)
+    results = benchmark.pedantic(study.run, args=(study_trace,), rounds=1,
+                                 iterations=1)
+
+    by_correlation = sorted(results.values(),
+                            key=lambda r: r.full_model_correlation)
+    worst = by_correlation[0]
+    best = by_correlation[-1]
+
+    for label, result in (("highest-correlation machine", best),
+                          ("lowest-correlation machine", worst)):
+        actual = np.asarray(result.test_actual_minutes)
+        predicted = np.asarray(result.test_predicted_minutes)
+        order = np.argsort(actual)
+        rows = [
+            {"job_instance": int(i),
+             "actual_minutes": float(actual[index]),
+             "predicted_minutes": float(predicted[index])}
+            for i, index in enumerate(order[:: max(1, len(order) // 25)])
+        ]
+        emit(render_table(
+            f"Fig. 16 — predicted vs actual runtimes ({label}: "
+            f"{result.machine}, correlation "
+            f"{result.full_model_correlation:.3f})", rows))
+        error = np.abs(actual - predicted)
+        emit(f"{result.machine}: runtime range "
+             f"{actual.min():.1f}-{actual.max():.1f} min, "
+             f"median absolute error {np.median(error):.2f} min")
+
+    # Shape assertions: the best machine tracks very closely; the worst
+    # machine's weakness is its narrow runtime range (small absolute errors),
+    # exactly the paper's explanation for Vigo.
+    assert best.full_model_correlation > 0.95
+    best_range = max(best.test_actual_minutes) - min(best.test_actual_minutes)
+    worst_range = max(worst.test_actual_minutes) - min(worst.test_actual_minutes)
+    worst_error = np.median(np.abs(np.asarray(worst.test_actual_minutes)
+                                   - np.asarray(worst.test_predicted_minutes)))
+    assert worst.full_model_correlation < best.full_model_correlation
+    assert worst_error < 0.25 * max(best_range, 1.0)
+    assert worst_range < best_range

@@ -1,0 +1,58 @@
+"""Shared fixtures for the figure-reproduction benchmark harness.
+
+The harness regenerates the data series behind every figure of the paper's
+evaluation.  A single full-scale synthetic study trace (about 6000 jobs over
+28 months, matching the paper's dataset size) is generated once per session
+and shared by all benches; the scale can be reduced for quick runs with the
+``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_MONTHS`` environment variables.
+
+Each bench prints the reproduced series/rows (via the ``emit`` fixture,
+which bypasses pytest's output capture so the tables appear in the console
+and in any ``tee`` log) and records timings through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.devices import fleet_in_study
+from repro.workloads import TraceGenerator, TraceGeneratorConfig
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+BENCH_JOBS = _env_int("REPRO_BENCH_JOBS", 6000)
+BENCH_MONTHS = _env_int("REPRO_BENCH_MONTHS", 28)
+BENCH_SEED = _env_int("REPRO_BENCH_SEED", 7)
+
+
+@pytest.fixture(scope="session")
+def study_trace():
+    """The full-scale synthetic study trace shared by every figure bench."""
+    config = TraceGeneratorConfig(total_jobs=BENCH_JOBS, months=BENCH_MONTHS,
+                                  seed=BENCH_SEED)
+    return TraceGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def study_fleet():
+    """The machine fleet of the study."""
+    return fleet_in_study(seed=BENCH_SEED)
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print text to the real terminal, bypassing pytest capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text)
+
+    return _emit

@@ -1,0 +1,64 @@
+"""Compile-time scaling study (the paper's Fig. 5, at adjustable scale).
+
+Compiles Quantum Fourier Transform circuits of growing size against
+correspondingly sized devices and reports the per-pass compile time,
+showing that layout/routing dominate and how the total grows toward large
+machines.
+
+Run with:  python examples/compile_time_scaling.py [max_qubits]
+(the default maximum of 64 qubits takes a few seconds; larger values grow
+quickly, exactly as the paper warns).
+"""
+
+import sys
+
+from repro.analysis.report import render_table
+from repro.circuits import qft_circuit
+from repro.devices import build_backend, fake_large_backend
+from repro.transpiler import preset_pass_manager
+
+
+def compile_and_time(num_qubits: int):
+    """Compile a QFT of the given size on a device that just fits it."""
+    if num_qubits <= 65:
+        backend = build_backend("ibmq_manhattan", seed=3)
+    else:
+        backend = fake_large_backend(int(num_qubits * 1.2), seed=3)
+    manager = preset_pass_manager(optimization_level=2, seed=3)
+    result = manager.run(qft_circuit(num_qubits), backend=backend)
+    return backend, result
+
+
+def main() -> None:
+    max_qubits = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    sizes = [size for size in (8, 16, 32, 48, 64, 96, 128, 256)
+             if size <= max_qubits]
+
+    totals = []
+    for size in sizes:
+        backend, result = compile_and_time(size)
+        timings = result.timing_by_pass()
+        dominant = max(timings.items(), key=lambda kv: kv[1])
+        totals.append({
+            "qft_qubits": size,
+            "target_machine_qubits": backend.num_qubits,
+            "total_compile_seconds": round(result.total_seconds, 3),
+            "dominant_pass": dominant[0],
+            "dominant_pass_seconds": round(dominant[1], 3),
+            "output_cx": result.circuit.cx_count,
+        })
+        print(f"compiled {size}q QFT in {result.total_seconds:.2f}s "
+              f"(dominant pass: {dominant[0]})")
+
+    print()
+    print(render_table("compile-time scaling (Fig. 5 style)", totals))
+    if len(totals) >= 2:
+        growth = (totals[-1]["total_compile_seconds"]
+                  / max(totals[0]["total_compile_seconds"], 1e-9))
+        print(f"total compile time grew {growth:.0f}x from {sizes[0]}q to "
+              f"{sizes[-1]}q; the paper reports a further 100-1000x blow-up "
+              "toward 1000-qubit targets, dominated by layout and routing.")
+
+
+if __name__ == "__main__":
+    main()

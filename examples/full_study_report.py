@@ -1,0 +1,47 @@
+"""Regenerate the whole characterisation study in one call.
+
+Combines the cloud dashboard view of the fleet with
+:func:`repro.analysis.reproduce_all`, which runs every trace-driven analysis
+of the paper (Figures 2-4 and 8-14) on a synthetic study trace and bundles
+the results into a single JSON-serialisable report.
+
+Run with:  python examples/full_study_report.py [num_jobs] [output.json]
+"""
+
+import json
+import sys
+
+from repro.analysis import reproduce_all
+from repro.cloud import CloudDashboard
+from repro.devices import fleet_in_study
+from repro.workloads import TraceGenerator, TraceGeneratorConfig
+
+
+def main() -> None:
+    total_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 1200
+    output_path = sys.argv[2] if len(sys.argv) > 2 else None
+
+    fleet = fleet_in_study(seed=7)
+    dashboard = CloudDashboard(fleet, seed=7)
+    print(dashboard.render(at_time=0.0))
+    least_busy = dashboard.least_busy(at_time=0.0, min_qubits=5)
+    best = dashboard.best_calibrated(at_time=0.0, min_qubits=5)
+    print(f"\nleast busy 5q+ machine right now: {least_busy.machine} "
+          f"({least_busy.pending_jobs:.0f} pending jobs)")
+    print(f"best calibrated 5q+ machine right now: {best.machine} "
+          f"(average CX error {best.average_cx_error:.3%})\n")
+
+    print(f"generating a {total_jobs}-job study trace ...")
+    trace = TraceGenerator(TraceGeneratorConfig(total_jobs=total_jobs,
+                                                seed=7)).generate()
+    report = reproduce_all(trace, fleet=fleet)
+    print(report.render())
+
+    if output_path:
+        with open(output_path, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"\nfull report written to {output_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim.
+
+The environment used for the reproduction is offline; a plain ``setup.py``
+lets ``pip install -e .`` take the legacy editable-install path without
+needing to download the ``wheel`` build backend.
+"""
+from setuptools import setup
+
+setup()

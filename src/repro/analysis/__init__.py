@@ -1,0 +1,101 @@
+"""Trace analysis: the paper's characterisation study.
+
+Each module maps onto a section of the paper's evaluation:
+
+* :mod:`repro.analysis.stats` — the statistical helpers (percentiles,
+  Pearson correlation, coefficient of variation, distribution summaries).
+* :mod:`repro.analysis.jobs` — overall system trends: cumulative machine
+  trials (Fig. 2a) and execution-status breakdown (Fig. 2b).
+* :mod:`repro.analysis.queuing` — queuing-time analyses (Figures 3, 4, 10, 11).
+* :mod:`repro.analysis.machines` — machine-level analyses: bisection
+  bandwidth (Fig. 6), utilisation (Fig. 8), pending jobs (Fig. 9).
+* :mod:`repro.analysis.execution` — execution-time analyses (Figures 13, 14).
+* :mod:`repro.analysis.calibration` — calibration-crossover analysis (Fig. 12).
+* :mod:`repro.analysis.report` — plain-text figure/series rendering used by
+  the benchmark harness.
+"""
+
+from repro.analysis.stats import (
+    DistributionSummary,
+    coefficient_of_variation,
+    pearson_correlation,
+    percentile,
+    summarize,
+    cumulative_fraction_below,
+    linear_fit,
+)
+from repro.analysis.jobs import (
+    MonthlyTrials,
+    cumulative_trials_by_month,
+    status_breakdown,
+    wasted_execution_fraction,
+)
+from repro.analysis.queuing import (
+    sorted_queue_times_minutes,
+    queue_time_percentile_report,
+    queue_to_run_ratios,
+    ratio_report,
+    queue_time_by_machine,
+    queue_time_by_batch_size,
+    per_circuit_queue_by_batch_size,
+)
+from repro.analysis.machines import (
+    bisection_bandwidth_table,
+    utilization_by_machine,
+    pending_jobs_by_machine,
+    machine_job_share,
+)
+from repro.analysis.execution import (
+    run_time_by_machine,
+    run_time_by_batch_size,
+    batch_runtime_trend,
+)
+from repro.analysis.calibration import (
+    crossover_statistics,
+    layout_drift_between_epochs,
+)
+from repro.analysis.figures import ReproductionReport, reproduce_all
+from repro.analysis.providers import (
+    AccessClassProfile,
+    access_class_profiles,
+    public_to_privileged_queue_ratio,
+)
+from repro.analysis.report import FigureSeries, render_table, render_series
+
+__all__ = [
+    "DistributionSummary",
+    "coefficient_of_variation",
+    "pearson_correlation",
+    "percentile",
+    "summarize",
+    "cumulative_fraction_below",
+    "linear_fit",
+    "MonthlyTrials",
+    "cumulative_trials_by_month",
+    "status_breakdown",
+    "wasted_execution_fraction",
+    "sorted_queue_times_minutes",
+    "queue_time_percentile_report",
+    "queue_to_run_ratios",
+    "ratio_report",
+    "queue_time_by_machine",
+    "queue_time_by_batch_size",
+    "per_circuit_queue_by_batch_size",
+    "bisection_bandwidth_table",
+    "utilization_by_machine",
+    "pending_jobs_by_machine",
+    "machine_job_share",
+    "run_time_by_machine",
+    "run_time_by_batch_size",
+    "batch_runtime_trend",
+    "crossover_statistics",
+    "layout_drift_between_epochs",
+    "ReproductionReport",
+    "reproduce_all",
+    "AccessClassProfile",
+    "access_class_profiles",
+    "public_to_privileged_queue_ratio",
+    "FigureSeries",
+    "render_table",
+    "render_series",
+]

@@ -1,0 +1,105 @@
+"""Calibration-crossover analysis (Fig. 12 of the paper).
+
+* Fig. 12a — the fraction of jobs compiled in one calibration epoch but
+  executed in a later one (~22 % in the paper).
+* Fig. 12b — the same circuit compiled against two consecutive calibration
+  snapshots produces different noise-aware layouts; the helper here
+  quantifies how different.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.exceptions import AnalysisError
+from repro.devices.backend import Backend
+from repro.transpiler.presets import transpile
+from repro.workloads.trace import TraceDataset
+
+
+@dataclass(frozen=True)
+class CrossoverStatistics:
+    """Fig. 12a summary."""
+
+    total_jobs: int
+    crossed_jobs: int
+
+    @property
+    def crossover_fraction(self) -> float:
+        if self.total_jobs == 0:
+            return 0.0
+        return self.crossed_jobs / self.total_jobs
+
+    @property
+    def intra_calibration_fraction(self) -> float:
+        return 1.0 - self.crossover_fraction
+
+
+def crossover_statistics(trace: TraceDataset) -> CrossoverStatistics:
+    """Count calibration crossovers among jobs that actually started."""
+    started = [r for r in trace if r.start_time is not None]
+    if not started:
+        raise AnalysisError("no started jobs in the trace")
+    crossed = sum(1 for r in started if r.crossed_calibration)
+    return CrossoverStatistics(total_jobs=len(started), crossed_jobs=crossed)
+
+
+@dataclass(frozen=True)
+class LayoutDrift:
+    """Fig. 12b summary: how compilation differs across calibration epochs."""
+
+    machine: str
+    epoch_a: int
+    epoch_b: int
+    layout_a: Dict[int, int]
+    layout_b: Dict[int, int]
+    cx_count_a: int
+    cx_count_b: int
+
+    @property
+    def layouts_differ(self) -> bool:
+        return self.layout_a != self.layout_b
+
+    @property
+    def moved_qubits(self) -> int:
+        """Number of virtual qubits whose physical assignment changed."""
+        moved = 0
+        for virtual, physical in self.layout_a.items():
+            if self.layout_b.get(virtual) != physical:
+                moved += 1
+        return moved
+
+
+def layout_drift_between_epochs(
+    circuit: QuantumCircuit,
+    backend: Backend,
+    epoch_a: int = 0,
+    epoch_b: int = 1,
+    optimization_level: int = 3,
+    seed: int = 11,
+) -> LayoutDrift:
+    """Compile the same circuit against two calibration epochs (Fig. 12b)."""
+    if epoch_a == epoch_b:
+        raise AnalysisError("epochs must differ to measure drift")
+    time_a = backend.calibration_model.epoch_start(epoch_a) + 3600.0
+    time_b = backend.calibration_model.epoch_start(epoch_b) + 3600.0
+    result_a = transpile(circuit, backend, optimization_level=optimization_level,
+                         seed=seed, compile_time=time_a)
+    result_b = transpile(circuit, backend, optimization_level=optimization_level,
+                         seed=seed, compile_time=time_b)
+    layout_a = result_a.layout.as_dict() if result_a.layout else {}
+    layout_b = result_b.layout.as_dict() if result_b.layout else {}
+    # Restrict to the circuit's own (non-ancilla) qubits.
+    layout_a = {v: p for v, p in layout_a.items() if v < circuit.num_qubits}
+    layout_b = {v: p for v, p in layout_b.items() if v < circuit.num_qubits}
+    return LayoutDrift(
+        machine=backend.name,
+        epoch_a=epoch_a,
+        epoch_b=epoch_b,
+        layout_a=layout_a,
+        layout_b=layout_b,
+        cx_count_a=result_a.circuit.cx_count,
+        cx_count_b=result_b.circuit.cx_count,
+    )

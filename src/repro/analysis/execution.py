@@ -1,0 +1,84 @@
+"""Execution-time analyses (Section VI, Figures 13-14)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import DistributionSummary, linear_fit, summarize
+from repro.core.exceptions import AnalysisError
+from repro.workloads.trace import TraceDataset
+
+
+def run_time_by_machine(trace: TraceDataset,
+                        per_circuit: bool = False) -> Dict[str, DistributionSummary]:
+    """Fig. 13 series: run-time distribution per machine (minutes).
+
+    With ``per_circuit=True`` the per-circuit run time (job run time divided
+    by batch size) is summarised instead of the per-job run time.
+    """
+    result: Dict[str, DistributionSummary] = {}
+    for machine, subset in trace.group_by_machine().items():
+        if per_circuit:
+            values = [
+                r.per_circuit_run_seconds / 60.0 for r in subset
+                if r.per_circuit_run_seconds is not None
+            ]
+        else:
+            values = [r.run_minutes for r in subset if r.run_minutes is not None]
+        if values:
+            result[machine] = summarize(values)
+    if not result:
+        raise AnalysisError("no completed jobs in the trace")
+    return result
+
+
+@dataclass(frozen=True)
+class BatchRuntimeTrend:
+    """Linear trend of job run time versus batch size (the Fig. 14 red line)."""
+
+    slope_minutes_per_circuit: float
+    intercept_minutes: float
+    correlation: float
+
+    def predict_minutes(self, batch_size: float) -> float:
+        return self.slope_minutes_per_circuit * batch_size + self.intercept_minutes
+
+
+def run_time_by_batch_size(trace: TraceDataset, bin_width: int = 100
+                           ) -> Dict[Tuple[int, int], DistributionSummary]:
+    """Fig. 14 series: run minutes binned by batch size."""
+    completed = [r for r in trace if r.run_minutes is not None]
+    if not completed:
+        raise AnalysisError("no completed jobs in the trace")
+    edges = list(range(0, 900, bin_width)) + [900]
+    bins = [(edges[i] + 1, edges[i + 1]) for i in range(len(edges) - 1)]
+    result: Dict[Tuple[int, int], DistributionSummary] = {}
+    for low, high in bins:
+        values = [r.run_minutes for r in completed if low <= r.batch_size <= high]
+        if values:
+            result[(low, high)] = summarize(values)
+    return result
+
+
+def batch_runtime_trend(trace: TraceDataset) -> BatchRuntimeTrend:
+    """Fit the Fig. 14 proportional trend between batch size and run time."""
+    batches: List[float] = []
+    minutes: List[float] = []
+    for record in trace:
+        if record.run_minutes is None:
+            continue
+        batches.append(float(record.batch_size))
+        minutes.append(record.run_minutes)
+    if len(batches) < 2:
+        raise AnalysisError("need at least two completed jobs to fit a trend")
+    slope, intercept = linear_fit(batches, minutes)
+    from repro.analysis.stats import pearson_correlation
+
+    return BatchRuntimeTrend(
+        slope_minutes_per_circuit=slope,
+        intercept_minutes=intercept,
+        correlation=pearson_correlation(batches, minutes),
+    )

@@ -1,0 +1,74 @@
+"""Overall system trends (Section III-A of the paper).
+
+* Fig. 2a — cumulative machine trials per month over the study window.
+* Fig. 2b — breakdown of job terminal statuses (DONE / ERROR / CANCELLED).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.exceptions import AnalysisError
+from repro.core.types import JobStatus
+from repro.workloads.trace import TraceDataset
+
+
+@dataclass(frozen=True)
+class MonthlyTrials:
+    """Machine trials submitted in one month plus the running total."""
+
+    month_index: int
+    jobs: int
+    circuits: int
+    trials: int
+    cumulative_trials: int
+
+
+def cumulative_trials_by_month(trace: TraceDataset) -> List[MonthlyTrials]:
+    """Fig. 2a series: cumulative machine trials month by month."""
+    if len(trace) == 0:
+        raise AnalysisError("trace is empty")
+    by_month = trace.group_by_month()
+    months = sorted(by_month)
+    series: List[MonthlyTrials] = []
+    running = 0
+    for month in range(months[0], months[-1] + 1):
+        subset = by_month.get(month, TraceDataset())
+        trials = subset.total_trials()
+        running += trials
+        series.append(MonthlyTrials(
+            month_index=month,
+            jobs=len(subset),
+            circuits=subset.total_circuits(),
+            trials=trials,
+            cumulative_trials=running,
+        ))
+    return series
+
+
+def status_breakdown(trace: TraceDataset) -> Dict[str, float]:
+    """Fig. 2b series: fraction of jobs per terminal status."""
+    if len(trace) == 0:
+        raise AnalysisError("trace is empty")
+    counts = trace.status_counts()
+    total = sum(counts.values())
+    breakdown = {status.value: 0.0 for status in
+                 (JobStatus.DONE, JobStatus.ERROR, JobStatus.CANCELLED)}
+    for status, count in counts.items():
+        breakdown[status] = count / total
+    return breakdown
+
+
+def wasted_execution_fraction(trace: TraceDataset) -> float:
+    """Fraction of jobs that did not execute cleanly (insight 1: ~5 %+)."""
+    breakdown = status_breakdown(trace)
+    return 1.0 - breakdown.get(JobStatus.DONE.value, 0.0)
+
+
+def jobs_per_machine(trace: TraceDataset) -> Dict[str, int]:
+    """Number of studied jobs per machine."""
+    counts: Dict[str, int] = {}
+    for record in trace:
+        counts[record.machine] = counts.get(record.machine, 0) + 1
+    return dict(sorted(counts.items()))

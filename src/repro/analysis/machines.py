@@ -1,0 +1,117 @@
+"""Machine-level analyses (Section IV and Fig. 9 of the paper).
+
+* Fig. 6 — qubit count versus bisection bandwidth across the fleet.
+* Fig. 8 — machine-utilisation distribution per machine.
+* Fig. 9 — average pending jobs per machine over a sampling window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import DistributionSummary, summarize
+from repro.cloud.backlog import ExternalLoadModel
+from repro.core.exceptions import AnalysisError
+from repro.core.units import DAY_SECONDS
+from repro.devices.backend import Backend
+from repro.workloads.trace import TraceDataset
+
+
+@dataclass(frozen=True)
+class MachineTopologyRow:
+    """One row of the Fig. 6 table."""
+
+    machine: str
+    num_qubits: int
+    bisection_bandwidth: int
+    access: str
+
+
+def bisection_bandwidth_table(fleet: Dict[str, Backend]) -> List[MachineTopologyRow]:
+    """Fig. 6 series: qubits and bisection bandwidth for each machine."""
+    if not fleet:
+        raise AnalysisError("fleet is empty")
+    rows = [
+        MachineTopologyRow(
+            machine=name,
+            num_qubits=backend.num_qubits,
+            bisection_bandwidth=backend.bisection_bandwidth(),
+            access=backend.access.value,
+        )
+        for name, backend in fleet.items()
+        if not backend.is_simulator
+    ]
+    return sorted(rows, key=lambda r: (r.num_qubits, r.machine))
+
+
+def utilization_by_machine(trace: TraceDataset) -> Dict[str, DistributionSummary]:
+    """Fig. 8 series: distribution of per-job machine utilisation per machine.
+
+    Utilisation of a job is the fraction of the machine's qubits used by its
+    circuits.
+    """
+    result: Dict[str, DistributionSummary] = {}
+    for machine, subset in trace.group_by_machine().items():
+        utilizations = [r.utilization for r in subset]
+        if utilizations:
+            result[machine] = summarize(utilizations)
+    if not result:
+        raise AnalysisError("trace contains no jobs")
+    return result
+
+
+def pending_jobs_by_machine(
+    fleet: Dict[str, Backend],
+    window_start: float,
+    window_days: float = 7.0,
+    samples: int = 64,
+    seed: int = 0,
+    trace: Optional[TraceDataset] = None,
+) -> Dict[str, float]:
+    """Fig. 9 series: average pending jobs per machine over a sampling window.
+
+    The estimate combines the external-load model (everyone else's jobs)
+    with, when a trace is supplied, the studied jobs pending in the window.
+    """
+    if samples < 1:
+        raise AnalysisError("samples must be positive")
+    if not fleet:
+        raise AnalysisError("fleet is empty")
+    times = np.linspace(window_start, window_start + window_days * DAY_SECONDS,
+                        samples)
+    averages: Dict[str, float] = {}
+    for name, backend in fleet.items():
+        model = ExternalLoadModel(backend=backend, seed=seed)
+        values = [model.mean_pending_jobs(t) for t in times]
+        averages[name] = float(np.mean(values))
+    if trace is not None:
+        for machine, subset in trace.group_by_machine().items():
+            if machine not in averages:
+                continue
+            overlapping = [
+                r for r in subset
+                if r.queue_seconds is not None and r.start_time is not None
+                and r.submit_time <= times[-1] and r.start_time >= times[0]
+            ]
+            window_seconds = times[-1] - times[0]
+            if window_seconds > 0 and overlapping:
+                occupancy = sum(
+                    min(r.start_time, times[-1]) - max(r.submit_time, times[0])
+                    for r in overlapping
+                )
+                averages[machine] += occupancy / window_seconds
+    return dict(sorted(averages.items()))
+
+
+def machine_job_share(trace: TraceDataset) -> Dict[str, float]:
+    """Fraction of studied jobs landing on each machine (load imbalance)."""
+    if len(trace) == 0:
+        raise AnalysisError("trace is empty")
+    counts: Dict[str, int] = {}
+    for record in trace:
+        counts[record.machine] = counts.get(record.machine, 0) + 1
+    total = sum(counts.values())
+    return {machine: count / total for machine, count in sorted(counts.items())}

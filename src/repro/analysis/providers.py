@@ -1,0 +1,94 @@
+"""Public vs privileged access comparison.
+
+The paper repeatedly contrasts the two access classes: the studied jobs are
+"a mix of public and privileged jobs" (Fig. 3), public machines carry far
+more load (Fig. 9) and queue far longer (Fig. 10), while privileged access
+usually waits an hour or less.  This module quantifies that split for a
+trace so the comparison can be reported (and asserted) directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.stats import DistributionSummary, summarize
+from repro.core.exceptions import AnalysisError
+from repro.workloads.trace import TraceDataset
+
+
+@dataclass(frozen=True)
+class AccessClassProfile:
+    """Aggregate behaviour of one access class (public or privileged)."""
+
+    access: str
+    jobs: int
+    job_share: float
+    circuit_share: float
+    queue_minutes: DistributionSummary
+    run_minutes: DistributionSummary
+    median_queue_to_run_ratio: float
+    crossover_fraction: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "access": self.access,
+            "jobs": self.jobs,
+            "job_share": self.job_share,
+            "circuit_share": self.circuit_share,
+            "median_queue_minutes": self.queue_minutes.median,
+            "p90_queue_minutes": self.queue_minutes.p90,
+            "median_run_minutes": self.run_minutes.median,
+            "median_queue_to_run_ratio": self.median_queue_to_run_ratio,
+            "crossover_fraction": self.crossover_fraction,
+        }
+
+
+def access_class_profiles(trace: TraceDataset) -> Dict[str, AccessClassProfile]:
+    """Per-access-class aggregates over a trace (keys: "public", "privileged")."""
+    if len(trace) == 0:
+        raise AnalysisError("trace is empty")
+    total_jobs = len(trace)
+    total_circuits = trace.total_circuits()
+    profiles: Dict[str, AccessClassProfile] = {}
+    for access in ("public", "privileged"):
+        subset = trace.filter(lambda r, a=access: r.access == a)
+        if len(subset) == 0:
+            continue
+        queue_minutes = [r.queue_minutes for r in subset
+                         if r.queue_minutes is not None]
+        run_minutes = [r.run_minutes for r in subset if r.run_minutes is not None]
+        ratios = [r.queue_to_run_ratio for r in subset
+                  if r.queue_to_run_ratio is not None]
+        started = [r for r in subset if r.start_time is not None]
+        crossed = sum(1 for r in started if r.crossed_calibration)
+        if not queue_minutes or not run_minutes or not ratios:
+            raise AnalysisError(
+                f"access class {access!r} has no completed jobs to summarise"
+            )
+        profiles[access] = AccessClassProfile(
+            access=access,
+            jobs=len(subset),
+            job_share=len(subset) / total_jobs,
+            circuit_share=subset.total_circuits() / max(total_circuits, 1),
+            queue_minutes=summarize(queue_minutes),
+            run_minutes=summarize(run_minutes),
+            median_queue_to_run_ratio=float(np.median(ratios)),
+            crossover_fraction=crossed / len(started) if started else 0.0,
+        )
+    if not profiles:
+        raise AnalysisError("trace contains no recognised access classes")
+    return profiles
+
+
+def public_to_privileged_queue_ratio(trace: TraceDataset) -> float:
+    """How much longer public-machine jobs queue than privileged ones (medians)."""
+    profiles = access_class_profiles(trace)
+    if "public" not in profiles or "privileged" not in profiles:
+        raise AnalysisError("trace does not contain both access classes")
+    privileged_median = profiles["privileged"].queue_minutes.median
+    if privileged_median <= 0:
+        return float("inf")
+    return profiles["public"].queue_minutes.median / privileged_median

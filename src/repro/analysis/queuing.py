@@ -1,0 +1,165 @@
+"""Queuing-time analyses (Sections III-B/C and V of the paper).
+
+* Fig. 3  — sorted per-circuit queuing times.
+* Fig. 4  — sorted per-job queue:execution ratios.
+* Fig. 10 — queue-time distribution per machine.
+* Fig. 11 — queue time (per job and per circuit) versus batch size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import (
+    DistributionSummary,
+    cumulative_fraction_below,
+    percentile,
+    summarize,
+)
+from repro.core.exceptions import AnalysisError
+from repro.workloads.trace import TraceDataset
+
+
+def sorted_queue_times_minutes(trace: TraceDataset,
+                               per_circuit: bool = True) -> np.ndarray:
+    """Fig. 3 series: queue times (minutes), sorted ascending.
+
+    With ``per_circuit=True`` each job's queue time is repeated once per
+    circuit in its batch, matching the paper's x-axis of ~600k circuit
+    instances.
+    """
+    values: List[float] = []
+    for record in trace:
+        if record.queue_minutes is None:
+            continue
+        repeats = record.batch_size if per_circuit else 1
+        values.extend([record.queue_minutes] * repeats)
+    if not values:
+        raise AnalysisError("no queued jobs in the trace")
+    return np.sort(np.asarray(values, dtype=float))
+
+
+@dataclass(frozen=True)
+class QueueTimeReport:
+    """Headline queue-time statistics quoted in Section III-B."""
+
+    fraction_under_one_minute: float
+    median_minutes: float
+    fraction_over_two_hours: float
+    fraction_over_one_day: float
+    summary: DistributionSummary
+
+    def as_dict(self) -> Dict[str, float]:
+        result = {
+            "fraction_under_one_minute": self.fraction_under_one_minute,
+            "median_minutes": self.median_minutes,
+            "fraction_over_two_hours": self.fraction_over_two_hours,
+            "fraction_over_one_day": self.fraction_over_one_day,
+        }
+        result.update({f"queue_{k}": v for k, v in self.summary.as_dict().items()})
+        return result
+
+
+def queue_time_percentile_report(trace: TraceDataset,
+                                 per_circuit: bool = True) -> QueueTimeReport:
+    """The headline numbers the paper quotes about Fig. 3."""
+    minutes = sorted_queue_times_minutes(trace, per_circuit=per_circuit)
+    return QueueTimeReport(
+        fraction_under_one_minute=cumulative_fraction_below(minutes, 1.0),
+        median_minutes=percentile(minutes, 50),
+        fraction_over_two_hours=1.0 - cumulative_fraction_below(minutes, 120.0),
+        fraction_over_one_day=1.0 - cumulative_fraction_below(minutes, 1440.0),
+        summary=summarize(minutes),
+    )
+
+
+def queue_to_run_ratios(trace: TraceDataset) -> np.ndarray:
+    """Fig. 4 series: per-job queue:run ratios, sorted ascending."""
+    ratios = [
+        record.queue_to_run_ratio
+        for record in trace
+        if record.queue_to_run_ratio is not None
+    ]
+    if not ratios:
+        raise AnalysisError("no completed jobs with run time in the trace")
+    return np.sort(np.asarray(ratios, dtype=float))
+
+
+@dataclass(frozen=True)
+class RatioReport:
+    """Headline queue:execution ratio statistics (Section III-C)."""
+
+    fraction_at_or_below_one: float
+    median_ratio: float
+    fraction_at_or_above_hundred: float
+    summary: DistributionSummary
+
+
+def ratio_report(trace: TraceDataset) -> RatioReport:
+    ratios = queue_to_run_ratios(trace)
+    return RatioReport(
+        fraction_at_or_below_one=float((ratios <= 1.0).mean()),
+        median_ratio=percentile(ratios, 50),
+        fraction_at_or_above_hundred=float((ratios >= 100.0).mean()),
+        summary=summarize(ratios),
+    )
+
+
+def queue_time_by_machine(trace: TraceDataset) -> Dict[str, DistributionSummary]:
+    """Fig. 10 series: distribution of per-job queue minutes per machine."""
+    result: Dict[str, DistributionSummary] = {}
+    for machine, subset in trace.group_by_machine().items():
+        minutes = [r.queue_minutes for r in subset if r.queue_minutes is not None]
+        if minutes:
+            result[machine] = summarize(minutes)
+    if not result:
+        raise AnalysisError("no queue data in the trace")
+    return result
+
+
+def _batch_bins(max_batch: int = 900, bin_width: int = 100) -> List[Tuple[int, int]]:
+    edges = list(range(0, max_batch, bin_width)) + [max_batch]
+    return [(edges[i] + 1, edges[i + 1]) for i in range(len(edges) - 1)]
+
+
+def queue_time_by_batch_size(trace: TraceDataset, bin_width: int = 100
+                             ) -> Dict[Tuple[int, int], DistributionSummary]:
+    """Fig. 11 (per-job view): queue minutes binned by batch size."""
+    bins = _batch_bins(bin_width=bin_width)
+    result: Dict[Tuple[int, int], DistributionSummary] = {}
+    for low, high in bins:
+        values = [
+            r.queue_minutes for r in trace
+            if r.queue_minutes is not None and low <= r.batch_size <= high
+        ]
+        if values:
+            result[(low, high)] = summarize(values)
+    if not result:
+        raise AnalysisError("no queue data in the trace")
+    return result
+
+
+def per_circuit_queue_by_batch_size(trace: TraceDataset, bin_width: int = 100
+                                    ) -> Dict[Tuple[int, int], float]:
+    """Fig. 11 (per-circuit view): median effective queue seconds per circuit.
+
+    The paper's third observation on Fig. 11: as batch size grows the
+    *effective* per-circuit queue time almost always decreases because the
+    whole batch pays the queue once.
+    """
+    bins = _batch_bins(bin_width=bin_width)
+    result: Dict[Tuple[int, int], float] = {}
+    for low, high in bins:
+        values = [
+            r.per_circuit_queue_seconds for r in trace
+            if r.per_circuit_queue_seconds is not None
+            and low <= r.batch_size <= high
+        ]
+        if values:
+            result[(low, high)] = float(np.median(values))
+    if not result:
+        raise AnalysisError("no queue data in the trace")
+    return result

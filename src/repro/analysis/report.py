@@ -1,0 +1,75 @@
+"""Plain-text rendering of figure data series.
+
+The benchmark harness prints each reproduced figure as rows/series so the
+output can be compared side-by-side with the paper.  These helpers keep the
+formatting consistent across benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+@dataclass
+class FigureSeries:
+    """One named data series of a reproduced figure."""
+
+    figure: str
+    name: str
+    x_label: str
+    y_label: str
+    x: List[object] = field(default_factory=list)
+    y: List[Number] = field(default_factory=list)
+
+    def add(self, x_value: object, y_value: Number) -> None:
+        self.x.append(x_value)
+        self.y.append(y_value)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        return [{self.x_label: xv, self.y_label: yv}
+                for xv, yv in zip(self.x, self.y)]
+
+
+def _format_value(value: object, precision: int = 3) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(title: str, rows: Sequence[Mapping[str, object]],
+                 max_rows: Optional[int] = None) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    lines = [f"== {title} =="]
+    if not rows:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    shown = list(rows if max_rows is None else rows[:max_rows])
+    columns = list(shown[0].keys())
+    formatted = [
+        {col: _format_value(row.get(col, "")) for col in columns} for row in shown
+    ]
+    widths = {
+        col: max(len(col), max(len(row[col]) for row in formatted))
+        for col in columns
+    }
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[col] for col in columns))
+    for row in formatted:
+        lines.append("  ".join(row[col].ljust(widths[col]) for col in columns))
+    if max_rows is not None and len(rows) > max_rows:
+        lines.append(f"... ({len(rows) - max_rows} more rows)")
+    return "\n".join(lines)
+
+
+def render_series(series: FigureSeries, max_rows: Optional[int] = 30) -> str:
+    """Render one figure series as a text table."""
+    title = f"{series.figure}: {series.name}"
+    return render_table(title, series.as_rows(), max_rows=max_rows)

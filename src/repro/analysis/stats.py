@@ -1,0 +1,127 @@
+"""Statistical helpers used across the analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import AnalysisError
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Summary statistics of a one-dimensional sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p90: float
+    maximum: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "p90": self.p90,
+            "max": self.maximum,
+        }
+
+
+def _as_array(values: Sequence[float]) -> np.ndarray:
+    array = np.asarray([v for v in values if v is not None], dtype=float)
+    return array
+
+
+def summarize(values: Sequence[float]) -> DistributionSummary:
+    """Summarise a sample; raises on empty input."""
+    array = _as_array(values)
+    if array.size == 0:
+        raise AnalysisError("cannot summarise an empty sample")
+    return DistributionSummary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std()),
+        minimum=float(array.min()),
+        p25=float(np.percentile(array, 25)),
+        median=float(np.percentile(array, 50)),
+        p75=float(np.percentile(array, 75)),
+        p90=float(np.percentile(array, 90)),
+        maximum=float(array.max()),
+    )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The q-th percentile (0-100) of the sample."""
+    array = _as_array(values)
+    if array.size == 0:
+        raise AnalysisError("cannot take a percentile of an empty sample")
+    if not 0 <= q <= 100:
+        raise AnalysisError("percentile q must be within [0, 100]")
+    return float(np.percentile(array, q))
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """Std / mean (the spatial-variation metric of Section IV-B)."""
+    array = _as_array(values)
+    if array.size == 0:
+        raise AnalysisError("cannot compute CoV of an empty sample")
+    mean = array.mean()
+    if mean == 0:
+        return 0.0
+    return float(array.std() / abs(mean))
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient (the Fig. 15 metric)."""
+    x_array = np.asarray(x, dtype=float)
+    y_array = np.asarray(y, dtype=float)
+    if x_array.size != y_array.size:
+        raise AnalysisError("samples must have the same length")
+    if x_array.size < 2:
+        raise AnalysisError("need at least two points for a correlation")
+    x_std = x_array.std()
+    y_std = y_array.std()
+    if x_std == 0 or y_std == 0:
+        return 0.0
+    covariance = ((x_array - x_array.mean()) * (y_array - y_array.mean())).mean()
+    return float(covariance / (x_std * y_std))
+
+
+def cumulative_fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of the sample strictly below ``threshold``."""
+    array = _as_array(values)
+    if array.size == 0:
+        raise AnalysisError("cannot compute a fraction of an empty sample")
+    return float((array < threshold).mean())
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares line ``y = slope * x + intercept`` (the Fig. 14 trend)."""
+    x_array = np.asarray(x, dtype=float)
+    y_array = np.asarray(y, dtype=float)
+    if x_array.size != y_array.size or x_array.size < 2:
+        raise AnalysisError("need two equally sized samples with >= 2 points")
+    slope, intercept = np.polyfit(x_array, y_array, deg=1)
+    return float(slope), float(intercept)
+
+
+def histogram(values: Sequence[float], bins: int = 20,
+              value_range: Optional[Tuple[float, float]] = None
+              ) -> Tuple[np.ndarray, np.ndarray]:
+    """Histogram counts and bin edges."""
+    array = _as_array(values)
+    if array.size == 0:
+        raise AnalysisError("cannot histogram an empty sample")
+    counts, edges = np.histogram(array, bins=bins, range=value_range)
+    return counts, edges

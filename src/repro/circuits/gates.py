@@ -1,0 +1,260 @@
+"""Gate vocabulary and unitary matrices.
+
+The gate set covers what the paper's workloads need: the IBM basis gates
+(``id``, ``rz``, ``sx``, ``x``, ``cx``) plus the common named gates circuits
+are written in before basis translation (``h``, ``t``, ``swap``, ``ccx``,
+controlled phases for the QFT, parametrised rotations for QAOA/VQE ansatz).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import CircuitError
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate type.
+
+    Attributes:
+        name: canonical lowercase gate name.
+        num_qubits: how many qubits the gate acts on.
+        num_params: how many real parameters the gate takes.
+        is_diagonal: whether the unitary is diagonal in the computational
+            basis (used by the ``RemoveDiagonalGatesBeforeMeasure`` pass).
+        self_inverse: whether applying the gate twice is the identity (used
+            by commutative cancellation).
+    """
+
+    name: str
+    num_qubits: int
+    num_params: int = 0
+    is_diagonal: bool = False
+    self_inverse: bool = False
+
+
+#: Every gate type the library understands.
+GATE_SPECS: Dict[str, GateSpec] = {
+    spec.name: spec
+    for spec in [
+        GateSpec("id", 1, 0, is_diagonal=True, self_inverse=True),
+        GateSpec("x", 1, 0, self_inverse=True),
+        GateSpec("y", 1, 0, self_inverse=True),
+        GateSpec("z", 1, 0, is_diagonal=True, self_inverse=True),
+        GateSpec("h", 1, 0, self_inverse=True),
+        GateSpec("s", 1, 0, is_diagonal=True),
+        GateSpec("sdg", 1, 0, is_diagonal=True),
+        GateSpec("t", 1, 0, is_diagonal=True),
+        GateSpec("tdg", 1, 0, is_diagonal=True),
+        GateSpec("sx", 1, 0),
+        GateSpec("sxdg", 1, 0),
+        GateSpec("rx", 1, 1),
+        GateSpec("ry", 1, 1),
+        GateSpec("rz", 1, 1, is_diagonal=True),
+        GateSpec("p", 1, 1, is_diagonal=True),
+        GateSpec("u", 1, 3),
+        GateSpec("cx", 2, 0, self_inverse=True),
+        GateSpec("cz", 2, 0, is_diagonal=True, self_inverse=True),
+        GateSpec("cp", 2, 1, is_diagonal=True),
+        GateSpec("crz", 2, 1, is_diagonal=True),
+        GateSpec("rzz", 2, 1, is_diagonal=True),
+        GateSpec("swap", 2, 0, self_inverse=True),
+        GateSpec("iswap", 2, 0),
+        GateSpec("ccx", 3, 0, self_inverse=True),
+        GateSpec("cswap", 3, 0, self_inverse=True),
+        GateSpec("measure", 1, 0),
+        GateSpec("reset", 1, 0),
+        GateSpec("barrier", 0, 0),
+    ]
+}
+
+#: The native basis of IBM superconducting backends during the study period.
+IBM_BASIS_GATES: Tuple[str, ...] = ("id", "rz", "sx", "x", "cx")
+
+#: Gates that are neither unitaries nor subject to basis translation.
+NON_UNITARY_OPERATIONS = frozenset({"measure", "reset", "barrier"})
+
+#: Two-qubit entangling gates (the paper's "CX metrics" generalise to these).
+TWO_QUBIT_GATES = frozenset(
+    name for name, spec in GATE_SPECS.items()
+    if spec.num_qubits == 2 and name not in NON_UNITARY_OPERATIONS
+)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A concrete gate: a name plus bound parameter values."""
+
+    name: str
+    params: Tuple[float, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        spec = GATE_SPECS.get(self.name)
+        if spec is None:
+            raise CircuitError(f"unknown gate {self.name!r}")
+        if len(self.params) != spec.num_params:
+            raise CircuitError(
+                f"gate {self.name!r} expects {spec.num_params} parameter(s), "
+                f"got {len(self.params)}"
+            )
+
+    @property
+    def spec(self) -> GateSpec:
+        return GATE_SPECS[self.name]
+
+    @property
+    def num_qubits(self) -> int:
+        return self.spec.num_qubits
+
+    @property
+    def is_two_qubit(self) -> bool:
+        return self.name in TWO_QUBIT_GATES
+
+    @property
+    def is_directive(self) -> bool:
+        """Whether this is a non-gate directive (barrier)."""
+        return self.name == "barrier"
+
+    def inverse(self) -> "Gate":
+        """Return the inverse gate where a simple closed form exists."""
+        if self.spec.self_inverse:
+            return self
+        inverses = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t",
+                    "sx": "sxdg", "sxdg": "sx"}
+        if self.name in inverses:
+            return Gate(inverses[self.name])
+        if self.name in {"rx", "ry", "rz", "p", "cp", "crz", "rzz"}:
+            return Gate(self.name, tuple(-p for p in self.params))
+        if self.name == "u":
+            theta, phi, lam = self.params
+            return Gate("u", (-theta, -lam, -phi))
+        raise CircuitError(f"no closed-form inverse for gate {self.name!r}")
+
+
+def is_basis_gate(name: str, basis: Sequence[str] = IBM_BASIS_GATES) -> bool:
+    """Whether ``name`` is directly executable in the given basis."""
+    return name in basis or name in NON_UNITARY_OPERATIONS
+
+
+# ---------------------------------------------------------------------------
+# Unitary matrices (used by the state-vector simulator and block consolidation)
+# ---------------------------------------------------------------------------
+
+_SQRT2_INV = 1.0 / math.sqrt(2.0)
+
+
+def _u_matrix(theta: float, phi: float, lam: float) -> np.ndarray:
+    cos = math.cos(theta / 2.0)
+    sin = math.sin(theta / 2.0)
+    return np.array(
+        [
+            [cos, -np.exp(1j * lam) * sin],
+            [np.exp(1j * phi) * sin, np.exp(1j * (phi + lam)) * cos],
+        ],
+        dtype=complex,
+    )
+
+
+def _controlled(matrix: np.ndarray) -> np.ndarray:
+    """Build the 2-qubit controlled version of a 1-qubit unitary."""
+    result = np.eye(4, dtype=complex)
+    result[2:, 2:] = matrix
+    return result
+
+
+def gate_matrix(gate: Gate) -> np.ndarray:
+    """Return the unitary matrix of ``gate``.
+
+    Raises:
+        CircuitError: for non-unitary operations (measure/reset/barrier).
+    """
+    name = gate.name
+    params = gate.params
+    if name in NON_UNITARY_OPERATIONS:
+        raise CircuitError(f"operation {name!r} has no unitary matrix")
+
+    if name == "id":
+        return np.eye(2, dtype=complex)
+    if name == "x":
+        return np.array([[0, 1], [1, 0]], dtype=complex)
+    if name == "y":
+        return np.array([[0, -1j], [1j, 0]], dtype=complex)
+    if name == "z":
+        return np.diag([1, -1]).astype(complex)
+    if name == "h":
+        return _SQRT2_INV * np.array([[1, 1], [1, -1]], dtype=complex)
+    if name == "s":
+        return np.diag([1, 1j]).astype(complex)
+    if name == "sdg":
+        return np.diag([1, -1j]).astype(complex)
+    if name == "t":
+        return np.diag([1, np.exp(1j * math.pi / 4)]).astype(complex)
+    if name == "tdg":
+        return np.diag([1, np.exp(-1j * math.pi / 4)]).astype(complex)
+    if name == "sx":
+        return 0.5 * np.array(
+            [[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=complex
+        )
+    if name == "sxdg":
+        return gate_matrix(Gate("sx")).conj().T
+    if name == "rx":
+        (theta,) = params
+        return _u_matrix(theta, -math.pi / 2, math.pi / 2)
+    if name == "ry":
+        (theta,) = params
+        return _u_matrix(theta, 0.0, 0.0)
+    if name == "rz":
+        (phi,) = params
+        return np.diag(
+            [np.exp(-1j * phi / 2), np.exp(1j * phi / 2)]
+        ).astype(complex)
+    if name == "p":
+        (phi,) = params
+        return np.diag([1, np.exp(1j * phi)]).astype(complex)
+    if name == "u":
+        return _u_matrix(*params)
+    if name == "cx":
+        return np.array(
+            [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]],
+            dtype=complex,
+        )
+    if name == "cz":
+        return np.diag([1, 1, 1, -1]).astype(complex)
+    if name == "cp":
+        (phi,) = params
+        return np.diag([1, 1, 1, np.exp(1j * phi)]).astype(complex)
+    if name == "crz":
+        (phi,) = params
+        return _controlled(gate_matrix(Gate("rz", (phi,))))
+    if name == "rzz":
+        (phi,) = params
+        phase = np.exp(-1j * phi / 2)
+        anti = np.exp(1j * phi / 2)
+        return np.diag([phase, anti, anti, phase]).astype(complex)
+    if name == "swap":
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]],
+            dtype=complex,
+        )
+    if name == "iswap":
+        return np.array(
+            [[1, 0, 0, 0], [0, 0, 1j, 0], [0, 1j, 0, 0], [0, 0, 0, 1]],
+            dtype=complex,
+        )
+    if name == "ccx":
+        matrix = np.eye(8, dtype=complex)
+        matrix[6, 6] = 0
+        matrix[7, 7] = 0
+        matrix[6, 7] = 1
+        matrix[7, 6] = 1
+        return matrix
+    if name == "cswap":
+        matrix = np.eye(8, dtype=complex)
+        matrix[[5, 6], :] = matrix[[6, 5], :]
+        return matrix
+    raise CircuitError(f"no matrix defined for gate {name!r}")

@@ -1,0 +1,279 @@
+"""Benchmark circuit generators.
+
+The paper's workloads are dominated by small NISQ-era benchmark circuits:
+the Quantum Fourier Transform (the paper's running example in Figures 5, 7
+and 12b), GHZ-state preparation, Bernstein-Vazirani, QAOA max-cut layers and
+hardware-efficient VQE ansatz circuits.  The synthetic trace generator picks
+from these families with family-specific size distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.exceptions import CircuitError
+from repro.core.rng import RandomSource
+
+
+def qft_circuit(num_qubits: int, include_swaps: bool = True,
+                measure: bool = True) -> QuantumCircuit:
+    """Quantum Fourier Transform on ``num_qubits`` qubits.
+
+    Built from Hadamards and controlled-phase gates; ``include_swaps`` adds
+    the final bit-reversal SWAP network, matching the textbook construction
+    that Qiskit's library uses.
+    """
+    if num_qubits < 1:
+        raise CircuitError("QFT needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for control in range(target + 1, num_qubits):
+            angle = math.pi / (2 ** (control - target))
+            circuit.cp(angle, control, target)
+    if include_swaps:
+        for low in range(num_qubits // 2):
+            circuit.swap(low, num_qubits - 1 - low)
+    if measure:
+        circuit.measure_all()
+    circuit.metadata["family"] = "qft"
+    return circuit
+
+
+def qft_echo_circuit(num_qubits: int, pattern: Optional[str] = None,
+                     measure: bool = True) -> QuantumCircuit:
+    """QFT fidelity benchmark: prepare a bit pattern, apply QFT then QFT^-1.
+
+    The ideal output is the prepared pattern itself, so the measured
+    Probability of Success is well defined — this is the form in which the
+    4-qubit QFT of Fig. 7 is evaluated on hardware.  A barrier separates the
+    forward and inverse transforms so the compiler does not cancel them.
+    """
+    if num_qubits < 1:
+        raise CircuitError("QFT echo needs at least one qubit")
+    if pattern is None:
+        pattern = ("10" * num_qubits)[:num_qubits]
+    if len(pattern) != num_qubits or any(b not in "01" for b in pattern):
+        raise CircuitError("pattern must be a binary string of circuit width")
+    circuit = QuantumCircuit(num_qubits, name=f"qft_echo_{num_qubits}")
+    for qubit, bit in enumerate(reversed(pattern)):
+        if bit == "1":
+            circuit.x(qubit)
+    circuit.barrier()
+    forward = qft_circuit(num_qubits, include_swaps=False, measure=False)
+    for instruction in forward.instructions:
+        circuit.append(instruction)
+    circuit.barrier()
+    for instruction in reversed(forward.instructions):
+        circuit.append(
+            type(instruction)(instruction.gate.inverse(), instruction.qubits,
+                              instruction.clbits)
+        )
+    if measure:
+        circuit.measure_all()
+    circuit.metadata["family"] = "qft_echo"
+    circuit.metadata["pattern"] = pattern
+    return circuit
+
+
+def ghz_circuit(num_qubits: int, measure: bool = True) -> QuantumCircuit:
+    """GHZ state preparation: H on qubit 0 followed by a CX chain."""
+    if num_qubits < 1:
+        raise CircuitError("GHZ needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"ghz_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    if measure:
+        circuit.measure_all()
+    circuit.metadata["family"] = "ghz"
+    return circuit
+
+
+def bernstein_vazirani_circuit(secret: str, measure: bool = True) -> QuantumCircuit:
+    """Bernstein-Vazirani circuit for a binary ``secret`` string.
+
+    The data register has ``len(secret)`` qubits plus one ancilla.
+    """
+    if not secret or any(bit not in "01" for bit in secret):
+        raise CircuitError("secret must be a non-empty binary string")
+    num_data = len(secret)
+    circuit = QuantumCircuit(num_data + 1, num_data, name=f"bv_{num_data}")
+    ancilla = num_data
+    circuit.x(ancilla)
+    circuit.h(ancilla)
+    for qubit in range(num_data):
+        circuit.h(qubit)
+    circuit.barrier()
+    for qubit, bit in enumerate(reversed(secret)):
+        if bit == "1":
+            circuit.cx(qubit, ancilla)
+    circuit.barrier()
+    for qubit in range(num_data):
+        circuit.h(qubit)
+    if measure:
+        for qubit in range(num_data):
+            circuit.measure(qubit, qubit)
+    circuit.metadata["family"] = "bv"
+    circuit.metadata["secret"] = secret
+    return circuit
+
+
+def bv_circuit(num_qubits: int, rng: Optional[RandomSource] = None,
+               measure: bool = True) -> QuantumCircuit:
+    """Bernstein-Vazirani with a random (or alternating) secret of given width."""
+    if num_qubits < 2:
+        raise CircuitError("bv_circuit needs at least 2 qubits (data + ancilla)")
+    num_data = num_qubits - 1
+    if rng is None:
+        secret = ("10" * num_data)[:num_data]
+    else:
+        secret = "".join("1" if rng.random() < 0.5 else "0" for _ in range(num_data))
+        if "1" not in secret:
+            secret = "1" + secret[1:]
+    return bernstein_vazirani_circuit(secret, measure=measure)
+
+
+def qaoa_maxcut_circuit(
+    num_qubits: int,
+    edges: Optional[Sequence[Tuple[int, int]]] = None,
+    num_layers: int = 1,
+    gamma: float = 0.7,
+    beta: float = 0.3,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """QAOA ansatz for max-cut on a graph (ring graph by default)."""
+    if num_qubits < 2:
+        raise CircuitError("QAOA needs at least two qubits")
+    if num_layers < 1:
+        raise CircuitError("QAOA needs at least one layer")
+    if edges is None:
+        edges = [(i, (i + 1) % num_qubits) for i in range(num_qubits)]
+    for a, b in edges:
+        if a == b or not (0 <= a < num_qubits and 0 <= b < num_qubits):
+            raise CircuitError(f"invalid edge ({a}, {b})")
+    circuit = QuantumCircuit(num_qubits, name=f"qaoa_{num_qubits}_p{num_layers}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for layer in range(num_layers):
+        for a, b in edges:
+            circuit.rzz(2.0 * gamma * (layer + 1) / num_layers, a, b)
+        for qubit in range(num_qubits):
+            circuit.rx(2.0 * beta * (layer + 1) / num_layers, qubit)
+    if measure:
+        circuit.measure_all()
+    circuit.metadata["family"] = "qaoa"
+    circuit.metadata["layers"] = num_layers
+    return circuit
+
+
+def vqe_ansatz_circuit(
+    num_qubits: int,
+    num_layers: int = 2,
+    parameters: Optional[Sequence[float]] = None,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """Hardware-efficient VQE ansatz: Ry/Rz rotation layers + linear CX entanglers."""
+    if num_qubits < 1:
+        raise CircuitError("VQE ansatz needs at least one qubit")
+    if num_layers < 1:
+        raise CircuitError("VQE ansatz needs at least one layer")
+    params_needed = 2 * num_qubits * (num_layers + 1)
+    if parameters is None:
+        parameters = [0.1 * (i + 1) for i in range(params_needed)]
+    if len(parameters) < params_needed:
+        raise CircuitError(
+            f"VQE ansatz needs {params_needed} parameters, got {len(parameters)}"
+        )
+    circuit = QuantumCircuit(num_qubits, name=f"vqe_{num_qubits}_l{num_layers}")
+    cursor = 0
+
+    def rotation_layer():
+        nonlocal cursor
+        for qubit in range(num_qubits):
+            circuit.ry(parameters[cursor], qubit)
+            circuit.rz(parameters[cursor + 1], qubit)
+            cursor += 2
+
+    rotation_layer()
+    for _ in range(num_layers):
+        for qubit in range(num_qubits - 1):
+            circuit.cx(qubit, qubit + 1)
+        rotation_layer()
+    if measure:
+        circuit.measure_all()
+    circuit.metadata["family"] = "vqe"
+    circuit.metadata["layers"] = num_layers
+    return circuit
+
+
+def random_circuit(
+    num_qubits: int,
+    depth: int,
+    rng: Optional[RandomSource] = None,
+    two_qubit_probability: float = 0.35,
+    measure: bool = True,
+) -> QuantumCircuit:
+    """A random circuit with roughly ``depth`` layers of mixed 1q/2q gates."""
+    if num_qubits < 1:
+        raise CircuitError("random circuit needs at least one qubit")
+    if depth < 0:
+        raise CircuitError("depth must be non-negative")
+    rng = rng or RandomSource(0, name="random_circuit")
+    one_qubit_gates = ["h", "x", "sx", "t", "s"]
+    circuit = QuantumCircuit(num_qubits, name=f"random_{num_qubits}x{depth}")
+    for _ in range(depth):
+        available = list(range(num_qubits))
+        rng.shuffle(available)
+        while available:
+            if (
+                len(available) >= 2
+                and num_qubits >= 2
+                and rng.random() < two_qubit_probability
+            ):
+                a = available.pop()
+                b = available.pop()
+                circuit.cx(a, b)
+            else:
+                qubit = available.pop()
+                name = rng.choice(one_qubit_gates)
+                if name in ("rx", "ry", "rz"):
+                    circuit.apply(name, [qubit], [rng.uniform(0, 2 * math.pi)])
+                else:
+                    circuit.apply(name, [qubit])
+    if measure:
+        circuit.measure_all()
+    circuit.metadata["family"] = "random"
+    return circuit
+
+
+#: Map from family name to a ``(num_qubits, rng) -> QuantumCircuit`` builder.
+CIRCUIT_FAMILIES: Dict[str, Callable[..., QuantumCircuit]] = {
+    "qft": lambda n, rng=None: qft_circuit(max(n, 1)),
+    "ghz": lambda n, rng=None: ghz_circuit(max(n, 1)),
+    "bv": lambda n, rng=None: bv_circuit(max(n, 2), rng=rng),
+    "qaoa": lambda n, rng=None: qaoa_maxcut_circuit(max(n, 2)),
+    "vqe": lambda n, rng=None: vqe_ansatz_circuit(max(n, 1)),
+    "random": lambda n, rng=None: random_circuit(
+        max(n, 1), depth=max(2, 2 * max(n, 1)), rng=rng
+    ),
+}
+
+
+def build_circuit(family: str, num_qubits: int,
+                  rng: Optional[RandomSource] = None) -> QuantumCircuit:
+    """Build a benchmark circuit by family name.
+
+    Raises:
+        CircuitError: if the family is unknown.
+    """
+    try:
+        builder = CIRCUIT_FAMILIES[family]
+    except KeyError:
+        raise CircuitError(
+            f"unknown circuit family {family!r}; "
+            f"known: {sorted(CIRCUIT_FAMILIES)}"
+        ) from None
+    return builder(num_qubits, rng=rng)

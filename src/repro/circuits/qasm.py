@@ -1,0 +1,125 @@
+"""Minimal OpenQASM 2 export / import.
+
+Jobs submitted to IBM Quantum during the study period were serialised as
+OpenQASM 2 programs.  The exporter here covers the gate vocabulary of
+:mod:`repro.circuits.gates`; the importer accepts the subset that the
+exporter produces (single quantum and classical register, no gate
+definitions), which is all the round-tripping the library needs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import GATE_SPECS
+from repro.core.exceptions import CircuitError
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+_INSTRUCTION_RE = re.compile(
+    r"^(?P<name>[a-z][a-z0-9]*)\s*"
+    r"(?:\((?P<params>[^)]*)\))?\s*"
+    r"(?P<args>[^;]+);$"
+)
+_QUBIT_RE = re.compile(r"q\[(\d+)\]")
+_CLBIT_RE = re.compile(r"c\[(\d+)\]")
+
+
+def _format_param(value: float) -> str:
+    return f"{value:.12g}"
+
+
+def to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialise ``circuit`` to an OpenQASM 2 string."""
+    lines: List[str] = [_HEADER.rstrip("\n")]
+    lines.append(f"qreg q[{max(circuit.num_qubits, 1)}];")
+    lines.append(f"creg c[{max(circuit.num_clbits, 1)}];")
+    for instruction in circuit.instructions:
+        name = instruction.name
+        qubits = ",".join(f"q[{q}]" for q in instruction.qubits)
+        if name == "measure":
+            (clbit,) = instruction.clbits
+            lines.append(f"measure {qubits} -> c[{clbit}];")
+            continue
+        if name == "barrier":
+            lines.append(f"barrier {qubits};")
+            continue
+        params = ""
+        if instruction.gate.params:
+            params = "(" + ",".join(
+                _format_param(p) for p in instruction.gate.params
+            ) + ")"
+        lines.append(f"{name}{params} {qubits};")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_register_declaration(line: str, keyword: str) -> int:
+    match = re.match(rf"^{keyword}\s+\w+\[(\d+)\];$", line)
+    if not match:
+        raise CircuitError(f"malformed register declaration: {line!r}")
+    return int(match.group(1))
+
+
+def from_qasm(text: str, name: str = "from_qasm") -> QuantumCircuit:
+    """Parse an OpenQASM 2 string produced by :func:`to_qasm`."""
+    num_qubits = 0
+    num_clbits = 0
+    body: List[Tuple[str, str]] = []
+    for raw_line in text.splitlines():
+        line = raw_line.split("//")[0].strip()
+        if not line:
+            continue
+        if line.startswith("OPENQASM") or line.startswith("include"):
+            continue
+        if line.startswith("qreg"):
+            num_qubits = _parse_register_declaration(line, "qreg")
+            continue
+        if line.startswith("creg"):
+            num_clbits = _parse_register_declaration(line, "creg")
+            continue
+        body.append((raw_line, line))
+
+    if num_qubits == 0:
+        raise CircuitError("QASM program declares no quantum register")
+    circuit = QuantumCircuit(num_qubits, num_clbits or num_qubits, name=name)
+
+    for raw_line, line in body:
+        if line.startswith("measure"):
+            qubit_match = _QUBIT_RE.search(line)
+            clbit_match = _CLBIT_RE.search(line)
+            if not qubit_match or not clbit_match:
+                raise CircuitError(f"malformed measure: {raw_line!r}")
+            circuit.measure(int(qubit_match.group(1)), int(clbit_match.group(1)))
+            continue
+        match = _INSTRUCTION_RE.match(line)
+        if not match:
+            raise CircuitError(f"cannot parse QASM line: {raw_line!r}")
+        gate_name = match.group("name")
+        if gate_name not in GATE_SPECS:
+            raise CircuitError(f"unsupported gate in QASM import: {gate_name!r}")
+        params: List[float] = []
+        if match.group("params"):
+            for token in match.group("params").split(","):
+                token = token.strip()
+                params.append(_evaluate_param(token))
+        qubits = [int(q) for q in _QUBIT_RE.findall(match.group("args"))]
+        if gate_name == "barrier":
+            circuit.barrier(*qubits)
+        else:
+            circuit.apply(gate_name, qubits, params)
+    return circuit
+
+
+def _evaluate_param(token: str) -> float:
+    """Evaluate a numeric QASM parameter, allowing simple ``pi`` expressions."""
+    import math
+
+    normalized = token.replace("pi", repr(math.pi))
+    if not re.fullmatch(r"[0-9eE()+\-*/. ]+", normalized):
+        raise CircuitError(f"unsupported parameter expression: {token!r}")
+    try:
+        return float(eval(normalized, {"__builtins__": {}}, {}))  # noqa: S307
+    except Exception as exc:  # pragma: no cover - defensive
+        raise CircuitError(f"cannot evaluate parameter {token!r}") from exc

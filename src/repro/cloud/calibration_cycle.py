@@ -1,0 +1,66 @@
+"""Calibration-crossover detection (Fig. 12a).
+
+A job is compiled against the machine's calibration at (or shortly before)
+submission time; if it only reaches the head of the queue after the next
+daily recalibration, the device-aware compilation decisions are stale.  The
+detector compares the calibration epoch at compile time against the epoch at
+execution-start time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cloud.job import Job
+from repro.core.exceptions import CloudError
+from repro.devices.backend import Backend
+
+
+@dataclass(frozen=True)
+class CrossoverRecord:
+    """Outcome of checking one job for a calibration crossover."""
+
+    job_id: str
+    backend_name: str
+    compile_epoch: int
+    execution_epoch: int
+
+    @property
+    def crossed(self) -> bool:
+        return self.execution_epoch > self.compile_epoch
+
+    @property
+    def epochs_stale(self) -> int:
+        return max(0, self.execution_epoch - self.compile_epoch)
+
+
+class CalibrationCrossoverDetector:
+    """Checks jobs for compile-vs-run calibration epoch mismatches."""
+
+    def __init__(self, fleet: Dict[str, Backend]):
+        self._fleet = dict(fleet)
+
+    def check(self, job: Job, compile_time: Optional[float] = None) -> CrossoverRecord:
+        """Classify one finished (or at least started) job."""
+        backend = self._fleet.get(job.backend_name)
+        if backend is None:
+            raise CloudError(f"unknown backend {job.backend_name!r}")
+        if job.start_time is None:
+            raise CloudError("job has not started; cannot check crossover")
+        compiled_at = compile_time if compile_time is not None else job.submit_time
+        model = backend.calibration_model
+        return CrossoverRecord(
+            job_id=job.job_id,
+            backend_name=job.backend_name,
+            compile_epoch=model.epoch_for_time(compiled_at),
+            execution_epoch=model.epoch_for_time(job.start_time),
+        )
+
+    def crossover_fraction(self, jobs: List[Job]) -> float:
+        """Fraction of jobs whose execution crossed a calibration boundary."""
+        checked = [self.check(job) for job in jobs if job.start_time is not None]
+        if not checked:
+            return 0.0
+        crossed = sum(1 for record in checked if record.crossed)
+        return crossed / len(checked)

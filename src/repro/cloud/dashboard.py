@@ -1,0 +1,121 @@
+"""A client-facing dashboard over the simulated cloud.
+
+Mirrors what the IBM Quantum dashboard showed users during the study period:
+per-machine status (qubits, access, pending jobs, average CX/readout error
+of the current calibration) plus helpers for the two questions users ask
+before submitting — "which machine is least busy?" and "which machine is
+best calibrated right now?".  The workload generator's queue-dodging and
+fidelity-seeking user classes are modelled on exactly this information.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cloud.backlog import ExternalLoadModel
+from repro.cloud.service import QuantumCloudService
+from repro.core.exceptions import CloudError
+from repro.devices.backend import Backend
+
+
+@dataclass(frozen=True)
+class MachineStatus:
+    """One row of the dashboard."""
+
+    machine: str
+    qubits: int
+    access: str
+    online: bool
+    pending_jobs: float
+    average_cx_error: float
+    average_readout_error: float
+    basis_gates: tuple
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "machine": self.machine,
+            "qubits": self.qubits,
+            "access": self.access,
+            "online": self.online,
+            "pending_jobs": round(self.pending_jobs, 1),
+            "average_cx_error": self.average_cx_error,
+            "average_readout_error": self.average_readout_error,
+            "basis_gates": ",".join(self.basis_gates),
+        }
+
+
+class CloudDashboard:
+    """Read-only view over a fleet (optionally backed by a live service)."""
+
+    def __init__(self, fleet: Dict[str, Backend],
+                 service: Optional[QuantumCloudService] = None, seed: int = 0):
+        if not fleet:
+            raise CloudError("dashboard needs at least one machine")
+        self.fleet = dict(fleet)
+        self.service = service
+        self._load_models = {
+            name: ExternalLoadModel(backend=backend, seed=seed)
+            for name, backend in self.fleet.items()
+        }
+
+    def _pending_jobs(self, name: str, at_time: float) -> float:
+        if self.service is not None:
+            return self.service.pending_jobs_estimate(name, at_time)
+        return self._load_models[name].mean_pending_jobs(at_time)
+
+    def status(self, at_time: float = 0.0,
+               month_index: Optional[int] = None) -> List[MachineStatus]:
+        """Dashboard rows for every machine, sorted by size then name."""
+        rows: List[MachineStatus] = []
+        for name, backend in self.fleet.items():
+            calibration = backend.calibration_at(at_time)
+            online = True
+            if month_index is not None:
+                online = backend.is_online_in_month(month_index)
+            rows.append(MachineStatus(
+                machine=name,
+                qubits=backend.num_qubits,
+                access=backend.access.value,
+                online=online,
+                pending_jobs=self._pending_jobs(name, at_time),
+                average_cx_error=calibration.average_cx_error(),
+                average_readout_error=calibration.average_readout_error(),
+                basis_gates=tuple(backend.basis_gates),
+            ))
+        return sorted(rows, key=lambda r: (r.qubits, r.machine))
+
+    def least_busy(self, at_time: float = 0.0, min_qubits: int = 1,
+                   public_only: bool = False) -> MachineStatus:
+        """The machine with the fewest pending jobs that satisfies the filters."""
+        candidates = [
+            row for row in self.status(at_time)
+            if row.qubits >= min_qubits
+            and (not public_only or row.access == "public")
+        ]
+        if not candidates:
+            raise CloudError(
+                f"no machine with at least {min_qubits} qubits matches the filter"
+            )
+        return min(candidates, key=lambda r: (r.pending_jobs, r.machine))
+
+    def best_calibrated(self, at_time: float = 0.0,
+                        min_qubits: int = 1) -> MachineStatus:
+        """The machine with the lowest average CX error among those that fit."""
+        candidates = [row for row in self.status(at_time)
+                      if row.qubits >= min_qubits]
+        if not candidates:
+            raise CloudError(
+                f"no machine with at least {min_qubits} qubits is available"
+            )
+        hardware = [row for row in candidates
+                    if not self.fleet[row.machine].is_simulator]
+        pool = hardware or candidates
+        return min(pool, key=lambda r: (r.average_cx_error, r.machine))
+
+    def render(self, at_time: float = 0.0) -> str:
+        """Plain-text dashboard table."""
+        from repro.analysis.report import render_table
+
+        rows = [row.as_dict() for row in self.status(at_time)]
+        return render_table("quantum cloud dashboard", rows)

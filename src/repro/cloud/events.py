@@ -1,0 +1,99 @@
+"""A minimal discrete-event simulation engine.
+
+The cloud service schedules job state transitions (validation complete, run
+start, run end) as events on a single global clock.  The engine is a plain
+priority queue with deterministic tie-breaking by insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.exceptions import CloudError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """Time-ordered event queue with a monotonically advancing clock."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._now = float(start_time)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(self, time: float, callback: Callable[[], None],
+                 label: str = "") -> Event:
+        """Schedule ``callback`` at absolute ``time`` (>= current clock)."""
+        if time < self._now - 1e-9:
+            raise CloudError(
+                f"cannot schedule an event at {time} before the current "
+                f"clock {self._now}"
+            )
+        event = Event(time=max(time, self._now), sequence=next(self._counter),
+                      callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(self, delay: float, callback: Callable[[], None],
+                       label: str = "") -> Event:
+        if delay < 0:
+            raise CloudError("delay must be non-negative")
+        return self.schedule(self._now + delay, callback, label)
+
+    def step(self) -> Optional[Event]:
+        """Run the next pending event; returns it (or None when empty)."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            return event
+        return None
+
+    def run_until(self, time: float) -> int:
+        """Run events up to and including ``time``; returns how many ran."""
+        executed = 0
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if head.time > time:
+                break
+            self.step()
+            executed += 1
+        self._now = max(self._now, time)
+        return executed
+
+    def run_all(self, max_events: int = 10_000_000) -> int:
+        """Drain the queue completely; returns how many events ran."""
+        executed = 0
+        while self.step() is not None:
+            executed += 1
+            if executed > max_events:
+                raise CloudError("event budget exceeded; possible scheduling loop")
+        return executed

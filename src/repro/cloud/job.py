@@ -1,0 +1,159 @@
+"""Job and result objects.
+
+Terminology follows Section II-B of the paper: a *job* encapsulates a batch
+of circuits submitted together to one machine; each circuit is executed for
+a number of *shots*; the *results* are per-circuit bitstring counts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.exceptions import CloudError
+from repro.core.types import JobStatus
+
+_JOB_COUNTER = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Structural description of one circuit inside a job.
+
+    The cloud simulator and the analysis layer work from these structural
+    features (the same features the paper's runtime predictor uses), not
+    from full instruction lists, which keeps two-year traces lightweight.
+    """
+
+    name: str
+    width: int
+    depth: int
+    num_gates: int
+    cx_count: int
+    cx_depth: int
+    family: str = "unknown"
+
+    def __post_init__(self):
+        if self.width < 1:
+            raise CloudError("circuit width must be at least 1 qubit")
+        if self.depth < 0 or self.num_gates < 0:
+            raise CloudError("circuit depth and gate count must be non-negative")
+        if self.cx_count < 0 or self.cx_depth < 0:
+            raise CloudError("CX metrics must be non-negative")
+
+
+def circuit_spec_from_circuit(circuit, family: Optional[str] = None) -> CircuitSpec:
+    """Build a :class:`CircuitSpec` from a :class:`~repro.circuits.QuantumCircuit`."""
+    summary = circuit.summary()
+    return CircuitSpec(
+        name=str(summary["name"]),
+        width=int(summary["width"]),
+        depth=int(summary["depth"]),
+        num_gates=int(summary["num_gates"]),
+        cx_count=int(summary["cx_count"]),
+        cx_depth=int(summary["cx_depth"]),
+        family=str(family or circuit.metadata.get("family", "unknown")),
+    )
+
+
+@dataclass
+class Job:
+    """A batch of circuits submitted to one machine."""
+
+    provider: str
+    backend_name: str
+    circuits: List[CircuitSpec]
+    shots: int
+    submit_time: float
+    compile_seconds: float = 0.0
+    job_id: str = field(default_factory=lambda: f"job-{next(_JOB_COUNTER):06d}")
+    status: JobStatus = JobStatus.INITIALIZING
+    queue_enter_time: Optional[float] = None
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    pending_ahead: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.circuits:
+            raise CloudError("a job must contain at least one circuit")
+        if self.shots < 1:
+            raise CloudError("shots must be at least 1")
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.circuits)
+
+    @property
+    def total_trials(self) -> int:
+        """Total machine trials contributed by the job (batch x shots)."""
+        return self.batch_size * self.shots
+
+    @property
+    def max_width(self) -> int:
+        return max(spec.width for spec in self.circuits)
+
+    @property
+    def mean_depth(self) -> float:
+        return sum(spec.depth for spec in self.circuits) / self.batch_size
+
+    @property
+    def total_gates(self) -> int:
+        return sum(spec.num_gates for spec in self.circuits)
+
+    @property
+    def total_cx(self) -> int:
+        return sum(spec.cx_count for spec in self.circuits)
+
+    @property
+    def queue_seconds(self) -> Optional[float]:
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def run_seconds(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def mark_queued(self, time: float) -> None:
+        self.status = JobStatus.QUEUED
+        self.queue_enter_time = time
+
+    def mark_running(self, time: float) -> None:
+        self.status = JobStatus.RUNNING
+        self.start_time = time
+
+    def mark_finished(self, time: float, status: JobStatus) -> None:
+        if not status.is_terminal:
+            raise CloudError(f"{status} is not a terminal status")
+        self.status = status
+        self.end_time = time
+
+
+@dataclass
+class JobResult:
+    """Classical results returned to the client once a job completes."""
+
+    job_id: str
+    backend_name: str
+    status: JobStatus
+    per_circuit_counts: List[Dict[str, int]] = field(default_factory=list)
+    queue_seconds: float = 0.0
+    run_seconds: float = 0.0
+
+    @property
+    def success(self) -> bool:
+        return self.status is JobStatus.DONE
+
+    def counts(self, index: int = 0) -> Dict[str, int]:
+        if not self.per_circuit_counts:
+            raise CloudError("job returned no counts")
+        if not 0 <= index < len(self.per_circuit_counts):
+            raise CloudError(
+                f"circuit index {index} out of range "
+                f"({len(self.per_circuit_counts)} circuits)"
+            )
+        return self.per_circuit_counts[index]

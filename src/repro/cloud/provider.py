@@ -1,0 +1,51 @@
+"""Providers (hubs/groups) and access privileges.
+
+IBM Quantum organises users into providers; the open (public) provider has a
+small fair-share weight while paid/academic hubs have larger shares and
+access to privileged machines.  The study's jobs came through a mix of both
+(Fig. 3 caption).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.exceptions import CloudError
+from repro.core.types import AccessLevel
+
+
+@dataclass(frozen=True)
+class Provider:
+    """A hub/group/project through which jobs are submitted."""
+
+    name: str
+    access: AccessLevel
+    fair_share: float = 1.0
+
+    def __post_init__(self):
+        if self.fair_share <= 0:
+            raise CloudError("fair_share must be positive")
+
+    @property
+    def can_use_privileged(self) -> bool:
+        return self.access is AccessLevel.PRIVILEGED
+
+    def allowed_machines(self, fleet: Dict[str, object]) -> List[str]:
+        """Names of machines this provider may target."""
+        allowed = []
+        for name, backend in fleet.items():
+            is_public = getattr(backend, "is_public", True)
+            if is_public or self.can_use_privileged:
+                allowed.append(name)
+        return sorted(allowed)
+
+
+#: Providers used by the synthetic study trace: an open/public project plus a
+#: privileged academic hub, mirroring the paper's "mix of public and
+#: privileged jobs".
+DEFAULT_PROVIDERS: Dict[str, Provider] = {
+    "open": Provider(name="open", access=AccessLevel.PUBLIC, fair_share=1.0),
+    "academic-hub": Provider(name="academic-hub", access=AccessLevel.PRIVILEGED,
+                             fair_share=3.0),
+}

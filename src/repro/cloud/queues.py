@@ -1,0 +1,129 @@
+"""Per-machine job queues: FIFO and fair-share.
+
+IBM Quantum orders pending jobs with a fair-share algorithm so no provider
+can monopolise a system (Section II-B, definition 5): the next job to run is
+taken from the provider that has consumed the least machine time relative to
+its share.  Within a provider, jobs run in submission order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cloud.job import Job
+from repro.core.exceptions import CloudError
+
+
+@dataclass(order=True)
+class QueuedEntry:
+    """A job waiting in a machine queue."""
+
+    sort_key: float
+    sequence: int
+    job: Job = field(compare=False)
+
+
+class FifoQueue:
+    """Plain first-in-first-out queue."""
+
+    def __init__(self):
+        self._entries: List[QueuedEntry] = []
+        self._sequence = 0
+
+    def push(self, job: Job, now: float) -> None:
+        self._entries.append(QueuedEntry(now, self._sequence, job))
+        self._sequence += 1
+
+    def pop(self, now: float) -> Job:
+        if not self._entries:
+            raise CloudError("queue is empty")
+        entry = min(self._entries, key=lambda e: (e.sort_key, e.sequence))
+        self._entries.remove(entry)
+        return entry.job
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def peek_jobs(self) -> List[Job]:
+        return [e.job for e in sorted(self._entries,
+                                      key=lambda e: (e.sort_key, e.sequence))]
+
+
+class FairShareQueue:
+    """Fair-share queue across providers.
+
+    Each provider has a *share*; the scheduler tracks machine seconds
+    consumed per provider and always serves the provider with the smallest
+    ``consumed / share`` ratio that has a pending job.  This reproduces the
+    paper's observation that completion order is not submission order.
+    """
+
+    def __init__(self, shares: Optional[Dict[str, float]] = None,
+                 default_share: float = 1.0):
+        if default_share <= 0:
+            raise CloudError("default_share must be positive")
+        self._shares: Dict[str, float] = dict(shares or {})
+        self._default_share = default_share
+        self._consumed: Dict[str, float] = {}
+        self._pending: Dict[str, List[QueuedEntry]] = {}
+        self._sequence = 0
+
+    def set_share(self, provider: str, share: float) -> None:
+        if share <= 0:
+            raise CloudError("share must be positive")
+        self._shares[provider] = share
+
+    def share_of(self, provider: str) -> float:
+        return self._shares.get(provider, self._default_share)
+
+    def push(self, job: Job, now: float) -> None:
+        entry = QueuedEntry(now, self._sequence, job)
+        self._sequence += 1
+        self._pending.setdefault(job.provider, []).append(entry)
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._pending.values())
+
+    def pending_providers(self) -> List[str]:
+        return sorted(p for p, entries in self._pending.items() if entries)
+
+    def _priority(self, provider: str) -> float:
+        return self._consumed.get(provider, 0.0) / self.share_of(provider)
+
+    def pop(self, now: float) -> Job:
+        """Pop the next job according to fair-share ordering."""
+        candidates = self.pending_providers()
+        if not candidates:
+            raise CloudError("queue is empty")
+        provider = min(candidates, key=lambda p: (self._priority(p), p))
+        entries = self._pending[provider]
+        entry = min(entries, key=lambda e: (e.sort_key, e.sequence))
+        entries.remove(entry)
+        return entry.job
+
+    def record_usage(self, provider: str, machine_seconds: float) -> None:
+        """Charge consumed machine time to a provider after a job runs."""
+        if machine_seconds < 0:
+            raise CloudError("machine_seconds must be non-negative")
+        self._consumed[provider] = self._consumed.get(provider, 0.0) + machine_seconds
+
+    def consumed(self, provider: str) -> float:
+        return self._consumed.get(provider, 0.0)
+
+    def peek_jobs(self) -> List[Job]:
+        """All pending jobs in (approximate) service order."""
+        ordered: List[Job] = []
+        snapshot = {p: list(e) for p, e in self._pending.items()}
+        consumed = dict(self._consumed)
+        while any(snapshot.values()):
+            provider = min(
+                (p for p, entries in snapshot.items() if entries),
+                key=lambda p: (consumed.get(p, 0.0) / self.share_of(p), p),
+            )
+            entries = snapshot[provider]
+            entry = min(entries, key=lambda e: (e.sort_key, e.sequence))
+            entries.remove(entry)
+            ordered.append(entry.job)
+            consumed[provider] = consumed.get(provider, 0.0) + 60.0
+        return ordered

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the reproduction library.
+
+Every package raises a subclass of :class:`ReproError` so callers can catch
+library-originated failures with a single ``except`` clause while still being
+able to discriminate the subsystem that failed.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the reproduction library."""
+
+
+class CircuitError(ReproError):
+    """Raised for invalid circuit construction or manipulation."""
+
+
+class TranspilerError(ReproError):
+    """Raised when a transpiler pass cannot complete."""
+
+
+class DeviceError(ReproError):
+    """Raised for invalid device, topology or calibration requests."""
+
+
+class CloudError(ReproError):
+    """Raised by the cloud simulator (submission, queueing, execution)."""
+
+
+class WorkloadError(ReproError):
+    """Raised by workload/trace generation utilities."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the trace-analysis layer."""
+
+
+class PredictionError(ReproError):
+    """Raised by the runtime/queue prediction models."""

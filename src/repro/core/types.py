@@ -1,0 +1,73 @@
+"""Shared enums describing job, access and machine classifications.
+
+The vocabulary mirrors the terminology section of the paper (Section II-B):
+jobs move through a queue into execution and finish in a terminal status of
+``DONE``, ``ERROR`` or ``CANCELLED``; machines are either publicly accessible
+or reserved for privileged (paid / hub) access.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle status of a job submitted to the quantum cloud."""
+
+    INITIALIZING = "INITIALIZING"
+    QUEUED = "QUEUED"
+    VALIDATING = "VALIDATING"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    ERROR = "ERROR"
+    CANCELLED = "CANCELLED"
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether the status is final (the job will not change further)."""
+        return self in TERMINAL_STATUSES
+
+    @property
+    def is_successful(self) -> bool:
+        """Whether the job completed execution on the machine.
+
+        Note that, as the paper stresses, ``DONE`` only means the job ran to
+        completion; it says nothing about the fidelity of the results.
+        """
+        return self is JobStatus.DONE
+
+
+TERMINAL_STATUSES = frozenset(
+    {JobStatus.DONE, JobStatus.ERROR, JobStatus.CANCELLED}
+)
+
+
+class AccessLevel(enum.Enum):
+    """Access class of a machine on the quantum cloud."""
+
+    PUBLIC = "public"
+    PRIVILEGED = "privileged"
+
+    @property
+    def is_public(self) -> bool:
+        return self is AccessLevel.PUBLIC
+
+
+class MachineGeneration(enum.Enum):
+    """Coarse processor family, used to group machines by size/technology."""
+
+    CANARY = "canary"          # 1-5 qubits
+    FALCON_SMALL = "falcon_small"    # 5-7 qubits
+    FALCON_MEDIUM = "falcon_medium"  # 16-27 qubits
+    HUMMINGBIRD = "hummingbird"      # 53-65 qubits
+
+    @classmethod
+    def for_qubit_count(cls, num_qubits: int) -> "MachineGeneration":
+        """Classify a machine by its number of qubits."""
+        if num_qubits <= 5:
+            return cls.CANARY
+        if num_qubits <= 7:
+            return cls.FALCON_SMALL
+        if num_qubits <= 28:
+            return cls.FALCON_MEDIUM
+        return cls.HUMMINGBIRD

@@ -1,0 +1,57 @@
+"""Time-unit helpers.
+
+All simulator timestamps are kept in seconds (floats) from an arbitrary
+epoch; the analysis layer converts to minutes/hours/days when reproducing the
+paper's figures, which are reported in minutes.
+"""
+
+from __future__ import annotations
+
+MINUTE_SECONDS = 60.0
+HOUR_SECONDS = 60.0 * MINUTE_SECONDS
+DAY_SECONDS = 24.0 * HOUR_SECONDS
+
+
+def seconds_to_minutes(seconds: float) -> float:
+    """Convert seconds to minutes."""
+    return seconds / MINUTE_SECONDS
+
+
+def minutes_to_seconds(minutes: float) -> float:
+    """Convert minutes to seconds."""
+    return minutes * MINUTE_SECONDS
+
+
+def hours_to_seconds(hours: float) -> float:
+    """Convert hours to seconds."""
+    return hours * HOUR_SECONDS
+
+
+def days_to_seconds(days: float) -> float:
+    """Convert days to seconds."""
+    return days * DAY_SECONDS
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration in a compact human-readable form.
+
+    >>> format_duration(42)
+    '42.0s'
+    >>> format_duration(3600 * 2 + 120)
+    '2h02m'
+    """
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < MINUTE_SECONDS:
+        return f"{seconds:.1f}s"
+    if seconds < HOUR_SECONDS:
+        minutes = int(seconds // MINUTE_SECONDS)
+        rem = int(seconds % MINUTE_SECONDS)
+        return f"{minutes}m{rem:02d}s"
+    if seconds < DAY_SECONDS:
+        hours = int(seconds // HOUR_SECONDS)
+        rem = int((seconds % HOUR_SECONDS) // MINUTE_SECONDS)
+        return f"{hours}h{rem:02d}m"
+    days = int(seconds // DAY_SECONDS)
+    rem = int((seconds % DAY_SECONDS) // HOUR_SECONDS)
+    return f"{days}d{rem:02d}h"

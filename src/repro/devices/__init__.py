@@ -1,0 +1,69 @@
+"""Device model: topologies, calibration data and the IBM machine catalog.
+
+The paper's machine-side analyses (Figures 6-10, 12, 13) depend on three
+device properties we model explicitly:
+
+* **Topology** — coupling maps and the bisection bandwidth metric (Fig. 6).
+* **Calibration** — per-qubit/per-gate error rates and coherence times with
+  spatial variation, daily recalibration and intra-day drift (Fig. 7, 12).
+* **Catalog** — the named fleet of 25 IBM machines in the study, with their
+  qubit counts, access level and processor family (Figures 8-10, 13).
+"""
+
+from repro.devices.topology import (
+    CouplingMap,
+    line_topology,
+    ring_topology,
+    grid_topology,
+    t_topology,
+    bowtie_topology,
+    falcon_topology,
+    hummingbird_topology,
+    heavy_hex_topology,
+    star_topology,
+    fully_connected_topology,
+)
+from repro.devices.calibration import (
+    GateCalibration,
+    QubitCalibration,
+    CalibrationSnapshot,
+    CalibrationModel,
+    DriftModel,
+)
+from repro.devices.backend import Backend
+from repro.devices.catalog import (
+    MachineSpec,
+    MACHINE_SPECS,
+    MACHINE_NAMES,
+    build_backend,
+    build_fleet,
+    fleet_in_study,
+    fake_large_backend,
+)
+
+__all__ = [
+    "CouplingMap",
+    "line_topology",
+    "ring_topology",
+    "grid_topology",
+    "t_topology",
+    "bowtie_topology",
+    "falcon_topology",
+    "hummingbird_topology",
+    "heavy_hex_topology",
+    "star_topology",
+    "fully_connected_topology",
+    "GateCalibration",
+    "QubitCalibration",
+    "CalibrationSnapshot",
+    "CalibrationModel",
+    "DriftModel",
+    "Backend",
+    "MachineSpec",
+    "MACHINE_SPECS",
+    "MACHINE_NAMES",
+    "build_backend",
+    "build_fleet",
+    "fleet_in_study",
+    "fake_large_backend",
+]

@@ -1,0 +1,311 @@
+"""Catalog of the IBM Quantum machines covered by the study.
+
+The paper's fleet spans 25 machines from 1 to 65 qubits (plus the hosted
+``ibmq_qasm_simulator``).  For each machine we record its qubit count, a
+topology constructor approximating its real coupling map, its access level
+(public vs privileged/paid), a baseline calibration quality, the month of the
+two-year window in which it came online, and a *demand weight* that captures
+how popular the machine was (public machines carry 10-100x the demand of
+comparable privileged machines — Fig. 9).
+
+Exact coupling maps of retired devices are not all publicly archived; the
+approximations preserve qubit count, degree distribution and bisection
+bandwidth, which is what the analyses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.exceptions import DeviceError
+from repro.core.types import AccessLevel
+from repro.devices.backend import Backend
+from repro.devices.calibration import CalibrationModel, CalibrationProfile
+from repro.devices.topology import (
+    CouplingMap,
+    bowtie_topology,
+    falcon_topology,
+    fully_connected_topology,
+    grid_topology,
+    hummingbird_topology,
+    line_topology,
+    t_topology,
+)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of one machine in the study fleet."""
+
+    name: str
+    num_qubits: int
+    topology_factory: Callable[[], CouplingMap]
+    access: AccessLevel
+    #: relative share of submitted jobs routed to this machine by user choice
+    demand_weight: float
+    #: median two-qubit error of a fresh calibration (machine quality)
+    median_cx_error: float = 1.2e-2
+    #: fixed per-job overhead (seconds); grows with machine size
+    base_overhead_seconds: float = 20.0
+    is_simulator: bool = False
+    online_since_month: int = 0
+    retired_after_month: Optional[int] = None
+
+    def build_topology(self) -> CouplingMap:
+        topology = self.topology_factory()
+        if topology.num_qubits != self.num_qubits:
+            raise DeviceError(
+                f"topology for {self.name} has {topology.num_qubits} qubits, "
+                f"expected {self.num_qubits}"
+            )
+        return topology
+
+
+def _melbourne_topology() -> CouplingMap:
+    """15-qubit ladder approximating ibmq_16_melbourne."""
+    edges = []
+    top = list(range(0, 7))
+    bottom = list(range(7, 14))
+    for i in range(6):
+        edges.append((top[i], top[i + 1]))
+        edges.append((bottom[i], bottom[i + 1]))
+    for i in range(7):
+        edges.append((top[i], bottom[6 - i] if i < 7 else bottom[i]))
+    edges.append((13, 14))
+    edges.append((6, 14))
+    return CouplingMap(15, sorted(set(tuple(sorted(e)) for e in edges)))
+
+
+def _tokyo_topology() -> CouplingMap:
+    """20-qubit grid with diagonals approximating ibmq_20_tokyo et al."""
+    base = grid_topology(4, 5)
+    edges = list(base.edges)
+    extra = [(1, 7), (3, 9), (5, 11), (8, 12), (11, 17), (13, 19)]
+    edges.extend(extra)
+    return CouplingMap(20, sorted(set(tuple(sorted(e)) for e in edges)))
+
+
+def _simulator_topology() -> CouplingMap:
+    return fully_connected_topology(32)
+
+
+#: Study window: month 0 = January 2019 ... month 27 = April 2021.
+STUDY_MONTHS = 28
+
+MACHINE_SPECS: Dict[str, MachineSpec] = {
+    spec.name: spec
+    for spec in [
+        # 1-qubit
+        MachineSpec("ibmq_armonk", 1, lambda: line_topology(1),
+                    AccessLevel.PUBLIC, demand_weight=1.0,
+                    median_cx_error=0.0, base_overhead_seconds=10.0,
+                    online_since_month=9),
+        # 5-qubit public (canary / falcon r4)
+        MachineSpec("ibmqx2", 5, bowtie_topology, AccessLevel.PUBLIC,
+                    demand_weight=6.0, median_cx_error=2.2e-2,
+                    base_overhead_seconds=12.0, online_since_month=0),
+        MachineSpec("ibmqx4", 5, bowtie_topology, AccessLevel.PUBLIC,
+                    demand_weight=2.0, median_cx_error=2.6e-2,
+                    base_overhead_seconds=12.0, online_since_month=0,
+                    retired_after_month=10),
+        MachineSpec("ibmq_ourense", 5, t_topology, AccessLevel.PUBLIC,
+                    demand_weight=5.0, median_cx_error=1.1e-2,
+                    base_overhead_seconds=12.0, online_since_month=5,
+                    retired_after_month=24),
+        MachineSpec("ibmq_vigo", 5, t_topology, AccessLevel.PUBLIC,
+                    demand_weight=5.0, median_cx_error=1.0e-2,
+                    base_overhead_seconds=12.0, online_since_month=5,
+                    retired_after_month=24),
+        MachineSpec("ibmq_valencia", 5, t_topology, AccessLevel.PUBLIC,
+                    demand_weight=4.0, median_cx_error=1.2e-2,
+                    base_overhead_seconds=12.0, online_since_month=6,
+                    retired_after_month=24),
+        MachineSpec("ibmq_london", 5, t_topology, AccessLevel.PUBLIC,
+                    demand_weight=3.5, median_cx_error=1.3e-2,
+                    base_overhead_seconds=12.0, online_since_month=6,
+                    retired_after_month=22),
+        MachineSpec("ibmq_burlington", 5, t_topology, AccessLevel.PUBLIC,
+                    demand_weight=3.0, median_cx_error=1.5e-2,
+                    base_overhead_seconds=12.0, online_since_month=6,
+                    retired_after_month=22),
+        MachineSpec("ibmq_essex", 5, t_topology, AccessLevel.PUBLIC,
+                    demand_weight=3.0, median_cx_error=1.4e-2,
+                    base_overhead_seconds=12.0, online_since_month=6,
+                    retired_after_month=22),
+        MachineSpec("ibmq_athens", 5, lambda: line_topology(5),
+                    AccessLevel.PUBLIC, demand_weight=10.0,
+                    median_cx_error=8.5e-3, base_overhead_seconds=12.0,
+                    online_since_month=16),
+        MachineSpec("ibmq_santiago", 5, lambda: line_topology(5),
+                    AccessLevel.PUBLIC, demand_weight=8.0,
+                    median_cx_error=7.5e-3, base_overhead_seconds=12.0,
+                    online_since_month=18),
+        MachineSpec("ibmq_lima", 5, t_topology, AccessLevel.PUBLIC,
+                    demand_weight=6.0, median_cx_error=9.5e-3,
+                    base_overhead_seconds=12.0, online_since_month=24),
+        MachineSpec("ibmq_belem", 5, t_topology, AccessLevel.PUBLIC,
+                    demand_weight=6.0, median_cx_error=1.0e-2,
+                    base_overhead_seconds=12.0, online_since_month=24),
+        MachineSpec("ibmq_quito", 5, t_topology, AccessLevel.PUBLIC,
+                    demand_weight=5.0, median_cx_error=1.0e-2,
+                    base_overhead_seconds=12.0, online_since_month=25),
+        # 5-qubit privileged (falcon r4L)
+        MachineSpec("ibmq_rome", 5, lambda: line_topology(5),
+                    AccessLevel.PRIVILEGED, demand_weight=1.2,
+                    median_cx_error=8.0e-3, base_overhead_seconds=12.0,
+                    online_since_month=15),
+        MachineSpec("ibmq_bogota", 5, lambda: line_topology(5),
+                    AccessLevel.PRIVILEGED, demand_weight=1.2,
+                    median_cx_error=7.8e-3, base_overhead_seconds=12.0,
+                    online_since_month=18),
+        # 7-16 qubits
+        MachineSpec("ibmq_casablanca", 7, lambda: falcon_topology(7),
+                    AccessLevel.PRIVILEGED, demand_weight=1.5,
+                    median_cx_error=9.0e-3, base_overhead_seconds=15.0,
+                    online_since_month=19),
+        MachineSpec("ibmq_guadalupe", 16, lambda: falcon_topology(16),
+                    AccessLevel.PRIVILEGED, demand_weight=1.2,
+                    median_cx_error=1.0e-2, base_overhead_seconds=18.0,
+                    online_since_month=22),
+        MachineSpec("ibmq_16_melbourne", 15, _melbourne_topology,
+                    AccessLevel.PUBLIC, demand_weight=7.0,
+                    median_cx_error=2.4e-2, base_overhead_seconds=18.0,
+                    online_since_month=0),
+        # 20-qubit privileged
+        MachineSpec("ibmq_20_tokyo", 20, _tokyo_topology,
+                    AccessLevel.PRIVILEGED, demand_weight=1.0,
+                    median_cx_error=1.8e-2, base_overhead_seconds=22.0,
+                    online_since_month=0, retired_after_month=9),
+        MachineSpec("ibmq_poughkeepsie", 20, _tokyo_topology,
+                    AccessLevel.PRIVILEGED, demand_weight=0.9,
+                    median_cx_error=1.7e-2, base_overhead_seconds=22.0,
+                    online_since_month=0, retired_after_month=15),
+        MachineSpec("ibmq_johannesburg", 20, _tokyo_topology,
+                    AccessLevel.PRIVILEGED, demand_weight=1.0,
+                    median_cx_error=1.5e-2, base_overhead_seconds=22.0,
+                    online_since_month=4, retired_after_month=20),
+        MachineSpec("ibmq_boeblingen", 20, _tokyo_topology,
+                    AccessLevel.PRIVILEGED, demand_weight=1.0,
+                    median_cx_error=1.4e-2, base_overhead_seconds=22.0,
+                    online_since_month=6, retired_after_month=22),
+        # 27-qubit falcon
+        MachineSpec("ibmq_paris", 27, lambda: falcon_topology(27),
+                    AccessLevel.PRIVILEGED, demand_weight=2.0,
+                    median_cx_error=1.1e-2, base_overhead_seconds=26.0,
+                    online_since_month=15),
+        MachineSpec("ibmq_toronto", 27, lambda: falcon_topology(27),
+                    AccessLevel.PRIVILEGED, demand_weight=2.2,
+                    median_cx_error=1.2e-2, base_overhead_seconds=26.0,
+                    online_since_month=18),
+        # 53-65 qubit hummingbird
+        MachineSpec("ibmq_rochester", 53, lambda: hummingbird_topology(53),
+                    AccessLevel.PRIVILEGED, demand_weight=0.8,
+                    median_cx_error=3.4e-2, base_overhead_seconds=32.0,
+                    online_since_month=9, retired_after_month=22),
+        MachineSpec("ibmq_manhattan", 65, lambda: hummingbird_topology(65),
+                    AccessLevel.PRIVILEGED, demand_weight=1.8,
+                    median_cx_error=2.4e-2, base_overhead_seconds=38.0,
+                    online_since_month=20),
+        # hosted simulator
+        MachineSpec("ibmq_qasm_simulator", 32, _simulator_topology,
+                    AccessLevel.PUBLIC, demand_weight=2.0,
+                    median_cx_error=0.0, base_overhead_seconds=6.0,
+                    is_simulator=True, online_since_month=0),
+    ]
+}
+
+MACHINE_NAMES: List[str] = sorted(MACHINE_SPECS)
+
+
+def build_backend(name: str, seed: int = 0) -> Backend:
+    """Instantiate the :class:`Backend` for a named machine in the catalog."""
+    try:
+        spec = MACHINE_SPECS[name]
+    except KeyError:
+        raise DeviceError(
+            f"unknown machine {name!r}; known machines: {MACHINE_NAMES}"
+        ) from None
+    topology = spec.build_topology()
+    # Readout errors historically degrade with machine size (larger devices of
+    # the study window had noticeably worse measurement fidelity).
+    readout_error = 2.2e-2 * (1.0 + topology.num_qubits / 50.0)
+    profile = CalibrationProfile(
+        median_cx_error=max(spec.median_cx_error, 1e-6),
+        median_readout_error=readout_error,
+    )
+    if spec.is_simulator:
+        profile = CalibrationProfile(
+            median_cx_error=1e-6, median_sx_error=1e-7,
+            median_readout_error=1e-6, cx_error_cov=0.0,
+            coherence_cov=0.0, readout_cov=0.0, daily_jitter_sigma=0.0,
+        )
+    calibration = CalibrationModel(
+        machine=name, coupling_map=topology, profile=profile, seed=seed,
+    )
+    overhead_scale = 1.0 + 0.35 * (topology.num_qubits / 65.0)
+    return Backend(
+        name=name,
+        coupling_map=topology,
+        calibration_model=calibration,
+        access=spec.access,
+        is_simulator=spec.is_simulator,
+        base_overhead_seconds=spec.base_overhead_seconds,
+        per_circuit_overhead_seconds=1.2 + 0.02 * topology.num_qubits,
+        per_shot_seconds=1.8e-3 * overhead_scale,
+        online_since_month=spec.online_since_month,
+        retired_after_month=spec.retired_after_month,
+        metadata={"demand_weight": spec.demand_weight},
+    )
+
+
+def build_fleet(names: Optional[Sequence[str]] = None,
+                seed: int = 0) -> Dict[str, Backend]:
+    """Build backends for the requested machines (default: the whole catalog)."""
+    selected = list(names) if names is not None else MACHINE_NAMES
+    return {name: build_backend(name, seed=seed) for name in selected}
+
+
+def fleet_in_study(seed: int = 0, include_simulator: bool = True) -> Dict[str, Backend]:
+    """The full study fleet keyed by machine name."""
+    fleet = build_fleet(seed=seed)
+    if not include_simulator:
+        fleet = {k: v for k, v in fleet.items() if not v.is_simulator}
+    return fleet
+
+
+def fake_large_backend(num_qubits: int = 1000, seed: int = 0,
+                       name: Optional[str] = None) -> Backend:
+    """A fake large device (e.g. 1000 qubits) for the Fig. 5 compile-scaling study.
+
+    The topology is a heavy-hex-like sparse lattice sized to ``num_qubits``.
+    """
+    from repro.devices.topology import heavy_hex_topology
+
+    if num_qubits < 2:
+        raise DeviceError("fake large backend needs at least 2 qubits")
+    cols = max(2, int(round((num_qubits / 5) ** 0.5 * 2.3)))
+    rows = max(2, (num_qubits + cols - 1) // cols)
+    lattice = heavy_hex_topology(rows, cols)
+    # Trim to exactly num_qubits by keeping the first num_qubits nodes.
+    edges = [(a, b) for a, b in lattice.edges if a < num_qubits and b < num_qubits]
+    topology = CouplingMap(num_qubits, edges)
+    if not topology.is_connected_graph():
+        stitched = list(edges)
+        stitched.extend((i, i + 1) for i in range(num_qubits - 1))
+        topology = CouplingMap(num_qubits, sorted(set(stitched)))
+    backend_name = name or f"fake_{num_qubits}q"
+    calibration = CalibrationModel(
+        machine=backend_name, coupling_map=topology,
+        profile=CalibrationProfile(), seed=seed,
+    )
+    return Backend(
+        name=backend_name,
+        coupling_map=topology,
+        calibration_model=calibration,
+        access=AccessLevel.PRIVILEGED,
+        base_overhead_seconds=60.0,
+        per_circuit_overhead_seconds=2.0,
+        per_shot_seconds=4.0e-4,
+        metadata={"demand_weight": 0.0, "fake": True},
+    )

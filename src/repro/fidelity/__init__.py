@@ -1,0 +1,32 @@
+"""Fidelity estimation: Probability of Success and CX metrics.
+
+Fig. 7 of the paper correlates the measured Probability of Success (POS) of
+a 4-qubit QFT with four compile-time CX metrics (CX-Depth, CX-Total and each
+multiplied by the average CX error).  This package provides:
+
+* :mod:`repro.fidelity.metrics` — the CX metrics of a compiled circuit
+  against a calibration snapshot.
+* :mod:`repro.fidelity.estimator` — the Estimated Success Probability
+  (product of gate/readout success probabilities with a decoherence term).
+* :mod:`repro.fidelity.statevector` — an exact state-vector simulator for
+  small circuits (reference outputs).
+* :mod:`repro.fidelity.sampler` — a noisy sampler that produces measured
+  counts and a POS estimate, standing in for real-hardware runs.
+"""
+
+from repro.fidelity.metrics import CxMetrics, compute_cx_metrics
+from repro.fidelity.estimator import SuccessEstimate, estimate_success_probability
+from repro.fidelity.statevector import StatevectorSimulator, ideal_distribution
+from repro.fidelity.sampler import NoisySampler, SampledResult, measure_probability_of_success
+
+__all__ = [
+    "CxMetrics",
+    "compute_cx_metrics",
+    "SuccessEstimate",
+    "estimate_success_probability",
+    "StatevectorSimulator",
+    "ideal_distribution",
+    "NoisySampler",
+    "SampledResult",
+    "measure_probability_of_success",
+]

@@ -1,0 +1,138 @@
+"""Estimated Success Probability (ESP).
+
+The standard NISQ-era fidelity proxy: the probability that *no* gate or
+readout error occurs during one shot, times a decoherence factor for the
+time the qubits spend idling relative to their coherence times.
+
+``ESP = prod(1 - e_g)  *  prod(1 - e_ro)  *  exp(-t_exec / T_eff)``
+
+This is the quantity the paper's Fig. 7 labels "POS (%)"; on real hardware
+it is measured, here it is estimated from the compiled circuit and the
+calibration snapshot — which preserves the correlation with the CX metrics
+that the figure demonstrates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import NON_UNITARY_OPERATIONS, TWO_QUBIT_GATES
+from repro.devices.calibration import CalibrationSnapshot
+from repro.fidelity.metrics import CxMetrics, compute_cx_metrics
+
+#: Default single-qubit gate duration (ns) when the calibration lacks it.
+SINGLE_QUBIT_GATE_NS = 35.0
+
+
+@dataclass(frozen=True)
+class SuccessEstimate:
+    """ESP of a compiled circuit on a machine, with its components."""
+
+    probability: float
+    gate_factor: float
+    readout_factor: float
+    decoherence_factor: float
+    estimated_duration_us: float
+    cx_metrics: CxMetrics
+
+    def as_dict(self) -> Dict[str, float]:
+        result = {
+            "probability": self.probability,
+            "gate_factor": self.gate_factor,
+            "readout_factor": self.readout_factor,
+            "decoherence_factor": self.decoherence_factor,
+            "estimated_duration_us": self.estimated_duration_us,
+        }
+        result.update(self.cx_metrics.as_dict())
+        return result
+
+
+def estimate_success_probability(
+    circuit: QuantumCircuit,
+    calibration: CalibrationSnapshot,
+) -> SuccessEstimate:
+    """Estimate the probability of success of a compiled circuit.
+
+    The circuit must already be expressed on physical qubits (post layout
+    and routing) so per-edge CX errors and per-qubit readout errors apply.
+    """
+    gate_success = 1.0
+    duration_ns_per_qubit: Dict[int, float] = {}
+    measured_qubits: Set[int] = set()
+
+    for instruction in circuit.instructions:
+        name = instruction.name
+        if name == "barrier":
+            continue
+        if name == "measure":
+            measured_qubits.update(instruction.qubits)
+            continue
+        if name == "reset":
+            for qubit in instruction.qubits:
+                duration_ns_per_qubit[qubit] = (
+                    duration_ns_per_qubit.get(qubit, 0.0) + 4 * SINGLE_QUBIT_GATE_NS
+                )
+            continue
+        if name in TWO_QUBIT_GATES:
+            a, b = instruction.qubits
+            if calibration.has_gate(a, b):
+                gate = calibration.gate(a, b)
+                error = gate.error
+                duration = gate.duration_ns
+            else:
+                error = calibration.average_cx_error()
+                duration = 2.5 * SINGLE_QUBIT_GATE_NS * 10
+            # SWAPs cost three CX executions when not native.
+            multiplier = 3 if name == "swap" else 1
+            gate_success *= (1.0 - error) ** multiplier
+            for qubit in (a, b):
+                duration_ns_per_qubit[qubit] = (
+                    duration_ns_per_qubit.get(qubit, 0.0) + duration * multiplier
+                )
+        else:
+            (qubit,) = instruction.qubits
+            error = calibration.qubit(qubit).single_qubit_error
+            gate_success *= (1.0 - error)
+            duration_ns_per_qubit[qubit] = (
+                duration_ns_per_qubit.get(qubit, 0.0) + SINGLE_QUBIT_GATE_NS
+            )
+
+    if not measured_qubits:
+        # Unmeasured circuits: readout applies to every active qubit.
+        measured_qubits = {
+            q for instr in circuit.instructions
+            if instr.name not in NON_UNITARY_OPERATIONS
+            for q in instr.qubits
+        }
+
+    readout_success = 1.0
+    for qubit in measured_qubits:
+        readout_success *= (1.0 - calibration.qubit(qubit).readout_error)
+
+    # Decoherence: the critical-path duration compared to the effective
+    # coherence time of the qubits actually used.
+    active_qubits = set(duration_ns_per_qubit) | measured_qubits
+    critical_ns = max(duration_ns_per_qubit.values(), default=0.0)
+    if active_qubits:
+        t_effective_us = min(
+            min(calibration.qubit(q).t1_us, calibration.qubit(q).t2_us)
+            for q in active_qubits
+        )
+    else:
+        t_effective_us = calibration.average_t1_us()
+    critical_us = critical_ns / 1000.0
+    decoherence = math.exp(-critical_us / t_effective_us) if t_effective_us > 0 else 0.0
+
+    probability = gate_success * readout_success * decoherence
+    metrics = compute_cx_metrics(circuit, calibration)
+    return SuccessEstimate(
+        probability=probability,
+        gate_factor=gate_success,
+        readout_factor=readout_success,
+        decoherence_factor=decoherence,
+        estimated_duration_us=critical_us,
+        cx_metrics=metrics,
+    )

@@ -1,0 +1,79 @@
+"""Compile-time CX metrics (Section IV-B / Fig. 7 of the paper).
+
+For a circuit *compiled for a specific machine*, four quantities are
+computed:
+
+* ``cx_depth``  — depth of the critical path counted in 2-qubit gates,
+* ``cx_total``  — total number of 2-qubit gates,
+* ``cx_depth_x_error`` — CX-Depth x average CX error of the gates used,
+* ``cx_total_x_error`` — CX-Total x average CX error of the gates used.
+
+The paper's observation is that POS decreases as these metrics increase and
+that they can therefore guide machine selection at compile time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.devices.calibration import CalibrationSnapshot
+
+
+@dataclass(frozen=True)
+class CxMetrics:
+    """The four CX metrics of a compiled circuit on a machine."""
+
+    cx_depth: int
+    cx_total: int
+    average_cx_error: float
+    cx_depth_x_error: float
+    cx_total_x_error: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "cx_depth": float(self.cx_depth),
+            "cx_total": float(self.cx_total),
+            "average_cx_error": self.average_cx_error,
+            "cx_depth_x_error": self.cx_depth_x_error,
+            "cx_total_x_error": self.cx_total_x_error,
+        }
+
+
+def compute_cx_metrics(circuit: QuantumCircuit,
+                       calibration: Optional[CalibrationSnapshot] = None) -> CxMetrics:
+    """Compute CX metrics of a (physical, routed) circuit.
+
+    Args:
+        circuit: a compiled circuit whose qubit indices are physical qubits.
+        calibration: calibration snapshot of the target machine; if omitted
+            the error-weighted metrics use an error of zero.
+    """
+    cx_depth = circuit.cx_depth
+    two_qubit_instructions = circuit.two_qubit_instructions()
+    cx_total = len(two_qubit_instructions)
+
+    if calibration is None or cx_total == 0:
+        average_error = 0.0
+    else:
+        total_error = 0.0
+        counted = 0
+        for instruction in two_qubit_instructions:
+            a, b = instruction.qubits
+            if calibration.has_gate(a, b):
+                total_error += calibration.gate(a, b).error
+                counted += 1
+            else:
+                # Unrouted gate: charge the machine-average CX error.
+                total_error += calibration.average_cx_error()
+                counted += 1
+        average_error = total_error / counted if counted else 0.0
+
+    return CxMetrics(
+        cx_depth=cx_depth,
+        cx_total=cx_total,
+        average_cx_error=average_error,
+        cx_depth_x_error=cx_depth * average_error,
+        cx_total_x_error=cx_total * average_error,
+    )

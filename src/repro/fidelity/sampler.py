@@ -1,0 +1,132 @@
+"""Noisy sampling: the stand-in for running a circuit on real hardware.
+
+Given a *logical* reference circuit (to define the ideal outcome), the
+*compiled* physical circuit, and a calibration snapshot, the sampler draws
+``shots`` measurement outcomes from a mixture of the ideal distribution (with
+probability ESP) and an error distribution (readout bit-flips applied to
+ideal samples, plus a uniform tail).  The measured Probability of Success is
+the probability mass the sampled counts place on the ideal circuit's most
+likely outcomes — the quantity plotted as "POS (%)" in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.exceptions import CircuitError
+from repro.core.rng import RandomSource
+from repro.devices.calibration import CalibrationSnapshot
+from repro.fidelity.estimator import SuccessEstimate, estimate_success_probability
+from repro.fidelity.statevector import StatevectorSimulator, ideal_distribution
+
+
+@dataclass
+class SampledResult:
+    """Counts measured by the noisy sampler plus derived statistics."""
+
+    counts: Dict[str, int]
+    shots: int
+    probability_of_success: float
+    estimate: SuccessEstimate
+
+    def top_outcome(self) -> str:
+        return max(self.counts, key=self.counts.get)
+
+
+class NoisySampler:
+    """Samples measurement outcomes of a compiled circuit under noise."""
+
+    def __init__(self, seed: int = 0, uniform_error_fraction: float = 0.35):
+        """
+        Args:
+            seed: RNG seed.
+            uniform_error_fraction: of the error mass, the fraction that is
+                spread uniformly (depolarising-like); the rest is modelled as
+                readout bit flips on ideal samples.
+        """
+        if not 0.0 <= uniform_error_fraction <= 1.0:
+            raise CircuitError("uniform_error_fraction must be in [0, 1]")
+        self._rng = RandomSource(seed, name="noisy_sampler")
+        self.uniform_error_fraction = uniform_error_fraction
+        self._simulator = StatevectorSimulator()
+
+    def sample(
+        self,
+        logical_circuit: QuantumCircuit,
+        compiled_circuit: QuantumCircuit,
+        calibration: CalibrationSnapshot,
+        shots: int = 1024,
+    ) -> SampledResult:
+        """Draw ``shots`` outcomes and measure the probability of success."""
+        if shots < 1:
+            raise CircuitError("shots must be positive")
+        estimate = estimate_success_probability(compiled_circuit, calibration)
+        ideal = ideal_distribution(logical_circuit.without_measurements(),
+                                   self._simulator)
+        width = logical_circuit.num_qubits
+        outcomes = list(ideal)
+        probabilities = np.array([ideal[o] for o in outcomes])
+        probabilities = probabilities / probabilities.sum()
+
+        esp = min(max(estimate.probability, 0.0), 1.0)
+        generator = self._rng.generator
+        counts: Dict[str, int] = {}
+        ideal_draws = generator.binomial(shots, esp)
+        error_draws = shots - ideal_draws
+
+        if ideal_draws > 0:
+            sampled = generator.choice(len(outcomes), size=ideal_draws, p=probabilities)
+            for index in sampled:
+                key = outcomes[int(index)]
+                counts[key] = counts.get(key, 0) + 1
+        if error_draws > 0:
+            uniform_draws = generator.binomial(error_draws, self.uniform_error_fraction)
+            flip_draws = error_draws - uniform_draws
+            for _ in range(uniform_draws):
+                value = int(generator.integers(0, 2 ** width))
+                key = format(value, f"0{width}b")
+                counts[key] = counts.get(key, 0) + 1
+            if flip_draws > 0:
+                base_samples = generator.choice(len(outcomes), size=flip_draws,
+                                                p=probabilities)
+                flip_probability = max(calibration.average_readout_error(), 0.02)
+                for index in base_samples:
+                    bits = list(outcomes[int(index)])
+                    for position in range(width):
+                        if generator.random() < flip_probability * 3:
+                            bits[position] = "1" if bits[position] == "0" else "0"
+                    key = "".join(bits)
+                    counts[key] = counts.get(key, 0) + 1
+
+        # Probability of success: histogram intersection between the measured
+        # frequencies and the ideal distribution.  Equals the fraction of
+        # shots landing on the correct answer when the ideal output is a
+        # single bitstring, and generalises smoothly to spread distributions.
+        pos = 0.0
+        if shots:
+            for outcome, ideal_probability in ideal.items():
+                measured = counts.get(outcome, 0) / shots
+                pos += min(measured, ideal_probability)
+        return SampledResult(
+            counts=counts,
+            shots=shots,
+            probability_of_success=pos,
+            estimate=estimate,
+        )
+
+
+def measure_probability_of_success(
+    logical_circuit: QuantumCircuit,
+    compiled_circuit: QuantumCircuit,
+    calibration: CalibrationSnapshot,
+    shots: int = 2048,
+    seed: int = 0,
+) -> float:
+    """Convenience wrapper returning just the measured POS."""
+    sampler = NoisySampler(seed=seed)
+    result = sampler.sample(logical_circuit, compiled_circuit, calibration, shots)
+    return result.probability_of_success

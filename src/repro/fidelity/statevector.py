@@ -1,0 +1,133 @@
+"""Exact state-vector simulation of small circuits.
+
+Used to establish the *ideal* output distribution of a benchmark circuit so
+that the noisy sampler can measure a Probability of Success (the fraction of
+shots landing on the ideal dominant outcome), exactly as one would do when
+running the 4-qubit QFT of Fig. 7 on hardware.
+
+The simulator is deliberately simple (dense state vector, gate-by-gate
+application) and is bounded to a moderate number of qubits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import gate_matrix
+from repro.core.exceptions import CircuitError
+from repro.core.rng import RandomSource
+
+#: Hard cap to keep memory bounded (2^20 amplitudes ~ 16 MB complex128).
+MAX_SIMULATED_QUBITS = 20
+
+
+class StatevectorSimulator:
+    """Dense state-vector simulator for circuits up to ~20 qubits."""
+
+    def __init__(self, max_qubits: int = MAX_SIMULATED_QUBITS):
+        self.max_qubits = max_qubits
+
+    def run(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Return the final state vector of ``circuit`` (measurements ignored)."""
+        if circuit.num_qubits > self.max_qubits:
+            raise CircuitError(
+                f"state-vector simulation limited to {self.max_qubits} qubits, "
+                f"circuit has {circuit.num_qubits}"
+            )
+        num_qubits = circuit.num_qubits
+        state = np.zeros(2 ** num_qubits, dtype=complex)
+        state[0] = 1.0
+        for instruction in circuit.instructions:
+            name = instruction.name
+            if name in ("measure", "barrier"):
+                continue
+            if name == "reset":
+                state = _apply_reset(state, instruction.qubits[0], num_qubits)
+                continue
+            matrix = gate_matrix(instruction.gate)
+            state = _apply_gate(state, matrix, instruction.qubits, num_qubits)
+        return state
+
+    def probabilities(self, circuit: QuantumCircuit) -> np.ndarray:
+        """Measurement probabilities over computational basis states."""
+        state = self.run(circuit)
+        return np.abs(state) ** 2
+
+    def counts(self, circuit: QuantumCircuit, shots: int,
+               rng: Optional[RandomSource] = None) -> Dict[str, int]:
+        """Sample ideal measurement counts (bitstrings keyed little-endian)."""
+        if shots < 1:
+            raise CircuitError("shots must be positive")
+        probabilities = self.probabilities(circuit)
+        rng = rng or RandomSource(0, name="statevector_counts")
+        outcomes = rng.generator.choice(
+            len(probabilities), size=shots, p=probabilities / probabilities.sum()
+        )
+        counts: Dict[str, int] = {}
+        width = circuit.num_qubits
+        for outcome in outcomes:
+            key = format(int(outcome), f"0{width}b")
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+
+def _apply_gate(state: np.ndarray, matrix: np.ndarray,
+                qubits: Tuple[int, ...], num_qubits: int) -> np.ndarray:
+    """Apply a k-qubit gate matrix to the state vector.
+
+    Qubit 0 is the least-significant bit of the basis-state index.
+    """
+    k = len(qubits)
+    if matrix.shape != (2 ** k, 2 ** k):
+        raise CircuitError("gate matrix size does not match its qubit count")
+    # Reshape into a tensor with one axis per qubit; axis i corresponds to
+    # qubit (num_qubits - 1 - i) because numpy reshape is big-endian.
+    tensor = state.reshape([2] * num_qubits)
+    axes = [num_qubits - 1 - q for q in qubits]
+    tensor = np.moveaxis(tensor, axes, range(k))
+    shaped = tensor.reshape(2 ** k, -1)
+    shaped = matrix @ shaped
+    tensor = shaped.reshape([2] * k + [2] * (num_qubits - k))
+    tensor = np.moveaxis(tensor, range(k), axes)
+    return tensor.reshape(2 ** num_qubits)
+
+
+def _apply_reset(state: np.ndarray, qubit: int, num_qubits: int) -> np.ndarray:
+    """Send ``qubit`` to |0> (deterministic reset model).
+
+    If the |0> branch has non-zero probability the state is projected onto it
+    and renormalised; otherwise the |1> branch amplitude is moved to |0>
+    (equivalent to measure-then-flip).
+    """
+    tensor = state.reshape([2] * num_qubits).copy()
+    axis = num_qubits - 1 - qubit
+    tensor = np.moveaxis(tensor, axis, 0)
+    zero_norm = np.linalg.norm(tensor[0, ...])
+    if zero_norm > 1e-12:
+        tensor[1, ...] = 0.0
+        tensor = tensor / zero_norm
+    else:
+        tensor[0, ...] = tensor[1, ...]
+        tensor[1, ...] = 0.0
+        norm = np.linalg.norm(tensor)
+        if norm > 0:
+            tensor = tensor / norm
+    tensor = np.moveaxis(tensor, 0, axis)
+    return tensor.reshape(2 ** num_qubits)
+
+
+def ideal_distribution(circuit: QuantumCircuit,
+                       simulator: Optional[StatevectorSimulator] = None,
+                       threshold: float = 1e-9) -> Dict[str, float]:
+    """Ideal output distribution of ``circuit`` as {bitstring: probability}."""
+    simulator = simulator or StatevectorSimulator()
+    probabilities = simulator.probabilities(circuit)
+    width = circuit.num_qubits
+    return {
+        format(index, f"0{width}b"): float(p)
+        for index, p in enumerate(probabilities)
+        if p > threshold
+    }

@@ -1,0 +1,110 @@
+"""Error metrics for the runtime-prediction study.
+
+The paper evaluates its predictor with the Pearson correlation (Fig. 15) and
+argues, for the worst machine, that the *absolute* errors are small even
+where the correlation looks poor (Fig. 16 / Vigo).  This module supplies the
+absolute-error side of that argument: MAE, RMSE, MAPE and a per-machine
+evaluation table computed from a fitted study's held-out predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.exceptions import PredictionError
+from repro.prediction.runtime_model import MachinePredictionResult
+
+
+def mean_absolute_error(actual: Sequence[float], predicted: Sequence[float]) -> float:
+    """MAE in the same units as the inputs (minutes for runtimes)."""
+    actual_array, predicted_array = _validate(actual, predicted)
+    return float(np.mean(np.abs(actual_array - predicted_array)))
+
+
+def root_mean_squared_error(actual: Sequence[float],
+                            predicted: Sequence[float]) -> float:
+    """RMSE in the same units as the inputs."""
+    actual_array, predicted_array = _validate(actual, predicted)
+    return float(np.sqrt(np.mean((actual_array - predicted_array) ** 2)))
+
+
+def mean_absolute_percentage_error(actual: Sequence[float],
+                                   predicted: Sequence[float]) -> float:
+    """MAPE over the samples with non-zero actual values (as a fraction)."""
+    actual_array, predicted_array = _validate(actual, predicted)
+    mask = np.abs(actual_array) > 1e-12
+    if not np.any(mask):
+        raise PredictionError("MAPE undefined: every actual value is zero")
+    return float(np.mean(
+        np.abs((actual_array[mask] - predicted_array[mask]) / actual_array[mask])
+    ))
+
+
+def _validate(actual: Sequence[float], predicted: Sequence[float]):
+    actual_array = np.asarray(actual, dtype=float)
+    predicted_array = np.asarray(predicted, dtype=float)
+    if actual_array.size == 0:
+        raise PredictionError("cannot evaluate an empty prediction set")
+    if actual_array.shape != predicted_array.shape:
+        raise PredictionError("actual and predicted must have the same length")
+    return actual_array, predicted_array
+
+
+@dataclass(frozen=True)
+class PredictionErrorReport:
+    """Absolute-error view of one machine's held-out predictions."""
+
+    machine: str
+    samples: int
+    correlation: float
+    mae_minutes: float
+    rmse_minutes: float
+    mape: float
+    actual_range_minutes: float
+
+    @property
+    def relative_mae(self) -> float:
+        """MAE relative to the machine's runtime range (the Fig. 16 argument)."""
+        if self.actual_range_minutes <= 0:
+            return 0.0
+        return self.mae_minutes / self.actual_range_minutes
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "machine": self.machine,
+            "samples": float(self.samples),
+            "correlation": self.correlation,
+            "mae_minutes": self.mae_minutes,
+            "rmse_minutes": self.rmse_minutes,
+            "mape": self.mape,
+            "actual_range_minutes": self.actual_range_minutes,
+            "relative_mae": self.relative_mae,
+        }
+
+
+def evaluate_study(results: Mapping[str, MachinePredictionResult]
+                   ) -> Dict[str, PredictionErrorReport]:
+    """Build per-machine absolute-error reports from a fitted study."""
+    if not results:
+        raise PredictionError("the prediction study produced no results")
+    reports: Dict[str, PredictionErrorReport] = {}
+    for machine, result in results.items():
+        actual = result.test_actual_minutes
+        predicted = result.test_predicted_minutes
+        if not actual or len(actual) != len(predicted):
+            continue
+        reports[machine] = PredictionErrorReport(
+            machine=machine,
+            samples=len(actual),
+            correlation=result.full_model_correlation,
+            mae_minutes=mean_absolute_error(actual, predicted),
+            rmse_minutes=root_mean_squared_error(actual, predicted),
+            mape=mean_absolute_percentage_error(actual, predicted),
+            actual_range_minutes=float(max(actual) - min(actual)),
+        )
+    if not reports:
+        raise PredictionError("no machine in the study had held-out predictions")
+    return reports

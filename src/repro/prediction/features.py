@@ -1,0 +1,67 @@
+"""Feature extraction for the runtime-prediction model.
+
+Section VI-C studies seven features, added cumulatively in Fig. 15:
+batch size, number of shots, circuit depth, circuit width, total gate
+operations, memory slots required, and machine size (qubits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import PredictionError
+from repro.workloads.trace import JobRecord, TraceDataset
+
+#: Feature order used throughout the prediction study (Fig. 15's legend).
+FEATURE_NAMES: Tuple[str, ...] = (
+    "batch_size",
+    "shots",
+    "depth",
+    "width",
+    "gate_ops",
+    "memory_slots",
+    "machine_qubits",
+)
+
+#: The cumulative feature sets of Fig. 15: "Batch", "+Shots", "+Depth", ...
+CUMULATIVE_FEATURE_SETS: Tuple[Tuple[str, ...], ...] = tuple(
+    FEATURE_NAMES[: i + 1] for i in range(len(FEATURE_NAMES))
+)
+
+
+def feature_vector(record: JobRecord) -> Dict[str, float]:
+    """The full feature dictionary of one job."""
+    return {
+        "batch_size": float(record.batch_size),
+        "shots": float(record.shots),
+        "depth": float(record.circuit_depth),
+        "width": float(record.circuit_width),
+        "gate_ops": float(record.circuit_gates),
+        "memory_slots": float(record.memory_slots),
+        "machine_qubits": float(record.machine_qubits),
+    }
+
+
+def feature_matrix(trace: TraceDataset,
+                   features: Sequence[str] = FEATURE_NAMES
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """Build (X, y) where y is the job run time in minutes.
+
+    Jobs without a run time (cancelled before running) are excluded.
+    """
+    unknown = [f for f in features if f not in FEATURE_NAMES]
+    if unknown:
+        raise PredictionError(f"unknown features: {unknown}")
+    rows: List[List[float]] = []
+    targets: List[float] = []
+    for record in trace:
+        if record.run_minutes is None or record.run_minutes <= 0:
+            continue
+        vector = feature_vector(record)
+        rows.append([vector[name] for name in features])
+        targets.append(record.run_minutes)
+    if not rows:
+        raise PredictionError("trace has no completed jobs with run times")
+    return np.asarray(rows, dtype=float), np.asarray(targets, dtype=float)

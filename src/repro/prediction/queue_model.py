@@ -1,0 +1,111 @@
+"""Queue-wait prediction.
+
+The paper's recommendation 5 (Section V-E) calls for research on predicting
+queuing times with quantitative confidence levels, citing the HPC literature
+on bound prediction.  This module implements a pragmatic baseline: an
+empirical per-machine quantile predictor conditioned on the pending-job
+count observed at submission, which is exactly the information a client can
+see on the IBM dashboard before submitting.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import PredictionError
+from repro.workloads.trace import JobRecord, TraceDataset
+
+
+@dataclass(frozen=True)
+class QueuePrediction:
+    """Point estimate plus a confidence interval for a queue wait (minutes)."""
+
+    machine: str
+    expected_minutes: float
+    lower_minutes: float
+    upper_minutes: float
+    confidence: float
+    based_on_jobs: int
+
+    def contains(self, observed_minutes: float) -> bool:
+        return self.lower_minutes <= observed_minutes <= self.upper_minutes
+
+
+class QueueTimePredictor:
+    """Empirical quantile predictor of queue waits per machine.
+
+    Training groups historical jobs by machine and by coarse pending-load
+    bucket; prediction returns the median and a central confidence interval
+    of the matching bucket (falling back to the whole machine history when a
+    bucket is empty).
+    """
+
+    #: pending-job bucket edges (jobs ahead at submission)
+    BUCKET_EDGES: Tuple[int, ...] = (0, 5, 20, 50, 100, 250, 1000)
+
+    def __init__(self, confidence: float = 0.8):
+        if not 0 < confidence < 1:
+            raise PredictionError("confidence must be in (0, 1)")
+        self.confidence = confidence
+        self._history: Dict[str, Dict[int, List[float]]] = {}
+        self._machine_history: Dict[str, List[float]] = {}
+
+    # -- training -------------------------------------------------------------------
+
+    def fit(self, trace: TraceDataset) -> "QueueTimePredictor":
+        for record in trace:
+            if record.queue_minutes is None:
+                continue
+            bucket = self._bucket_for(record.pending_ahead)
+            per_machine = self._history.setdefault(record.machine, {})
+            per_machine.setdefault(bucket, []).append(record.queue_minutes)
+            self._machine_history.setdefault(record.machine, []).append(
+                record.queue_minutes
+            )
+        if not self._machine_history:
+            raise PredictionError("trace contains no queue observations")
+        return self
+
+    @classmethod
+    def _bucket_for(cls, pending_ahead: int) -> int:
+        return bisect.bisect_right(cls.BUCKET_EDGES, max(0, pending_ahead)) - 1
+
+    # -- prediction -----------------------------------------------------------------
+
+    def predict(self, machine: str, pending_ahead: int = 0) -> QueuePrediction:
+        history = self._machine_history.get(machine)
+        if not history:
+            raise PredictionError(f"no history for machine {machine!r}")
+        bucket = self._bucket_for(pending_ahead)
+        samples = self._history.get(machine, {}).get(bucket) or history
+        array = np.asarray(samples, dtype=float)
+        alpha = (1.0 - self.confidence) / 2.0
+        return QueuePrediction(
+            machine=machine,
+            expected_minutes=float(np.median(array)),
+            lower_minutes=float(np.percentile(array, 100 * alpha)),
+            upper_minutes=float(np.percentile(array, 100 * (1 - alpha))),
+            confidence=self.confidence,
+            based_on_jobs=int(array.size),
+        )
+
+    def coverage(self, trace: TraceDataset) -> float:
+        """Fraction of jobs whose observed wait falls inside the interval."""
+        covered = 0
+        counted = 0
+        for record in trace:
+            if record.queue_minutes is None:
+                continue
+            if record.machine not in self._machine_history:
+                continue
+            prediction = self.predict(record.machine, record.pending_ahead)
+            counted += 1
+            if prediction.contains(record.queue_minutes):
+                covered += 1
+        if counted == 0:
+            raise PredictionError("no predictable jobs in the trace")
+        return covered / counted

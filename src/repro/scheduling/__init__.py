@@ -1,0 +1,40 @@
+"""Schedulers and resource-management policies.
+
+The paper closes each section with recommendations; this package turns the
+actionable ones into code so their effect can be measured in the ablation
+benches:
+
+* :mod:`repro.scheduling.policies` — client-side machine selection using the
+  compile-time CX metrics (recommendation IV-D.1) with a fidelity/queue
+  trade-off knob (recommendation V-E.3).
+* :mod:`repro.scheduling.load_balancer` — vendor-side load balancing across
+  machines (recommendation V-E.4).
+* :mod:`repro.scheduling.batching` — client-side circuit batching to amortise
+  queue time (recommendations III-E.5 and V-E.5).
+* :mod:`repro.scheduling.multiprogramming` — co-locating several small
+  circuits on disjoint regions of one machine (recommendation IV-D.3).
+"""
+
+from repro.scheduling.policies import (
+    MachineChoice,
+    MachineSelector,
+    SelectionObjective,
+)
+from repro.scheduling.load_balancer import LoadBalancer, BalancedAssignment
+from repro.scheduling.batching import BatchingPlanner, BatchPlan
+from repro.scheduling.multiprogramming import (
+    MultiProgrammer,
+    CoLocationPlan,
+)
+
+__all__ = [
+    "MachineChoice",
+    "MachineSelector",
+    "SelectionObjective",
+    "LoadBalancer",
+    "BalancedAssignment",
+    "BatchingPlanner",
+    "BatchPlan",
+    "MultiProgrammer",
+    "CoLocationPlan",
+]

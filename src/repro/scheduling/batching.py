@@ -1,0 +1,99 @@
+"""Client-side circuit batching.
+
+Recommendation V-E.5: batching reduces effective per-circuit queue time
+because the whole batch pays the queue once.  :class:`BatchingPlanner`
+groups a stream of independent circuits into jobs bounded by the backend's
+batch limit, and quantifies the expected per-circuit queue-time saving
+relative to submitting each circuit as its own job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cloud.job import CircuitSpec
+from repro.core.exceptions import ReproError
+from repro.devices.backend import Backend
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """A batching decision over a set of circuits."""
+
+    backend_name: str
+    batches: tuple  # tuple of tuples of CircuitSpec
+    expected_queue_minutes: float
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.batches)
+
+    @property
+    def num_circuits(self) -> int:
+        return sum(len(batch) for batch in self.batches)
+
+    @property
+    def total_queue_minutes(self) -> float:
+        """Total queue time paid across all jobs of the plan."""
+        return self.expected_queue_minutes * self.num_jobs
+
+    @property
+    def per_circuit_queue_minutes(self) -> float:
+        """Effective queue minutes per circuit (the Fig. 11 metric)."""
+        if self.num_circuits == 0:
+            return 0.0
+        return self.total_queue_minutes / self.num_circuits
+
+
+class BatchingPlanner:
+    """Groups circuits into maximal batches for a target backend."""
+
+    def __init__(self, backend: Backend, expected_queue_minutes: float = 60.0):
+        if expected_queue_minutes < 0:
+            raise ReproError("expected_queue_minutes must be non-negative")
+        self.backend = backend
+        self.expected_queue_minutes = expected_queue_minutes
+
+    def plan(self, circuits: Sequence[CircuitSpec],
+             max_batch: Optional[int] = None) -> BatchPlan:
+        """Pack circuits into as few jobs as possible (order preserved)."""
+        if not circuits:
+            raise ReproError("no circuits to batch")
+        limit = min(max_batch or self.backend.max_batch_size,
+                    self.backend.max_batch_size)
+        if limit < 1:
+            raise ReproError("batch limit must be at least 1")
+        for spec in circuits:
+            if spec.width > self.backend.num_qubits:
+                raise ReproError(
+                    f"circuit {spec.name} needs {spec.width} qubits but "
+                    f"{self.backend.name} has {self.backend.num_qubits}"
+                )
+        batches: List[tuple] = []
+        current: List[CircuitSpec] = []
+        for spec in circuits:
+            current.append(spec)
+            if len(current) == limit:
+                batches.append(tuple(current))
+                current = []
+        if current:
+            batches.append(tuple(current))
+        return BatchPlan(
+            backend_name=self.backend.name,
+            batches=tuple(batches),
+            expected_queue_minutes=self.expected_queue_minutes,
+        )
+
+    def unbatched_baseline(self, circuits: Sequence[CircuitSpec]) -> BatchPlan:
+        """The no-batching baseline: one job per circuit."""
+        return self.plan(circuits, max_batch=1)
+
+    def saving_versus_unbatched(self, circuits: Sequence[CircuitSpec],
+                                max_batch: Optional[int] = None) -> float:
+        """Ratio of per-circuit queue time: batched / unbatched (lower is better)."""
+        batched = self.plan(circuits, max_batch=max_batch)
+        baseline = self.unbatched_baseline(circuits)
+        if baseline.per_circuit_queue_minutes == 0:
+            return 1.0
+        return batched.per_circuit_queue_minutes / baseline.per_circuit_queue_minutes

@@ -1,0 +1,118 @@
+"""Vendor-side load balancing across machines.
+
+Recommendation V-E.4: load balancing across machines, performed by the
+vendor with robust machine characterisation, can shrink the worst queues and
+raise throughput.  :class:`LoadBalancer` assigns a stream of jobs to
+machines to minimise the maximum backlog, subject to each job's qubit
+requirement and access level, and reports the resulting backlog spread so
+the ablation bench can compare it against user-driven (popularity-based)
+routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.job import Job
+from repro.core.exceptions import ReproError
+from repro.devices.backend import Backend
+
+
+@dataclass
+class BalancedAssignment:
+    """Outcome of balancing a set of jobs across the fleet."""
+
+    assignments: Dict[str, str] = field(default_factory=dict)  # job_id -> machine
+    backlog_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_backlog(self) -> float:
+        return max(self.backlog_seconds.values()) if self.backlog_seconds else 0.0
+
+    @property
+    def min_backlog(self) -> float:
+        return min(self.backlog_seconds.values()) if self.backlog_seconds else 0.0
+
+    @property
+    def imbalance(self) -> float:
+        """Max/mean backlog ratio (1.0 = perfectly balanced)."""
+        if not self.backlog_seconds:
+            return 1.0
+        values = list(self.backlog_seconds.values())
+        mean = sum(values) / len(values)
+        if mean == 0:
+            return 1.0
+        return max(values) / mean
+
+
+class LoadBalancer:
+    """Greedy least-backlog assignment of jobs to eligible machines."""
+
+    def __init__(self, fleet: Dict[str, Backend],
+                 initial_backlog_seconds: Optional[Dict[str, float]] = None):
+        if not fleet:
+            raise ReproError("fleet is empty")
+        self.fleet = dict(fleet)
+        self._initial = dict(initial_backlog_seconds or {})
+
+    def _eligible(self, job: Job, privileged: bool) -> List[Backend]:
+        machines = []
+        for backend in self.fleet.values():
+            if backend.num_qubits < job.max_width:
+                continue
+            if not backend.is_public and not privileged:
+                continue
+            machines.append(backend)
+        return machines
+
+    def assign(self, jobs: Sequence[Job],
+               job_runtime_estimator=None,
+               privileged: bool = True) -> BalancedAssignment:
+        """Assign each job to the machine with the least accumulated backlog.
+
+        Args:
+            jobs: jobs to place (their ``backend_name`` is ignored).
+            job_runtime_estimator: callable (job, backend) -> seconds; when
+                omitted a simple batch-size-proportional estimate is used.
+            privileged: whether these jobs may use privileged machines.
+        """
+        result = BalancedAssignment(
+            backlog_seconds={name: self._initial.get(name, 0.0)
+                             for name in self.fleet},
+        )
+        for job in jobs:
+            eligible = self._eligible(job, privileged)
+            if not eligible:
+                raise ReproError(
+                    f"no machine can run job {job.job_id} "
+                    f"(width {job.max_width})"
+                )
+            target = min(eligible,
+                         key=lambda b: (result.backlog_seconds[b.name], b.name))
+            if job_runtime_estimator is not None:
+                runtime = float(job_runtime_estimator(job, target))
+            else:
+                runtime = target.base_overhead_seconds + 2.0 * job.batch_size
+            result.assignments[job.job_id] = target.name
+            result.backlog_seconds[target.name] += runtime
+        return result
+
+    @staticmethod
+    def user_driven_baseline(jobs: Sequence[Job], fleet: Dict[str, Backend],
+                             job_runtime_estimator=None) -> BalancedAssignment:
+        """Backlogs produced by the jobs' original (user-chosen) machines."""
+        result = BalancedAssignment(
+            backlog_seconds={name: 0.0 for name in fleet},
+        )
+        for job in jobs:
+            backend = fleet.get(job.backend_name)
+            if backend is None:
+                continue
+            if job_runtime_estimator is not None:
+                runtime = float(job_runtime_estimator(job, backend))
+            else:
+                runtime = backend.base_overhead_seconds + 2.0 * job.batch_size
+            result.assignments[job.job_id] = backend.name
+            result.backlog_seconds[backend.name] += runtime
+        return result

@@ -1,0 +1,118 @@
+"""Client-side machine selection with a fidelity/queue trade-off.
+
+Recommendation IV-D.1 of the paper: CX-gate based metrics evaluated at
+compile time are a reasonable indicator of an application's fidelity on a
+machine and can aid machine selection.  Recommendation V-E.3: users should
+be allowed to trade fidelity for queue time.  :class:`MachineSelector`
+implements both: it compiles (or estimates) the circuit for each candidate
+machine, estimates success probability and expected wait, and ranks machines
+by a weighted objective.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.exceptions import ReproError
+from repro.core.units import HOUR_SECONDS
+from repro.devices.backend import Backend
+from repro.fidelity.estimator import estimate_success_probability
+from repro.transpiler.presets import transpile
+
+
+class SelectionObjective(enum.Enum):
+    """What the user optimises for when choosing a machine."""
+
+    FIDELITY = "fidelity"
+    QUEUE = "queue"
+    BALANCED = "balanced"
+
+
+@dataclass(frozen=True)
+class MachineChoice:
+    """One candidate machine with its estimated fidelity and wait."""
+
+    machine: str
+    estimated_success: float
+    cx_total: int
+    cx_depth: int
+    expected_wait_minutes: float
+    score: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "machine": self.machine,
+            "estimated_success": self.estimated_success,
+            "cx_total": float(self.cx_total),
+            "cx_depth": float(self.cx_depth),
+            "expected_wait_minutes": self.expected_wait_minutes,
+            "score": self.score,
+        }
+
+
+class MachineSelector:
+    """Ranks candidate machines for a circuit by fidelity, queue, or both."""
+
+    def __init__(self, objective: SelectionObjective = SelectionObjective.BALANCED,
+                 fidelity_weight: float = 0.6, optimization_level: int = 2,
+                 seed: int = 11):
+        if not 0.0 <= fidelity_weight <= 1.0:
+            raise ReproError("fidelity_weight must be in [0, 1]")
+        self.objective = objective
+        self.fidelity_weight = fidelity_weight
+        self.optimization_level = optimization_level
+        self.seed = seed
+
+    def _weight(self) -> float:
+        if self.objective is SelectionObjective.FIDELITY:
+            return 1.0
+        if self.objective is SelectionObjective.QUEUE:
+            return 0.0
+        return self.fidelity_weight
+
+    def evaluate(
+        self,
+        circuit: QuantumCircuit,
+        backends: Sequence[Backend],
+        expected_wait_minutes: Optional[Dict[str, float]] = None,
+        at_time: float = 0.0,
+    ) -> List[MachineChoice]:
+        """Rank the candidate machines (best first)."""
+        if not backends:
+            raise ReproError("no candidate machines supplied")
+        waits = expected_wait_minutes or {}
+        choices: List[MachineChoice] = []
+        eligible = [b for b in backends if b.num_qubits >= circuit.num_qubits]
+        if not eligible:
+            raise ReproError(
+                f"no candidate machine has {circuit.num_qubits} qubits"
+            )
+        max_wait = max([waits.get(b.name, 60.0) for b in eligible]) or 1.0
+        weight = self._weight()
+        for backend in eligible:
+            compiled = transpile(circuit, backend,
+                                 optimization_level=self.optimization_level,
+                                 seed=self.seed, compile_time=at_time)
+            calibration = backend.calibration_at(at_time)
+            estimate = estimate_success_probability(compiled.circuit, calibration)
+            wait = waits.get(backend.name, 60.0)
+            wait_score = 1.0 - min(wait / max(max_wait, 1e-9), 1.0)
+            score = weight * estimate.probability + (1.0 - weight) * wait_score
+            choices.append(MachineChoice(
+                machine=backend.name,
+                estimated_success=estimate.probability,
+                cx_total=estimate.cx_metrics.cx_total,
+                cx_depth=estimate.cx_metrics.cx_depth,
+                expected_wait_minutes=wait,
+                score=score,
+            ))
+        return sorted(choices, key=lambda c: c.score, reverse=True)
+
+    def select(self, circuit: QuantumCircuit, backends: Sequence[Backend],
+               expected_wait_minutes: Optional[Dict[str, float]] = None,
+               at_time: float = 0.0) -> MachineChoice:
+        """The best machine under the configured objective."""
+        return self.evaluate(circuit, backends, expected_wait_minutes, at_time)[0]

@@ -1,0 +1,37 @@
+"""From-scratch quantum transpiler with per-pass timing.
+
+The transpiler reproduces the pass taxonomy the paper profiles in Fig. 5:
+layout selection (trivial / dense / noise-adaptive / CSP), ancilla
+allocation, routing via swap insertion, unrolling and basis translation,
+and the peephole optimisations (1-qubit gate merging, commutative
+cancellation, 2-qubit block consolidation).  Every pass is timed by the
+:class:`PassManager`, which is how the compile-time figures are produced.
+"""
+
+from repro.transpiler.layout import Layout
+from repro.transpiler.passes.base import (
+    AnalysisPass,
+    BasePass,
+    PropertySet,
+    TransformationPass,
+)
+from repro.transpiler.passmanager import PassManager, PassTiming, TranspileResult
+from repro.transpiler.presets import (
+    OPTIMIZATION_LEVELS,
+    preset_pass_manager,
+    transpile,
+)
+
+__all__ = [
+    "Layout",
+    "AnalysisPass",
+    "BasePass",
+    "PropertySet",
+    "TransformationPass",
+    "PassManager",
+    "PassTiming",
+    "TranspileResult",
+    "OPTIMIZATION_LEVELS",
+    "preset_pass_manager",
+    "transpile",
+]

@@ -1,0 +1,94 @@
+"""Virtual-to-physical qubit layout.
+
+A :class:`Layout` maps each *virtual* qubit of the user's circuit onto a
+*physical* qubit of the backend.  Layout quality is what the paper's Fig. 12b
+illustrates: the optimal mapping changes between calibration cycles, so a
+layout chosen against stale calibration data degrades fidelity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.exceptions import TranspilerError
+
+
+class Layout:
+    """A bijective partial map from virtual qubits to physical qubits."""
+
+    def __init__(self, mapping: Optional[Dict[int, int]] = None):
+        self._virtual_to_physical: Dict[int, int] = {}
+        self._physical_to_virtual: Dict[int, int] = {}
+        if mapping:
+            for virtual, physical in mapping.items():
+                self.assign(virtual, physical)
+
+    @classmethod
+    def trivial(cls, num_qubits: int) -> "Layout":
+        """The identity layout over ``num_qubits`` qubits."""
+        return cls({i: i for i in range(num_qubits)})
+
+    @classmethod
+    def from_physical_list(cls, physical_qubits: Iterable[int]) -> "Layout":
+        """Layout mapping virtual ``i`` to the i-th entry of ``physical_qubits``."""
+        return cls({i: p for i, p in enumerate(physical_qubits)})
+
+    def assign(self, virtual: int, physical: int) -> None:
+        """Map ``virtual`` onto ``physical`` (both must be unused)."""
+        if virtual in self._virtual_to_physical:
+            raise TranspilerError(f"virtual qubit {virtual} already mapped")
+        if physical in self._physical_to_virtual:
+            raise TranspilerError(f"physical qubit {physical} already used")
+        self._virtual_to_physical[virtual] = physical
+        self._physical_to_virtual[physical] = virtual
+
+    def physical(self, virtual: int) -> int:
+        try:
+            return self._virtual_to_physical[virtual]
+        except KeyError:
+            raise TranspilerError(f"virtual qubit {virtual} is unmapped") from None
+
+    def virtual(self, physical: int) -> Optional[int]:
+        return self._physical_to_virtual.get(physical)
+
+    def has_virtual(self, virtual: int) -> bool:
+        return virtual in self._virtual_to_physical
+
+    def swap_physical(self, physical_a: int, physical_b: int) -> None:
+        """Exchange the virtual qubits sitting on two physical qubits."""
+        virtual_a = self._physical_to_virtual.get(physical_a)
+        virtual_b = self._physical_to_virtual.get(physical_b)
+        if virtual_a is not None:
+            self._virtual_to_physical[virtual_a] = physical_b
+        if virtual_b is not None:
+            self._virtual_to_physical[virtual_b] = physical_a
+        self._physical_to_virtual.pop(physical_a, None)
+        self._physical_to_virtual.pop(physical_b, None)
+        if virtual_a is not None:
+            self._physical_to_virtual[physical_b] = virtual_a
+        if virtual_b is not None:
+            self._physical_to_virtual[physical_a] = virtual_b
+
+    @property
+    def num_mapped(self) -> int:
+        return len(self._virtual_to_physical)
+
+    def virtual_qubits(self) -> List[int]:
+        return sorted(self._virtual_to_physical)
+
+    def physical_qubits(self) -> List[int]:
+        return sorted(self._physical_to_virtual)
+
+    def as_dict(self) -> Dict[int, int]:
+        return dict(self._virtual_to_physical)
+
+    def copy(self) -> "Layout":
+        return Layout(self.as_dict())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Layout):
+            return NotImplemented
+        return self._virtual_to_physical == other._virtual_to_physical
+
+    def __repr__(self) -> str:
+        return f"Layout({self._virtual_to_physical})"

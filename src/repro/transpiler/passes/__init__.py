@@ -1,0 +1,79 @@
+"""Transpiler passes, grouped by function.
+
+The pass names intentionally mirror the Qiskit passes the paper profiles in
+Fig. 5 so the per-pass compile-time bench reports comparable rows.
+"""
+
+from repro.transpiler.passes.base import (
+    AnalysisPass,
+    BasePass,
+    PropertySet,
+    TransformationPass,
+)
+from repro.transpiler.passes.layout_passes import (
+    CSPLayout,
+    DenseLayout,
+    NoiseAdaptiveLayout,
+    SabreLayout,
+    SetLayout,
+    TrivialLayout,
+)
+from repro.transpiler.passes.allocation import (
+    ApplyLayout,
+    EnlargeWithAncilla,
+    FullAncillaAllocation,
+)
+from repro.transpiler.passes.routing import BasicSwap, CheckMap, StochasticSwap
+from repro.transpiler.passes.unroll import (
+    BasisTranslator,
+    Unroll3qOrMore,
+    UnrollCustomDefinitions,
+    UnitarySynthesis,
+)
+from repro.transpiler.passes.optimization import (
+    BarrierBeforeFinalMeasurements,
+    Collect2qBlocks,
+    CommutationAnalysis,
+    CommutativeCancellation,
+    ConsolidateBlocks,
+    Depth,
+    FixedPoint,
+    Optimize1qGates,
+    OptimizeSwapBeforeMeasure,
+    RemoveDiagonalGatesBeforeMeasure,
+    RemoveResetInZeroState,
+)
+
+__all__ = [
+    "AnalysisPass",
+    "BasePass",
+    "PropertySet",
+    "TransformationPass",
+    "CSPLayout",
+    "DenseLayout",
+    "NoiseAdaptiveLayout",
+    "SabreLayout",
+    "SetLayout",
+    "TrivialLayout",
+    "ApplyLayout",
+    "EnlargeWithAncilla",
+    "FullAncillaAllocation",
+    "BasicSwap",
+    "CheckMap",
+    "StochasticSwap",
+    "BasisTranslator",
+    "Unroll3qOrMore",
+    "UnrollCustomDefinitions",
+    "UnitarySynthesis",
+    "BarrierBeforeFinalMeasurements",
+    "Collect2qBlocks",
+    "CommutationAnalysis",
+    "CommutativeCancellation",
+    "ConsolidateBlocks",
+    "Depth",
+    "FixedPoint",
+    "Optimize1qGates",
+    "OptimizeSwapBeforeMeasure",
+    "RemoveDiagonalGatesBeforeMeasure",
+    "RemoveResetInZeroState",
+]

@@ -1,0 +1,77 @@
+"""Ancilla allocation and layout application passes.
+
+After a layout pass picks where the circuit's virtual qubits live, the
+circuit must be *embedded* on the device: unused physical qubits become
+ancillas (:class:`FullAncillaAllocation` + :class:`EnlargeWithAncilla`) and
+the instructions are rewritten onto physical indices
+(:class:`ApplyLayout`).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.exceptions import TranspilerError
+from repro.devices.topology import CouplingMap
+from repro.transpiler.layout import Layout
+from repro.transpiler.passes.base import AnalysisPass, PropertySet, TransformationPass
+
+
+class FullAncillaAllocation(AnalysisPass):
+    """Extend the layout so every physical qubit is mapped.
+
+    Unused physical qubits are assigned to fresh virtual ancilla indices
+    (appended after the circuit's own qubits).
+    """
+
+    def analyse(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        coupling_map: CouplingMap = properties.require("coupling_map")
+        layout: Layout = properties.require("layout")
+        extended = layout.copy()
+        next_virtual = circuit.num_qubits
+        used_physical = set(extended.physical_qubits())
+        for physical in range(coupling_map.num_qubits):
+            if physical in used_physical:
+                continue
+            extended.assign(next_virtual, physical)
+            next_virtual += 1
+        properties["layout"] = extended
+        properties["num_ancillas"] = next_virtual - circuit.num_qubits
+
+
+class EnlargeWithAncilla(TransformationPass):
+    """Widen the circuit to cover the ancilla virtual qubits added above."""
+
+    def transform(self, circuit: QuantumCircuit,
+                  properties: PropertySet) -> QuantumCircuit:
+        layout: Layout = properties.require("layout")
+        target_width = layout.num_mapped
+        if target_width < circuit.num_qubits:
+            raise TranspilerError(
+                "layout maps fewer qubits than the circuit uses"
+            )
+        if target_width == circuit.num_qubits:
+            return circuit
+        widened = QuantumCircuit(target_width, circuit.num_clbits,
+                                 name=circuit.name, metadata=dict(circuit.metadata))
+        for instruction in circuit.instructions:
+            widened.append(instruction)
+        return widened
+
+
+class ApplyLayout(TransformationPass):
+    """Rewrite virtual qubit indices into physical indices via the layout."""
+
+    def transform(self, circuit: QuantumCircuit,
+                  properties: PropertySet) -> QuantumCircuit:
+        coupling_map: CouplingMap = properties.require("coupling_map")
+        layout: Layout = properties.require("layout")
+        for virtual in range(circuit.num_qubits):
+            if not layout.has_virtual(virtual):
+                raise TranspilerError(
+                    f"layout does not map virtual qubit {virtual}; "
+                    "run FullAncillaAllocation/EnlargeWithAncilla first"
+                )
+        mapping = {v: layout.physical(v) for v in range(circuit.num_qubits)}
+        applied = circuit.remap_qubits(mapping, num_qubits=coupling_map.num_qubits)
+        properties["physical_circuit"] = True
+        return applied

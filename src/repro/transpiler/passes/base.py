@@ -1,0 +1,87 @@
+"""Pass infrastructure: property set and pass base classes.
+
+A :class:`PropertySet` carries shared state between passes: the chosen
+layout, the target coupling map and calibration snapshot, analysis results
+(commutation sets, collected blocks, depth) and fixed-point flags.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.exceptions import TranspilerError
+
+
+class PropertySet:
+    """A string-keyed property bag shared across the passes of one run."""
+
+    def __init__(self, initial: Optional[Dict[str, Any]] = None):
+        self._data: Dict[str, Any] = dict(initial or {})
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._data[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def require(self, key: str) -> Any:
+        """Fetch a property, raising a transpiler error if missing."""
+        if key not in self._data:
+            raise TranspilerError(
+                f"required property {key!r} missing; "
+                "did an earlier pass fail to run?"
+            )
+        return self._data[key]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self._data)
+
+
+class BasePass:
+    """Common base of all transpiler passes."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def run(self, circuit: QuantumCircuit,
+            properties: PropertySet) -> QuantumCircuit:
+        """Run the pass, returning the (possibly new) circuit."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{self.name}()"
+
+
+class AnalysisPass(BasePass):
+    """A pass that only inspects the circuit and records properties."""
+
+    def analyse(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        raise NotImplementedError
+
+    def run(self, circuit: QuantumCircuit,
+            properties: PropertySet) -> QuantumCircuit:
+        self.analyse(circuit, properties)
+        return circuit
+
+
+class TransformationPass(BasePass):
+    """A pass that rewrites the circuit."""
+
+    def transform(self, circuit: QuantumCircuit,
+                  properties: PropertySet) -> QuantumCircuit:
+        raise NotImplementedError
+
+    def run(self, circuit: QuantumCircuit,
+            properties: PropertySet) -> QuantumCircuit:
+        return self.transform(circuit, properties)

@@ -1,0 +1,355 @@
+"""Layout-selection passes.
+
+Several strategies are provided, mirroring the Qiskit passes the paper times
+in Fig. 5 and the noise-aware mapping it illustrates in Fig. 12b:
+
+* :class:`SetLayout` / :class:`TrivialLayout` — identity mapping.
+* :class:`DenseLayout` — choose the densest connected physical subgraph.
+* :class:`NoiseAdaptiveLayout` — greedy mapping that places the most
+  interacting virtual qubits onto the best-calibrated physical edges.
+* :class:`CSPLayout` — backtracking search for a layout needing no swaps.
+* :class:`SabreLayout` — SABRE-style iterative refinement using reverse
+  traversal (the expensive layout pass at high optimisation levels).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.exceptions import TranspilerError
+from repro.core.rng import RandomSource
+from repro.devices.calibration import CalibrationSnapshot
+from repro.devices.topology import CouplingMap
+from repro.transpiler.layout import Layout
+from repro.transpiler.passes.base import AnalysisPass, PropertySet
+
+
+def _require_coupling_map(properties: PropertySet) -> CouplingMap:
+    coupling_map = properties.get("coupling_map")
+    if coupling_map is None:
+        raise TranspilerError("layout passes require a 'coupling_map' property")
+    return coupling_map
+
+
+def _check_fits(circuit: QuantumCircuit, coupling_map: CouplingMap) -> None:
+    if circuit.num_qubits > coupling_map.num_qubits:
+        raise TranspilerError(
+            f"circuit needs {circuit.num_qubits} qubits but the target "
+            f"machine has only {coupling_map.num_qubits}"
+        )
+
+
+class SetLayout(AnalysisPass):
+    """Install a user-provided layout if one was requested."""
+
+    def __init__(self, layout: Optional[Layout] = None):
+        self.layout = layout
+
+    def analyse(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        if self.layout is None:
+            layout = properties.get("requested_layout")
+        else:
+            layout = self.layout
+        if layout is not None:
+            properties["layout"] = layout.copy()
+
+
+class TrivialLayout(AnalysisPass):
+    """Identity layout: virtual qubit ``i`` on physical qubit ``i``."""
+
+    def analyse(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        if properties.get("layout") is not None:
+            return
+        coupling_map = _require_coupling_map(properties)
+        _check_fits(circuit, coupling_map)
+        properties["layout"] = Layout.trivial(circuit.num_qubits)
+
+
+class DenseLayout(AnalysisPass):
+    """Place the circuit on the densest connected physical subregion.
+
+    Greedy construction: seed with the highest-degree physical qubit and
+    repeatedly add the neighbour that maximises internal connectivity.
+    """
+
+    def analyse(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        if properties.get("layout") is not None:
+            return
+        coupling_map = _require_coupling_map(properties)
+        _check_fits(circuit, coupling_map)
+        needed = circuit.num_qubits
+        region = self._densest_region(coupling_map, needed)
+        properties["layout"] = Layout.from_physical_list(region)
+
+    @staticmethod
+    def _densest_region(coupling_map: CouplingMap, size: int) -> List[int]:
+        if size == 0:
+            return []
+        seed = max(range(coupling_map.num_qubits), key=coupling_map.degree)
+        region = [seed]
+        selected = {seed}
+        while len(region) < size:
+            frontier = set()
+            for qubit in region:
+                frontier.update(coupling_map.neighbors(qubit))
+            frontier -= selected
+            if not frontier:
+                # disconnected remainder: fall back to any unused qubit
+                remaining = [q for q in range(coupling_map.num_qubits)
+                             if q not in selected]
+                if not remaining:
+                    break
+                frontier = {remaining[0]}
+            best = max(
+                sorted(frontier),
+                key=lambda q: sum(
+                    1 for n in coupling_map.neighbors(q) if n in selected
+                ),
+            )
+            region.append(best)
+            selected.add(best)
+        return region
+
+
+class NoiseAdaptiveLayout(AnalysisPass):
+    """Noise-aware greedy layout (the Fig. 12b mapping strategy).
+
+    The most heavily interacting virtual qubit pair is mapped onto the
+    lowest-error calibrated edge; remaining virtual qubits are placed, in
+    decreasing interaction order, onto the neighbouring physical qubit that
+    minimises (edge error + readout error).
+    """
+
+    def analyse(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        if properties.get("layout") is not None:
+            return
+        coupling_map = _require_coupling_map(properties)
+        calibration: Optional[CalibrationSnapshot] = properties.get("calibration")
+        if calibration is None:
+            # Without calibration data fall back to a dense layout.
+            DenseLayout().analyse(circuit, properties)
+            return
+        _check_fits(circuit, coupling_map)
+        properties["layout"] = self._build_layout(circuit, coupling_map, calibration)
+
+    def _build_layout(self, circuit: QuantumCircuit, coupling_map: CouplingMap,
+                      calibration: CalibrationSnapshot) -> Layout:
+        interactions = circuit.interacting_pairs()
+        layout = Layout()
+        used_physical: set = set()
+
+        def edge_cost(a: int, b: int) -> float:
+            gate = calibration.gate(a, b)
+            readout = (calibration.qubit(a).readout_error
+                       + calibration.qubit(b).readout_error)
+            return gate.error + 0.25 * readout
+
+        if interactions:
+            # Anchor: heaviest virtual pair onto the best physical edge.
+            (virt_a, virt_b), _ = max(interactions.items(), key=lambda kv: kv[1])
+            best_edge = min(coupling_map.edges, key=lambda e: edge_cost(*e))
+            layout.assign(virt_a, best_edge[0])
+            layout.assign(virt_b, best_edge[1])
+            used_physical.update(best_edge)
+
+        # Order remaining virtual qubits by total interaction weight.
+        weight: Dict[int, int] = {q: 0 for q in range(circuit.num_qubits)}
+        for (a, b), count in interactions.items():
+            weight[a] += count
+            weight[b] += count
+        pending = [q for q in sorted(weight, key=lambda q: -weight[q])
+                   if not layout.has_virtual(q)]
+
+        for virtual in pending:
+            # Physical candidates adjacent to already-placed partners first.
+            partners = [
+                other for (a, b) in interactions
+                for other in ((b,) if a == virtual else (a,) if b == virtual else ())
+                if layout.has_virtual(other)
+            ]
+            candidates: List[int] = []
+            for partner in partners:
+                candidates.extend(
+                    n for n in coupling_map.neighbors(layout.physical(partner))
+                    if n not in used_physical
+                )
+            if not candidates:
+                candidates = [q for q in range(coupling_map.num_qubits)
+                              if q not in used_physical]
+            if not candidates:
+                raise TranspilerError("ran out of physical qubits during layout")
+
+            def placement_cost(physical: int) -> float:
+                qubit_cal = calibration.qubit(physical)
+                cost = qubit_cal.readout_error + qubit_cal.single_qubit_error
+                for partner in partners:
+                    other_physical = layout.physical(partner)
+                    if coupling_map.are_connected(physical, other_physical):
+                        cost += calibration.gate(physical, other_physical).error
+                    else:
+                        cost += 0.05 * coupling_map.distance(physical, other_physical)
+                return cost
+
+            best_physical = min(sorted(set(candidates)), key=placement_cost)
+            layout.assign(virtual, best_physical)
+            used_physical.add(best_physical)
+
+        # Any never-interacting virtual qubits go onto the best leftovers.
+        for virtual in range(circuit.num_qubits):
+            if layout.has_virtual(virtual):
+                continue
+            leftovers = [q for q in calibration.best_qubits(coupling_map.num_qubits)
+                         if q not in used_physical]
+            if not leftovers:
+                raise TranspilerError("ran out of physical qubits during layout")
+            layout.assign(virtual, leftovers[0])
+            used_physical.add(leftovers[0])
+        return layout
+
+
+class CSPLayout(AnalysisPass):
+    """Search for a layout in which every 2-qubit gate is already adjacent.
+
+    Backtracking over the circuit's interaction graph with a bounded number
+    of assignments tried; if no perfect layout exists within the budget, the
+    property set is left untouched so a later layout pass can decide.
+    """
+
+    def __init__(self, max_assignments: int = 20000):
+        self.max_assignments = max_assignments
+
+    def analyse(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        if properties.get("layout") is not None:
+            return
+        coupling_map = _require_coupling_map(properties)
+        _check_fits(circuit, coupling_map)
+        interactions = circuit.interacting_pairs()
+        if not interactions:
+            properties["layout"] = Layout.trivial(circuit.num_qubits)
+            return
+        virtuals = sorted(
+            {q for pair in interactions for q in pair},
+            key=lambda q: -sum(c for p, c in interactions.items() if q in p),
+        )
+        adjacency = {
+            virtual: {
+                other
+                for pair in interactions
+                for other in pair
+                if virtual in pair and other != virtual
+            }
+            for virtual in virtuals
+        }
+        assignment: Dict[int, int] = {}
+        used: set = set()
+        self._attempts = 0
+        if self._backtrack(virtuals, 0, adjacency, coupling_map, assignment, used):
+            layout = Layout(assignment)
+            for virtual in range(circuit.num_qubits):
+                if not layout.has_virtual(virtual):
+                    free = next(
+                        q for q in range(coupling_map.num_qubits)
+                        if q not in layout.physical_qubits()
+                    )
+                    layout.assign(virtual, free)
+            properties["layout"] = layout
+            properties["csp_layout_found"] = True
+        else:
+            properties["csp_layout_found"] = False
+
+    def _backtrack(self, virtuals: List[int], index: int,
+                   adjacency: Dict[int, set], coupling_map: CouplingMap,
+                   assignment: Dict[int, int], used: set) -> bool:
+        if index == len(virtuals):
+            return True
+        if self._attempts > self.max_assignments:
+            return False
+        virtual = virtuals[index]
+        placed_neighbors = [n for n in adjacency[virtual] if n in assignment]
+        if placed_neighbors:
+            candidates = set(coupling_map.neighbors(assignment[placed_neighbors[0]]))
+            for neighbor in placed_neighbors[1:]:
+                candidates &= set(coupling_map.neighbors(assignment[neighbor]))
+        else:
+            candidates = set(range(coupling_map.num_qubits))
+        for physical in sorted(candidates - used):
+            self._attempts += 1
+            assignment[virtual] = physical
+            used.add(physical)
+            if self._backtrack(virtuals, index + 1, adjacency, coupling_map,
+                               assignment, used):
+                return True
+            del assignment[virtual]
+            used.discard(physical)
+        return False
+
+
+class SabreLayout(AnalysisPass):
+    """SABRE-style layout: start random/dense, route forward and backward,
+    and keep the final mapping of each sweep as the next initial mapping.
+
+    This is the dominant cost at high optimisation levels on large devices,
+    which is exactly the scaling behaviour Fig. 5 reports.
+    """
+
+    def __init__(self, iterations: int = 2, seed: int = 11):
+        if iterations < 1:
+            raise TranspilerError("SabreLayout needs at least one iteration")
+        self.iterations = iterations
+        self.seed = seed
+
+    def analyse(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        from repro.transpiler.passes.routing import StochasticSwap
+
+        coupling_map = _require_coupling_map(properties)
+        _check_fits(circuit, coupling_map)
+        rng = RandomSource(self.seed, name="sabre_layout")
+
+        # Initial guess: dense region placement.
+        scratch = PropertySet({"coupling_map": coupling_map,
+                               "calibration": properties.get("calibration")})
+        DenseLayout().analyse(circuit, scratch)
+        layout: Layout = scratch.require("layout")
+
+        forward = circuit.without_measurements()
+        backward = _reversed_circuit(forward)
+        router = StochasticSwap(seed=self.seed, trials=2)
+
+        for iteration in range(self.iterations):
+            for direction, program in (("fwd", forward), ("bwd", backward)):
+                embedded = _embed(program, layout, coupling_map.num_qubits)
+                trial_properties = PropertySet({
+                    "coupling_map": coupling_map,
+                    "layout": Layout.trivial(coupling_map.num_qubits),
+                })
+                router.transform(embedded, trial_properties)
+                final_layout: Layout = trial_properties.require("final_layout")
+                layout = _compose_layouts(layout, final_layout)
+        properties["layout"] = layout
+
+
+def _reversed_circuit(circuit: QuantumCircuit) -> QuantumCircuit:
+    reversed_circuit = QuantumCircuit(
+        circuit.num_qubits, circuit.num_clbits, name=circuit.name + "_rev"
+    )
+    for instruction in reversed(circuit.instructions):
+        reversed_circuit.append(instruction)
+    return reversed_circuit
+
+
+def _embed(circuit: QuantumCircuit, layout: Layout,
+           num_physical: int) -> QuantumCircuit:
+    mapping = {v: layout.physical(v) for v in range(circuit.num_qubits)}
+    return circuit.remap_qubits(mapping, num_qubits=num_physical)
+
+
+def _compose_layouts(initial: Layout, permutation: Layout) -> Layout:
+    """Apply the routing-induced physical permutation to the initial layout."""
+    composed = Layout()
+    for virtual in initial.virtual_qubits():
+        physical = initial.physical(virtual)
+        composed.assign(virtual, permutation.physical(physical)
+                        if permutation.has_virtual(physical) else physical)
+    return composed

@@ -1,0 +1,470 @@
+"""Optimisation and analysis passes.
+
+These are the "nice-to-have" passes the paper's recommendation 2 suggests
+separating from the mandatory layout/route/translate pipeline: single-qubit
+gate merging, cancellation of adjacent self-inverse gates, two-qubit block
+collection/consolidation, dead-operation removal before measurement, and the
+bookkeeping passes (Depth, FixedPoint, BarrierBeforeFinalMeasurements).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.dag import CircuitDAG
+from repro.circuits.gates import GATE_SPECS, Gate, NON_UNITARY_OPERATIONS
+from repro.core.exceptions import TranspilerError
+from repro.transpiler.passes.base import AnalysisPass, PropertySet, TransformationPass
+from repro.transpiler.passes.unroll import (
+    instruction_sequence_matrix,
+    matrix_to_u_gate,
+)
+
+
+class Depth(AnalysisPass):
+    """Record the circuit depth in the property set."""
+
+    def analyse(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        properties["depth"] = circuit.depth()
+        properties["cx_depth"] = circuit.cx_depth
+
+
+class FixedPoint(AnalysisPass):
+    """Track whether a watched property stopped changing between iterations."""
+
+    def __init__(self, property_name: str = "depth"):
+        self.property_name = property_name
+
+    def analyse(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        history_key = f"_fixed_point_previous_{self.property_name}"
+        current = properties.get(self.property_name)
+        previous = properties.get(history_key)
+        properties[f"{self.property_name}_fixed_point"] = (
+            previous is not None and previous == current
+        )
+        properties[history_key] = current
+
+
+class BarrierBeforeFinalMeasurements(TransformationPass):
+    """Insert a barrier separating the trailing measurement layer."""
+
+    def transform(self, circuit: QuantumCircuit,
+                  properties: PropertySet) -> QuantumCircuit:
+        instructions = list(circuit.instructions)
+        # Find the suffix consisting purely of measurements/barriers.
+        suffix_start = len(instructions)
+        for index in range(len(instructions) - 1, -1, -1):
+            if instructions[index].name in ("measure", "barrier"):
+                suffix_start = index
+            else:
+                break
+        measured_qubits = sorted({
+            q for instr in instructions[suffix_start:]
+            if instr.name == "measure"
+            for q in instr.qubits
+        })
+        if not measured_qubits or suffix_start == 0:
+            return circuit
+        rebuilt = QuantumCircuit(circuit.num_qubits, circuit.num_clbits,
+                                 name=circuit.name, metadata=dict(circuit.metadata))
+        for instruction in instructions[:suffix_start]:
+            rebuilt.append(instruction)
+        rebuilt.barrier(*measured_qubits)
+        for instruction in instructions[suffix_start:]:
+            if instruction.name == "barrier":
+                continue
+            rebuilt.append(instruction)
+        return rebuilt
+
+
+class RemoveResetInZeroState(TransformationPass):
+    """Drop reset operations on qubits that are still in |0> (never used)."""
+
+    def transform(self, circuit: QuantumCircuit,
+                  properties: PropertySet) -> QuantumCircuit:
+        touched: Set[int] = set()
+        rebuilt = QuantumCircuit(circuit.num_qubits, circuit.num_clbits,
+                                 name=circuit.name, metadata=dict(circuit.metadata))
+        for instruction in circuit.instructions:
+            if instruction.name == "reset":
+                (qubit,) = instruction.qubits
+                if qubit not in touched:
+                    continue
+            if not instruction.is_directive:
+                touched.update(instruction.qubits)
+            rebuilt.append(instruction)
+        return rebuilt
+
+
+class RemoveDiagonalGatesBeforeMeasure(TransformationPass):
+    """Remove diagonal gates immediately preceding a measurement.
+
+    A diagonal gate cannot change computational-basis measurement statistics,
+    so ``rz``/``z``/``t``/... directly before ``measure`` on the same qubit
+    (with nothing in between) is dead work on hardware.
+    """
+
+    def transform(self, circuit: QuantumCircuit,
+                  properties: PropertySet) -> QuantumCircuit:
+        instructions = list(circuit.instructions)
+        removable: Set[int] = set()
+        # For every measurement, walk backwards over that qubit's operations.
+        last_measure_qubits = {}
+        next_use: Dict[int, Optional[int]] = {}
+        # Build per-qubit instruction index lists.
+        per_qubit: Dict[int, List[int]] = {}
+        for index, instruction in enumerate(instructions):
+            if instruction.is_directive:
+                continue
+            for qubit in instruction.qubits:
+                per_qubit.setdefault(qubit, []).append(index)
+        for qubit, indices in per_qubit.items():
+            for position, index in enumerate(indices):
+                if instructions[index].name != "measure":
+                    continue
+                # Walk back over consecutive single-qubit diagonal gates.
+                back = position - 1
+                while back >= 0:
+                    prior = instructions[indices[back]]
+                    spec = GATE_SPECS.get(prior.name)
+                    if (
+                        spec is not None
+                        and spec.is_diagonal
+                        and spec.num_qubits == 1
+                        and prior.name not in NON_UNITARY_OPERATIONS
+                    ):
+                        removable.add(indices[back])
+                        back -= 1
+                    else:
+                        break
+        rebuilt = QuantumCircuit(circuit.num_qubits, circuit.num_clbits,
+                                 name=circuit.name, metadata=dict(circuit.metadata))
+        for index, instruction in enumerate(instructions):
+            if index in removable:
+                continue
+            rebuilt.append(instruction)
+        return rebuilt
+
+
+class OptimizeSwapBeforeMeasure(TransformationPass):
+    """Replace a SWAP immediately before final measurements by re-wiring them."""
+
+    def transform(self, circuit: QuantumCircuit,
+                  properties: PropertySet) -> QuantumCircuit:
+        instructions = list(circuit.instructions)
+        changed = True
+        while changed:
+            changed = False
+            for index in range(len(instructions) - 1, -1, -1):
+                instruction = instructions[index]
+                if instruction.name != "swap":
+                    continue
+                qubit_a, qubit_b = instruction.qubits
+                trailing = instructions[index + 1:]
+                if not self._only_measures_after(trailing, {qubit_a, qubit_b}):
+                    continue
+                # Remove the swap and exchange the two qubits in the suffix.
+                del instructions[index]
+                exchanged = []
+                mapping = {qubit_a: qubit_b, qubit_b: qubit_a}
+                for later in instructions[index:]:
+                    if set(later.qubits) & {qubit_a, qubit_b}:
+                        new_qubits = tuple(mapping.get(q, q) for q in later.qubits)
+                        exchanged.append(Instruction(later.gate, new_qubits,
+                                                     later.clbits))
+                    else:
+                        exchanged.append(later)
+                instructions[index:] = exchanged
+                changed = True
+                break
+        rebuilt = QuantumCircuit(circuit.num_qubits, circuit.num_clbits,
+                                 name=circuit.name, metadata=dict(circuit.metadata))
+        for instruction in instructions:
+            rebuilt.append(instruction)
+        return rebuilt
+
+    @staticmethod
+    def _only_measures_after(trailing: Sequence[Instruction],
+                             qubits: Set[int]) -> bool:
+        for instruction in trailing:
+            if not (set(instruction.qubits) & qubits):
+                continue
+            if instruction.name not in ("measure", "barrier"):
+                return False
+        return True
+
+
+class Optimize1qGates(TransformationPass):
+    """Merge maximal runs of single-qubit unitaries into one ``u`` gate.
+
+    Runs of length one are kept as-is; identity products are dropped
+    entirely.  Combine with :class:`UnitarySynthesis` to re-express the
+    merged gate in the device basis.
+    """
+
+    def __init__(self, tolerance: float = 1e-9):
+        self.tolerance = tolerance
+
+    def transform(self, circuit: QuantumCircuit,
+                  properties: PropertySet) -> QuantumCircuit:
+        rebuilt = QuantumCircuit(circuit.num_qubits, circuit.num_clbits,
+                                 name=circuit.name, metadata=dict(circuit.metadata))
+        pending: Dict[int, List[Instruction]] = {}
+
+        def flush(qubit: int) -> None:
+            run = pending.pop(qubit, [])
+            if not run:
+                return
+            if len(run) == 1:
+                rebuilt.append(run[0])
+                return
+            matrix = instruction_sequence_matrix([i.gate for i in run])
+            if np.allclose(matrix, np.eye(2) * matrix[0, 0], atol=self.tolerance):
+                # Pure global phase: nothing observable remains.
+                return
+            rebuilt.append(Instruction(matrix_to_u_gate(matrix), (qubit,)))
+
+        for instruction in circuit.instructions:
+            spec = GATE_SPECS.get(instruction.name)
+            is_mergeable = (
+                spec is not None
+                and spec.num_qubits == 1
+                and instruction.name not in NON_UNITARY_OPERATIONS
+            )
+            if is_mergeable:
+                pending.setdefault(instruction.qubits[0], []).append(instruction)
+                continue
+            for qubit in instruction.qubits:
+                flush(qubit)
+            rebuilt.append(instruction)
+        for qubit in list(pending):
+            flush(qubit)
+        return rebuilt
+
+
+class CommutationAnalysis(AnalysisPass):
+    """Record, per qubit wire, which adjacent gates commute.
+
+    The simplified rule set covers what :class:`CommutativeCancellation`
+    needs: diagonal gates commute with each other and with the control of a
+    CX; X-like gates commute with the target of a CX.
+    """
+
+    DIAGONAL = {"rz", "z", "s", "sdg", "t", "tdg", "p", "cz", "cp", "crz", "rzz"}
+    X_LIKE = {"x", "sx", "sxdg", "rx"}
+
+    def analyse(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        commuting_pairs: List[Tuple[int, int]] = []
+        instructions = list(circuit.instructions)
+        last_on_qubit: Dict[int, int] = {}
+        for index, instruction in enumerate(instructions):
+            if instruction.is_directive:
+                continue
+            for qubit in instruction.qubits:
+                previous = last_on_qubit.get(qubit)
+                if previous is not None and self._commute_on_wire(
+                    instructions[previous], instruction, qubit
+                ):
+                    commuting_pairs.append((previous, index))
+                last_on_qubit[qubit] = index
+        properties["commuting_pairs"] = commuting_pairs
+
+    @classmethod
+    def _commute_on_wire(cls, first: Instruction, second: Instruction,
+                         qubit: int) -> bool:
+        def role(instruction: Instruction) -> str:
+            if instruction.name == "cx":
+                return "control" if instruction.qubits[0] == qubit else "target"
+            if instruction.name in cls.DIAGONAL:
+                return "diagonal"
+            if instruction.name in cls.X_LIKE:
+                return "xlike"
+            return "other"
+
+        first_role = role(first)
+        second_role = role(second)
+        commuting = {
+            ("diagonal", "diagonal"),
+            ("diagonal", "control"),
+            ("control", "diagonal"),
+            ("control", "control"),
+            ("xlike", "target"),
+            ("target", "xlike"),
+            ("target", "target"),
+            ("xlike", "xlike"),
+        }
+        return (first_role, second_role) in commuting
+
+
+class CommutativeCancellation(TransformationPass):
+    """Cancel adjacent self-inverse gate pairs on the same qubits.
+
+    Handles the common hardware-relevant cases: back-to-back CX (same
+    control/target), doubled X/H/Z/SWAP, and merges of adjacent ``rz``
+    rotations on the same qubit.
+    """
+
+    def transform(self, circuit: QuantumCircuit,
+                  properties: PropertySet) -> QuantumCircuit:
+        instructions = list(circuit.instructions)
+        changed = True
+        while changed:
+            changed = False
+            index = 0
+            while index < len(instructions):
+                instruction = instructions[index]
+                if instruction.is_directive or instruction.name in NON_UNITARY_OPERATIONS:
+                    index += 1
+                    continue
+                partner = self._find_adjacent_partner(instructions, index)
+                if partner is None:
+                    index += 1
+                    continue
+                other = instructions[partner]
+                if self._cancels(instruction, other):
+                    del instructions[partner]
+                    del instructions[index]
+                    changed = True
+                    index = max(index - 1, 0)
+                    continue
+                merged = self._merge_rotations(instruction, other)
+                if merged is not None:
+                    instructions[index] = merged
+                    del instructions[partner]
+                    changed = True
+                    continue
+                index += 1
+        rebuilt = QuantumCircuit(circuit.num_qubits, circuit.num_clbits,
+                                 name=circuit.name, metadata=dict(circuit.metadata))
+        for instruction in instructions:
+            rebuilt.append(instruction)
+        return rebuilt
+
+    @staticmethod
+    def _find_adjacent_partner(instructions: List[Instruction],
+                               index: int) -> Optional[int]:
+        """Next instruction touching the same qubits with nothing in between."""
+        current = instructions[index]
+        qubits = set(current.qubits)
+        for later in range(index + 1, len(instructions)):
+            other = instructions[later]
+            if other.is_directive:
+                # A barrier touching these qubits blocks cancellation across it.
+                if set(other.qubits) & qubits:
+                    return None
+                continue
+            overlap = set(other.qubits) & qubits
+            if not overlap:
+                continue
+            if set(other.qubits) == qubits:
+                return later
+            return None
+        return None
+
+    @staticmethod
+    def _cancels(first: Instruction, second: Instruction) -> bool:
+        if first.name != second.name:
+            return False
+        spec = first.gate.spec
+        if not spec.self_inverse:
+            return False
+        if first.name == "cx":
+            return first.qubits == second.qubits
+        return set(first.qubits) == set(second.qubits) and not first.gate.params
+
+    @staticmethod
+    def _merge_rotations(first: Instruction,
+                         second: Instruction) -> Optional[Instruction]:
+        mergeable = {"rz", "rx", "ry", "p", "cp", "crz", "rzz"}
+        if first.name != second.name or first.name not in mergeable:
+            return None
+        if first.qubits != second.qubits:
+            return None
+        total = first.gate.params[0] + second.gate.params[0]
+        if abs(total) < 1e-12:
+            return Instruction(Gate("id"), (first.qubits[0],))
+        return Instruction(Gate(first.name, (total,)), first.qubits, first.clbits)
+
+
+class Collect2qBlocks(AnalysisPass):
+    """Group maximal runs of gates acting on the same qubit pair.
+
+    The collected blocks are stored in the property set and consumed by
+    :class:`ConsolidateBlocks`.
+    """
+
+    def analyse(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        blocks: List[List[int]] = []
+        current_pair: Optional[Tuple[int, ...]] = None
+        current_block: List[int] = []
+        for index, instruction in enumerate(circuit.instructions):
+            if instruction.is_two_qubit_gate:
+                pair = tuple(sorted(instruction.qubits))
+                if pair == current_pair:
+                    current_block.append(index)
+                else:
+                    if len(current_block) > 1:
+                        blocks.append(current_block)
+                    current_pair = pair
+                    current_block = [index]
+            elif instruction.is_directive or instruction.name in NON_UNITARY_OPERATIONS:
+                if len(current_block) > 1:
+                    blocks.append(current_block)
+                current_pair = None
+                current_block = []
+            else:
+                # 1-qubit gates inside the pair keep the block alive.
+                if current_pair is not None and instruction.qubits[0] in current_pair:
+                    current_block.append(index)
+                else:
+                    if len(current_block) > 1:
+                        blocks.append(current_block)
+                    current_pair = None
+                    current_block = []
+        if len(current_block) > 1:
+            blocks.append(current_block)
+        properties["blocks_2q"] = blocks
+
+
+class ConsolidateBlocks(TransformationPass):
+    """Cancel redundant CX pairs inside collected two-qubit blocks.
+
+    Within each block (gates confined to one qubit pair), adjacent identical
+    CX gates with no interposed gate on either qubit annihilate.  This is the
+    hardware-relevant subset of full KAK re-synthesis and reduces CX counts
+    without changing semantics.
+    """
+
+    def transform(self, circuit: QuantumCircuit,
+                  properties: PropertySet) -> QuantumCircuit:
+        blocks: List[List[int]] = properties.get("blocks_2q") or []
+        if not blocks:
+            Collect2qBlocks().analyse(circuit, properties)
+            blocks = properties.get("blocks_2q") or []
+        instructions = list(circuit.instructions)
+        to_remove: Set[int] = set()
+        for block in blocks:
+            previous_cx: Optional[int] = None
+            for index in block:
+                instruction = instructions[index]
+                if instruction.name == "cx":
+                    if (previous_cx is not None
+                            and instructions[previous_cx].qubits == instruction.qubits):
+                        to_remove.add(previous_cx)
+                        to_remove.add(index)
+                        previous_cx = None
+                    else:
+                        previous_cx = index
+                elif not instruction.is_directive:
+                    previous_cx = None
+        rebuilt = QuantumCircuit(circuit.num_qubits, circuit.num_clbits,
+                                 name=circuit.name, metadata=dict(circuit.metadata))
+        for index, instruction in enumerate(instructions):
+            if index in to_remove:
+                continue
+            rebuilt.append(instruction)
+        properties["consolidated_cx_removed"] = len(to_remove)
+        return rebuilt

@@ -1,0 +1,168 @@
+"""Routing passes: make every two-qubit gate nearest-neighbour.
+
+On hardware with restricted connectivity (Section IV-A of the paper), gates
+between non-adjacent qubits require SWAP insertion, which inflates CX depth
+and is the main reason utilisation of large machines stays low (Fig. 8).
+:class:`StochasticSwap` runs several randomised routing trials and keeps the
+cheapest — the expensive pass that dominates Fig. 5 at large qubit counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.core.exceptions import TranspilerError
+from repro.core.rng import RandomSource
+from repro.devices.topology import CouplingMap
+from repro.transpiler.layout import Layout
+from repro.transpiler.passes.base import AnalysisPass, PropertySet, TransformationPass
+
+
+def _require_physical_circuit(circuit: QuantumCircuit,
+                              coupling_map: CouplingMap) -> None:
+    if circuit.num_qubits > coupling_map.num_qubits:
+        raise TranspilerError(
+            "routing requires the circuit to be embedded on the device "
+            f"(circuit width {circuit.num_qubits} > device "
+            f"{coupling_map.num_qubits})"
+        )
+
+
+class CheckMap(AnalysisPass):
+    """Record whether every 2-qubit gate acts on coupled physical qubits."""
+
+    def analyse(self, circuit: QuantumCircuit, properties: PropertySet) -> None:
+        coupling_map: CouplingMap = properties.require("coupling_map")
+        mapped = True
+        for instruction in circuit.instructions:
+            if instruction.is_two_qubit_gate:
+                a, b = instruction.qubits
+                if a >= coupling_map.num_qubits or b >= coupling_map.num_qubits:
+                    mapped = False
+                    break
+                if not coupling_map.are_connected(a, b):
+                    mapped = False
+                    break
+        properties["is_swap_mapped"] = mapped
+
+
+class _Router:
+    """Shared swap-insertion machinery for the routing passes."""
+
+    def __init__(self, coupling_map: CouplingMap, rng: Optional[RandomSource]):
+        self.coupling_map = coupling_map
+        self.rng = rng
+
+    def route(self, circuit: QuantumCircuit) -> Tuple[QuantumCircuit, Layout, int]:
+        """Insert swaps; returns (routed circuit, wire->physical layout, #swaps)."""
+        num_physical = self.coupling_map.num_qubits
+        routed = QuantumCircuit(
+            num_physical, circuit.num_clbits, name=circuit.name,
+            metadata=dict(circuit.metadata),
+        )
+        position: Dict[int, int] = {w: w for w in range(num_physical)}
+        occupant: Dict[int, int] = {p: w for w, p in position.items()}
+        swap_count = 0
+
+        for instruction in circuit.instructions:
+            if instruction.is_two_qubit_gate:
+                wire_a, wire_b = instruction.qubits
+                swap_count += self._bring_adjacent(
+                    routed, position, occupant, wire_a, wire_b
+                )
+                routed.append(Instruction(
+                    instruction.gate,
+                    (position[wire_a], position[wire_b]),
+                    instruction.clbits,
+                ))
+            elif instruction.is_directive:
+                physical = tuple(position[w] for w in instruction.qubits)
+                routed.append(Instruction(instruction.gate, physical))
+            else:
+                physical = tuple(position[w] for w in instruction.qubits)
+                routed.append(Instruction(instruction.gate, physical,
+                                          instruction.clbits))
+        final_layout = Layout({w: position[w] for w in range(num_physical)})
+        return routed, final_layout, swap_count
+
+    def _bring_adjacent(self, routed: QuantumCircuit, position: Dict[int, int],
+                        occupant: Dict[int, int], wire_a: int, wire_b: int) -> int:
+        """Insert swaps until the two wires sit on coupled physical qubits."""
+        swaps = 0
+        guard = 4 * self.coupling_map.num_qubits + 8
+        while not self.coupling_map.are_connected(position[wire_a], position[wire_b]):
+            if swaps > guard:
+                raise TranspilerError(
+                    "routing failed to converge; is the coupling map connected?"
+                )
+            path = self.coupling_map.shortest_path(position[wire_a], position[wire_b])
+            if len(path) < 3:
+                break
+            # Choose which endpoint to move one step along the path.
+            move_from_a = True
+            if self.rng is not None and self.rng.random() < 0.5:
+                move_from_a = False
+            if move_from_a:
+                here, there = path[0], path[1]
+                moving_wire = wire_a
+            else:
+                here, there = path[-1], path[-2]
+                moving_wire = wire_b
+            self._apply_swap(routed, position, occupant, here, there)
+            swaps += 1
+            assert position[moving_wire] == there
+        return swaps
+
+    @staticmethod
+    def _apply_swap(routed: QuantumCircuit, position: Dict[int, int],
+                    occupant: Dict[int, int], physical_a: int, physical_b: int) -> None:
+        routed.append(Instruction(Gate("swap"), (physical_a, physical_b)))
+        wire_a = occupant[physical_a]
+        wire_b = occupant[physical_b]
+        position[wire_a], position[wire_b] = physical_b, physical_a
+        occupant[physical_a], occupant[physical_b] = wire_b, wire_a
+
+
+class BasicSwap(TransformationPass):
+    """Deterministic shortest-path swap insertion."""
+
+    def transform(self, circuit: QuantumCircuit,
+                  properties: PropertySet) -> QuantumCircuit:
+        coupling_map: CouplingMap = properties.require("coupling_map")
+        _require_physical_circuit(circuit, coupling_map)
+        routed, final_layout, swap_count = _Router(coupling_map, rng=None).route(circuit)
+        properties["final_layout"] = final_layout
+        properties["swap_count"] = swap_count
+        return routed
+
+
+class StochasticSwap(TransformationPass):
+    """Randomised multi-trial swap insertion; the cheapest trial wins."""
+
+    def __init__(self, trials: int = 5, seed: int = 17):
+        if trials < 1:
+            raise TranspilerError("StochasticSwap needs at least one trial")
+        self.trials = trials
+        self.seed = seed
+
+    def transform(self, circuit: QuantumCircuit,
+                  properties: PropertySet) -> QuantumCircuit:
+        coupling_map: CouplingMap = properties.require("coupling_map")
+        _require_physical_circuit(circuit, coupling_map)
+        rng = RandomSource(self.seed, name="stochastic_swap")
+
+        best: Optional[Tuple[int, QuantumCircuit, Layout]] = None
+        for trial in range(self.trials):
+            router = _Router(coupling_map, rng=rng.child("trial", trial))
+            routed, final_layout, swap_count = router.route(circuit)
+            if best is None or swap_count < best[0]:
+                best = (swap_count, routed, final_layout)
+            if swap_count == 0:
+                break
+        assert best is not None
+        swap_count, routed, final_layout = best
+        properties["final_layout"] = final_layout
+        properties["swap_count"] = swap_count
+        return routed

@@ -1,0 +1,312 @@
+"""Unrolling and basis-translation passes.
+
+IBM backends of the study period execute the basis ``{id, rz, sx, x, cx}``;
+everything else (H, T, SWAP, controlled phases, Toffolis, parametrised
+rotations) must be rewritten.  :class:`Unroll3qOrMore` breaks 3-qubit gates
+into 1- and 2-qubit gates, :class:`BasisTranslator` rewrites the remainder
+into the target basis, and :class:`UnitarySynthesis` re-synthesises merged
+1-qubit unitaries via ZYZ Euler angles.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.gates import Gate, gate_matrix
+from repro.core.exceptions import TranspilerError
+from repro.transpiler.passes.base import PropertySet, TransformationPass
+
+#: A decomposition step: (gate name, parameter builder, local qubit indices).
+_Step = Tuple[str, Callable[[Sequence[float]], Tuple[float, ...]], Tuple[int, ...]]
+
+
+def _const(*values: float) -> Callable[[Sequence[float]], Tuple[float, ...]]:
+    return lambda params: tuple(values)
+
+
+def _no_params(params: Sequence[float]) -> Tuple[float, ...]:
+    return ()
+
+
+#: Decomposition rules toward the {rz, sx, x, cx} basis.  Each rule expands a
+#: single gate into a list of steps on the same qubits (local indices).
+DECOMPOSITION_RULES: Dict[str, List[_Step]] = {
+    "h": [
+        ("rz", _const(math.pi / 2), (0,)),
+        ("sx", _no_params, (0,)),
+        ("rz", _const(math.pi / 2), (0,)),
+    ],
+    "z": [("rz", _const(math.pi), (0,))],
+    "s": [("rz", _const(math.pi / 2), (0,))],
+    "sdg": [("rz", _const(-math.pi / 2), (0,))],
+    "t": [("rz", _const(math.pi / 4), (0,))],
+    "tdg": [("rz", _const(-math.pi / 4), (0,))],
+    "p": [("rz", lambda p: (p[0],), (0,))],
+    "y": [
+        ("rz", _const(math.pi), (0,)),
+        ("x", _no_params, (0,)),
+    ],
+    "sxdg": [
+        ("rz", _const(math.pi), (0,)),
+        ("sx", _no_params, (0,)),
+        ("rz", _const(math.pi), (0,)),
+    ],
+    "rx": [("u", lambda p: (p[0], -math.pi / 2, math.pi / 2), (0,))],
+    "ry": [("u", lambda p: (p[0], 0.0, 0.0), (0,))],
+    "u": [
+        ("rz", lambda p: (p[2],), (0,)),
+        ("sx", _no_params, (0,)),
+        ("rz", lambda p: (p[0] + math.pi,), (0,)),
+        ("sx", _no_params, (0,)),
+        ("rz", lambda p: (p[1] + math.pi,), (0,)),
+    ],
+    "swap": [
+        ("cx", _no_params, (0, 1)),
+        ("cx", _no_params, (1, 0)),
+        ("cx", _no_params, (0, 1)),
+    ],
+    "cz": [
+        ("h", _no_params, (1,)),
+        ("cx", _no_params, (0, 1)),
+        ("h", _no_params, (1,)),
+    ],
+    "cp": [
+        ("rz", lambda p: (p[0] / 2,), (0,)),
+        ("cx", _no_params, (0, 1)),
+        ("rz", lambda p: (-p[0] / 2,), (1,)),
+        ("cx", _no_params, (0, 1)),
+        ("rz", lambda p: (p[0] / 2,), (1,)),
+    ],
+    "crz": [
+        ("rz", lambda p: (p[0] / 2,), (1,)),
+        ("cx", _no_params, (0, 1)),
+        ("rz", lambda p: (-p[0] / 2,), (1,)),
+        ("cx", _no_params, (0, 1)),
+    ],
+    "rzz": [
+        ("cx", _no_params, (0, 1)),
+        ("rz", lambda p: (p[0],), (1,)),
+        ("cx", _no_params, (0, 1)),
+    ],
+    "iswap": [
+        ("s", _no_params, (0,)),
+        ("s", _no_params, (1,)),
+        ("h", _no_params, (0,)),
+        ("cx", _no_params, (0, 1)),
+        ("cx", _no_params, (1, 0)),
+        ("h", _no_params, (1,)),
+    ],
+    "ccx": [
+        ("h", _no_params, (2,)),
+        ("cx", _no_params, (1, 2)),
+        ("tdg", _no_params, (2,)),
+        ("cx", _no_params, (0, 2)),
+        ("t", _no_params, (2,)),
+        ("cx", _no_params, (1, 2)),
+        ("tdg", _no_params, (2,)),
+        ("cx", _no_params, (0, 2)),
+        ("t", _no_params, (1,)),
+        ("t", _no_params, (2,)),
+        ("h", _no_params, (2,)),
+        ("cx", _no_params, (0, 1)),
+        ("t", _no_params, (0,)),
+        ("tdg", _no_params, (1,)),
+        ("cx", _no_params, (0, 1)),
+    ],
+    "cswap": [
+        ("cx", _no_params, (2, 1)),
+        ("ccx", _no_params, (0, 1, 2)),
+        ("cx", _no_params, (2, 1)),
+    ],
+}
+
+THREE_QUBIT_GATES = ("ccx", "cswap")
+
+
+def _expand_instruction(instruction: Instruction,
+                        expandable: Sequence[str]) -> List[Instruction]:
+    """Expand one instruction a single level if its name is expandable."""
+    name = instruction.name
+    if name not in expandable or name not in DECOMPOSITION_RULES:
+        return [instruction]
+    rule = DECOMPOSITION_RULES[name]
+    params = instruction.gate.params
+    expanded: List[Instruction] = []
+    for gate_name, param_builder, local_qubits in rule:
+        qubits = tuple(instruction.qubits[i] for i in local_qubits)
+        expanded.append(Instruction(Gate(gate_name, param_builder(params)), qubits))
+    return expanded
+
+
+def _expand_until(circuit: QuantumCircuit, should_expand: Callable[[str], bool],
+                  max_rounds: int = 12) -> QuantumCircuit:
+    """Repeatedly expand instructions whose name satisfies ``should_expand``."""
+    current = circuit
+    for _ in range(max_rounds):
+        changed = False
+        rebuilt = QuantumCircuit(current.num_qubits, current.num_clbits,
+                                 name=current.name,
+                                 metadata=dict(current.metadata))
+        for instruction in current.instructions:
+            if should_expand(instruction.name):
+                pieces = _expand_instruction(instruction,
+                                             [instruction.name])
+                if len(pieces) != 1 or pieces[0] is not instruction:
+                    changed = True
+                for piece in pieces:
+                    rebuilt.append(piece)
+            else:
+                rebuilt.append(instruction)
+        current = rebuilt
+        if not changed:
+            return current
+    # One more scan to confirm convergence.
+    for instruction in current.instructions:
+        if should_expand(instruction.name):
+            raise TranspilerError(
+                f"could not fully expand gate {instruction.name!r}"
+            )
+    return current
+
+
+class Unroll3qOrMore(TransformationPass):
+    """Expand gates on three or more qubits into 1- and 2-qubit gates."""
+
+    def transform(self, circuit: QuantumCircuit,
+                  properties: PropertySet) -> QuantumCircuit:
+        return _expand_until(circuit, lambda name: name in THREE_QUBIT_GATES)
+
+
+class UnrollCustomDefinitions(TransformationPass):
+    """Expand gates that have no entry in the target equivalence library.
+
+    With the standard library loaded this amounts to a validation scan; any
+    gate for which neither a decomposition rule nor basis membership exists
+    is rejected here rather than deep inside basis translation.
+    """
+
+    def __init__(self, basis: Sequence[str] = ("id", "rz", "sx", "x", "cx")):
+        self.basis = tuple(basis)
+
+    def transform(self, circuit: QuantumCircuit,
+                  properties: PropertySet) -> QuantumCircuit:
+        allowed = set(self.basis) | set(DECOMPOSITION_RULES) | {
+            "measure", "reset", "barrier", "id", "x", "sx", "rz", "cx",
+        }
+        for instruction in circuit.instructions:
+            if instruction.name not in allowed:
+                raise TranspilerError(
+                    f"gate {instruction.name!r} has no decomposition toward "
+                    f"basis {self.basis}"
+                )
+        return circuit
+
+
+class BasisTranslator(TransformationPass):
+    """Rewrite every gate into the target basis using the rule library."""
+
+    def __init__(self, basis: Sequence[str] = ("id", "rz", "sx", "x", "cx")):
+        self.basis = tuple(basis)
+
+    def transform(self, circuit: QuantumCircuit,
+                  properties: PropertySet) -> QuantumCircuit:
+        keep = set(self.basis) | {"measure", "reset", "barrier"}
+
+        def needs_expansion(name: str) -> bool:
+            return name not in keep
+
+        translated = _expand_until(circuit, needs_expansion)
+        properties["basis"] = self.basis
+        return translated
+
+
+class UnitarySynthesis(TransformationPass):
+    """Re-synthesise ``u`` gates (merged 1-qubit unitaries) into the basis.
+
+    Uses the ZYZ Euler decomposition of the gate's matrix, then the standard
+    rz-sx-rz-sx-rz identity, dropping rotations with negligible angles.
+    """
+
+    def __init__(self, tolerance: float = 1e-9):
+        self.tolerance = tolerance
+
+    def transform(self, circuit: QuantumCircuit,
+                  properties: PropertySet) -> QuantumCircuit:
+        rebuilt = QuantumCircuit(circuit.num_qubits, circuit.num_clbits,
+                                 name=circuit.name,
+                                 metadata=dict(circuit.metadata))
+        for instruction in circuit.instructions:
+            if instruction.name != "u":
+                rebuilt.append(instruction)
+                continue
+            qubit = instruction.qubits[0]
+            theta, phi, lam = instruction.gate.params
+            for gate in self._synthesise(theta, phi, lam):
+                rebuilt.append(Instruction(gate, (qubit,)))
+        return rebuilt
+
+    def _synthesise(self, theta: float, phi: float, lam: float) -> List[Gate]:
+        tol = self.tolerance
+        theta = _normalise_angle(theta)
+        if abs(theta) < tol:
+            total = _normalise_angle(phi + lam)
+            if abs(total) < tol:
+                return []
+            return [Gate("rz", (total,))]
+        gates: List[Gate] = []
+        if abs(_normalise_angle(lam)) > tol:
+            gates.append(Gate("rz", (_normalise_angle(lam),)))
+        gates.append(Gate("sx"))
+        gates.append(Gate("rz", (_normalise_angle(theta + math.pi),)))
+        gates.append(Gate("sx"))
+        gates.append(Gate("rz", (_normalise_angle(phi + math.pi),)))
+        return gates
+
+
+def euler_zyz_angles(matrix: np.ndarray) -> Tuple[float, float, float]:
+    """ZYZ Euler angles (theta, phi, lam) of a 2x2 unitary, up to global phase."""
+    if matrix.shape != (2, 2):
+        raise TranspilerError("euler_zyz_angles expects a 2x2 matrix")
+    # Remove global phase so that the matrix is special unitary.
+    det = np.linalg.det(matrix)
+    su2 = matrix / cmath.sqrt(det)
+    theta = 2.0 * math.atan2(abs(su2[1, 0]), abs(su2[0, 0]))
+    if abs(su2[0, 0]) < 1e-12:
+        phi_plus_lam = 0.0
+        phi_minus_lam = 2.0 * cmath.phase(su2[1, 0])
+    elif abs(su2[1, 0]) < 1e-12:
+        phi_minus_lam = 0.0
+        phi_plus_lam = 2.0 * cmath.phase(su2[1, 1])
+    else:
+        phi_plus_lam = cmath.phase(su2[1, 1]) - cmath.phase(su2[0, 0])
+        phi_minus_lam = cmath.phase(su2[1, 0]) - cmath.phase(-su2[0, 1])
+    phi = (phi_plus_lam + phi_minus_lam) / 2.0
+    lam = (phi_plus_lam - phi_minus_lam) / 2.0
+    return theta, phi, lam
+
+
+def matrix_to_u_gate(matrix: np.ndarray) -> Gate:
+    """Convert a 2x2 unitary into the equivalent ``u`` gate."""
+    theta, phi, lam = euler_zyz_angles(matrix)
+    return Gate("u", (theta, phi, lam))
+
+
+def instruction_sequence_matrix(gates: Sequence[Gate]) -> np.ndarray:
+    """Product matrix of a run of single-qubit gates (applied left-to-right)."""
+    result = np.eye(2, dtype=complex)
+    for gate in gates:
+        result = gate_matrix(gate) @ result
+    return result
+
+
+def _normalise_angle(angle: float) -> float:
+    """Wrap an angle into (-pi, pi]."""
+    wrapped = math.fmod(angle + math.pi, 2.0 * math.pi)
+    if wrapped <= 0:
+        wrapped += 2.0 * math.pi
+    return wrapped - math.pi

@@ -1,0 +1,191 @@
+"""Preset transpilation pipelines (optimisation levels 0-3).
+
+The level-3 pipeline mirrors the pass sequence the paper times in Fig. 5:
+layout search (CSP, then noise-adaptive/dense fallback, with SABRE available
+at level 3), ancilla allocation, layout application, stochastic swap routing,
+3q unrolling, basis translation, and the peephole optimisation loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.core.exceptions import TranspilerError
+from repro.devices.backend import Backend
+from repro.transpiler.layout import Layout
+from repro.transpiler.passmanager import PassManager, TranspileResult
+from repro.transpiler.passes.allocation import (
+    ApplyLayout,
+    EnlargeWithAncilla,
+    FullAncillaAllocation,
+)
+from repro.transpiler.passes.base import BasePass, PropertySet
+from repro.transpiler.passes.layout_passes import (
+    CSPLayout,
+    DenseLayout,
+    NoiseAdaptiveLayout,
+    SabreLayout,
+    SetLayout,
+    TrivialLayout,
+)
+from repro.transpiler.passes.optimization import (
+    BarrierBeforeFinalMeasurements,
+    Collect2qBlocks,
+    CommutationAnalysis,
+    CommutativeCancellation,
+    ConsolidateBlocks,
+    Depth,
+    FixedPoint,
+    Optimize1qGates,
+    OptimizeSwapBeforeMeasure,
+    RemoveDiagonalGatesBeforeMeasure,
+    RemoveResetInZeroState,
+)
+from repro.transpiler.passes.routing import BasicSwap, CheckMap, StochasticSwap
+from repro.transpiler.passes.unroll import (
+    BasisTranslator,
+    Unroll3qOrMore,
+    UnitarySynthesis,
+    UnrollCustomDefinitions,
+)
+
+#: Available optimisation levels.
+OPTIMIZATION_LEVELS = (0, 1, 2, 3)
+
+
+def _level_0(seed: int) -> List[BasePass]:
+    return [
+        SetLayout(),
+        TrivialLayout(),
+        FullAncillaAllocation(),
+        EnlargeWithAncilla(),
+        ApplyLayout(),
+        CheckMap(),
+        BasicSwap(),
+        Unroll3qOrMore(),
+        UnrollCustomDefinitions(),
+        BasisTranslator(),
+        Depth(),
+    ]
+
+
+def _level_1(seed: int) -> List[BasePass]:
+    return [
+        SetLayout(),
+        TrivialLayout(),
+        FullAncillaAllocation(),
+        EnlargeWithAncilla(),
+        ApplyLayout(),
+        CheckMap(),
+        StochasticSwap(trials=3, seed=seed),
+        Unroll3qOrMore(),
+        UnrollCustomDefinitions(),
+        BasisTranslator(),
+        Optimize1qGates(),
+        UnitarySynthesis(),
+        Depth(),
+        FixedPoint("depth"),
+    ]
+
+
+def _level_2(seed: int) -> List[BasePass]:
+    return [
+        SetLayout(),
+        CSPLayout(max_assignments=5000),
+        DenseLayout(),
+        FullAncillaAllocation(),
+        EnlargeWithAncilla(),
+        ApplyLayout(),
+        BarrierBeforeFinalMeasurements(),
+        CheckMap(),
+        StochasticSwap(trials=4, seed=seed),
+        Unroll3qOrMore(),
+        UnrollCustomDefinitions(),
+        BasisTranslator(),
+        RemoveResetInZeroState(),
+        RemoveDiagonalGatesBeforeMeasure(),
+        CommutationAnalysis(),
+        CommutativeCancellation(),
+        Optimize1qGates(),
+        UnitarySynthesis(),
+        Depth(),
+        FixedPoint("depth"),
+    ]
+
+
+def _level_3(seed: int) -> List[BasePass]:
+    return [
+        SetLayout(),
+        CSPLayout(max_assignments=10000),
+        NoiseAdaptiveLayout(),
+        FullAncillaAllocation(),
+        EnlargeWithAncilla(),
+        ApplyLayout(),
+        BarrierBeforeFinalMeasurements(),
+        CheckMap(),
+        StochasticSwap(trials=5, seed=seed),
+        OptimizeSwapBeforeMeasure(),
+        Unroll3qOrMore(),
+        UnrollCustomDefinitions(),
+        BasisTranslator(),
+        RemoveResetInZeroState(),
+        RemoveDiagonalGatesBeforeMeasure(),
+        Collect2qBlocks(),
+        ConsolidateBlocks(),
+        CommutationAnalysis(),
+        CommutativeCancellation(),
+        Optimize1qGates(),
+        UnitarySynthesis(),
+        Depth(),
+        FixedPoint("depth"),
+    ]
+
+
+_LEVEL_BUILDERS = {0: _level_0, 1: _level_1, 2: _level_2, 3: _level_3}
+
+
+def preset_pass_manager(optimization_level: int = 1, seed: int = 17) -> PassManager:
+    """Build the preset pass manager for an optimisation level."""
+    try:
+        builder = _LEVEL_BUILDERS[optimization_level]
+    except KeyError:
+        raise TranspilerError(
+            f"optimization_level must be one of {OPTIMIZATION_LEVELS}, "
+            f"got {optimization_level}"
+        ) from None
+    return PassManager(builder(seed), name=f"level_{optimization_level}")
+
+
+def transpile(
+    circuit: QuantumCircuit,
+    backend: Backend,
+    optimization_level: int = 1,
+    seed: int = 17,
+    compile_time: Optional[float] = None,
+    initial_layout: Optional[Layout] = None,
+) -> TranspileResult:
+    """Compile ``circuit`` for ``backend``.
+
+    Args:
+        circuit: virtual-qubit circuit.
+        backend: target machine.
+        optimization_level: 0 (fastest) to 3 (most optimised).
+        seed: seed for the stochastic passes.
+        compile_time: simulated timestamp of compilation; selects the
+            calibration snapshot seen by noise-aware passes.
+        initial_layout: force a specific virtual→physical layout.
+    """
+    if circuit.num_qubits > backend.num_qubits:
+        raise TranspilerError(
+            f"circuit needs {circuit.num_qubits} qubits but backend "
+            f"{backend.name} has {backend.num_qubits}"
+        )
+    manager = preset_pass_manager(optimization_level, seed=seed)
+    properties = PropertySet()
+    if initial_layout is not None:
+        properties["requested_layout"] = initial_layout
+    result = manager.run(circuit, backend=backend, properties=properties,
+                         compile_time=compile_time)
+    result.optimization_level = optimization_level
+    return result

@@ -1,0 +1,59 @@
+"""Compile-time model.
+
+Fig. 5 of the paper times individual transpiler passes; Section III-D's
+takeaway is that compile time is seconds for today's circuits but scales by
+100-1000x toward 1000-qubit circuits, dominated by layout and routing.
+
+The trace generator needs a compile-time estimate for every job without
+actually transpiling 600k circuits, so this model provides a closed-form
+estimate whose coefficients were fitted against the real transpiler in
+:mod:`repro.transpiler` (see ``tests/test_compile_model.py`` which checks
+the model stays within an order of magnitude of measured times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.exceptions import WorkloadError
+from repro.core.rng import RandomSource
+from repro.workloads.circuit_metrics import CircuitMetrics
+
+
+@dataclass(frozen=True)
+class CompileTimeModel:
+    """Analytic per-circuit compile-time estimate (seconds)."""
+
+    #: cost per gate for the linear passes (translation, peephole)
+    per_gate_seconds: float = 6.0e-6
+    #: routing/layout cost coefficient (scales with width^2 * depth-ish term)
+    routing_coefficient: float = 2.5e-7
+    #: fixed pass-manager overhead per circuit
+    fixed_seconds: float = 1.5e-3
+    #: lognormal jitter applied when a random source is supplied
+    jitter_sigma: float = 0.25
+
+    def circuit_seconds(self, metrics: CircuitMetrics, machine_qubits: int,
+                        rng: Optional[RandomSource] = None) -> float:
+        """Compile time of one circuit targeting a machine of given size."""
+        if machine_qubits < 1:
+            raise WorkloadError("machine_qubits must be positive")
+        linear = self.per_gate_seconds * metrics.num_gates
+        # Layout/routing explore the device graph: cost grows with both the
+        # circuit's two-qubit structure and the machine size.
+        routing = self.routing_coefficient * metrics.cx_count * machine_qubits \
+            * (1.0 + metrics.width / 16.0)
+        total = self.fixed_seconds + linear + routing
+        if rng is not None and self.jitter_sigma > 0:
+            total *= rng.lognormal(0.0, self.jitter_sigma)
+        return total
+
+    def job_seconds(self, metrics: CircuitMetrics, batch_size: int,
+                    machine_qubits: int,
+                    rng: Optional[RandomSource] = None) -> float:
+        """Compile time of a whole job (its circuits compiled one by one)."""
+        if batch_size < 1:
+            raise WorkloadError("batch_size must be at least 1")
+        per_circuit = self.circuit_seconds(metrics, machine_qubits, rng=rng)
+        return per_circuit * batch_size

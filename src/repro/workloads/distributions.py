@@ -1,0 +1,135 @@
+"""Samplers for the workload's marginal distributions.
+
+Calibration targets (from the paper):
+
+* batch sizes span 1-900 with most jobs well below the 900 limit (Fig. 11),
+  and the mean batch size is around 100 so ~6000 jobs yield ~600k circuits;
+* shots are the typical IBM values (1024/2048/4096/8192, capped at 8192);
+* circuit widths are NISQ-scale (the vast majority under 10 qubits), which
+  combined with the machine fleet gives the utilisation shape of Fig. 8;
+* circuit families are the benchmark families of the circuit library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.exceptions import WorkloadError
+from repro.core.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class BatchSizeSampler:
+    """Mixture model for the number of circuits batched into one job."""
+
+    max_batch: int = 900
+    #: (probability, low, high) for each mixture component
+    components: Tuple[Tuple[float, int, int], ...] = (
+        (0.52, 1, 16),      # small exploratory jobs
+        (0.30, 16, 200),    # medium parameter sweeps
+        (0.18, 200, 900),   # heavily batched production jobs
+    )
+
+    def __post_init__(self):
+        total = sum(p for p, _, _ in self.components)
+        if abs(total - 1.0) > 1e-6:
+            raise WorkloadError("batch-size mixture probabilities must sum to 1")
+
+    def sample(self, rng: RandomSource) -> int:
+        draw = rng.random()
+        cumulative = 0.0
+        for probability, low, high in self.components:
+            cumulative += probability
+            if draw <= cumulative:
+                value = int(round(rng.uniform(low, high)))
+                return max(1, min(self.max_batch, value))
+        return 1
+
+
+@dataclass(frozen=True)
+class ShotsSampler:
+    """Categorical sampler over the common shots settings."""
+
+    values: Tuple[int, ...] = (100, 500, 1000, 1024, 2048, 4096, 8192)
+    weights: Tuple[float, ...] = (0.02, 0.04, 0.07, 0.20, 0.16, 0.15, 0.36)
+    max_shots: int = 8192
+
+    def __post_init__(self):
+        if len(self.values) != len(self.weights):
+            raise WorkloadError("shots values and weights must align")
+        if abs(sum(self.weights) - 1.0) > 1e-6:
+            raise WorkloadError("shots weights must sum to 1")
+
+    def sample(self, rng: RandomSource) -> int:
+        value = rng.choice(list(self.values), p=list(self.weights))
+        return min(int(value), self.max_shots)
+
+
+@dataclass(frozen=True)
+class WidthSampler:
+    """Circuit width (qubit count) distribution.
+
+    NISQ workloads are small: ~70 % of circuits use 2-5 qubits, a tail goes
+    up to the mid-20s (and occasionally larger on the biggest machines).
+    """
+
+    components: Tuple[Tuple[float, int, int], ...] = (
+        (0.42, 2, 4),
+        (0.33, 4, 6),
+        (0.15, 6, 10),
+        (0.07, 10, 16),
+        (0.03, 16, 27),
+    )
+
+    def __post_init__(self):
+        total = sum(p for p, _, _ in self.components)
+        if abs(total - 1.0) > 1e-6:
+            raise WorkloadError("width mixture probabilities must sum to 1")
+
+    def sample(self, rng: RandomSource) -> int:
+        draw = rng.random()
+        cumulative = 0.0
+        for probability, low, high in self.components:
+            cumulative += probability
+            if draw <= cumulative:
+                return max(1, int(round(rng.uniform(low, high))))
+        return 2
+
+
+@dataclass(frozen=True)
+class FamilySampler:
+    """Benchmark circuit family mix."""
+
+    families: Tuple[str, ...] = ("qft", "ghz", "bv", "qaoa", "vqe", "random")
+    weights: Tuple[float, ...] = (0.18, 0.14, 0.12, 0.22, 0.22, 0.12)
+
+    def __post_init__(self):
+        if len(self.families) != len(self.weights):
+            raise WorkloadError("family names and weights must align")
+        if abs(sum(self.weights) - 1.0) > 1e-6:
+            raise WorkloadError("family weights must sum to 1")
+
+    def sample(self, rng: RandomSource) -> str:
+        return str(rng.choice(list(self.families), p=list(self.weights)))
+
+
+@dataclass(frozen=True)
+class WorkloadDistributions:
+    """Bundle of all samplers used by the trace generator."""
+
+    batch_size: BatchSizeSampler = field(default_factory=BatchSizeSampler)
+    shots: ShotsSampler = field(default_factory=ShotsSampler)
+    width: WidthSampler = field(default_factory=WidthSampler)
+    family: FamilySampler = field(default_factory=FamilySampler)
+    #: probability a job is submitted through the privileged provider
+    privileged_fraction: float = 0.55
+
+    def __post_init__(self):
+        if not 0 <= self.privileged_fraction <= 1:
+            raise WorkloadError("privileged_fraction must be in [0, 1]")
+
+    def sample_provider(self, rng: RandomSource) -> str:
+        if rng.random() < self.privileged_fraction:
+            return "academic-hub"
+        return "open"

@@ -1,0 +1,270 @@
+"""The synthetic two-year study trace generator.
+
+:class:`TraceGenerator` drives the cloud simulator with a workload whose
+scale and marginal distributions match the paper's dataset: ~6000 jobs /
+~600k circuits / billions of shots over 28 months across the machine fleet,
+with exponential demand growth, mixed public/privileged access, and the
+mixed user population of :mod:`repro.workloads.users`.
+
+The output is a :class:`~repro.workloads.trace.TraceDataset` ready for the
+analysis layer and the per-figure benches.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence
+
+from repro.cloud.job import CircuitSpec, Job
+from repro.cloud.service import QuantumCloudService
+from repro.core.exceptions import WorkloadError
+from repro.core.rng import RandomSource
+from repro.core.types import JobStatus
+from repro.core.units import DAY_SECONDS
+from repro.devices.backend import Backend
+from repro.devices.catalog import STUDY_MONTHS, fleet_in_study
+from repro.workloads.circuit_metrics import compiled_metrics
+from repro.workloads.compile_model import CompileTimeModel
+from repro.workloads.distributions import WorkloadDistributions
+from repro.workloads.trace import JobRecord, TraceDataset
+from repro.workloads.users import (
+    UserProfile,
+    default_user_population,
+    pick_user,
+)
+
+#: Average length of a study month in seconds.
+MONTH_SECONDS = 30.4 * DAY_SECONDS
+
+
+@dataclass
+class TraceGeneratorConfig:
+    """Knobs of the synthetic trace."""
+
+    total_jobs: int = 6000
+    months: int = STUDY_MONTHS
+    #: ratio between the last month's job rate and the first month's
+    growth_ratio: float = 12.0
+    seed: int = 7
+    distributions: WorkloadDistributions = field(default_factory=WorkloadDistributions)
+    compile_model: CompileTimeModel = field(default_factory=CompileTimeModel)
+    users: Sequence[UserProfile] = field(default_factory=default_user_population)
+    include_simulator: bool = True
+
+    def __post_init__(self):
+        if self.total_jobs < 1:
+            raise WorkloadError("total_jobs must be positive")
+        if self.months < 1:
+            raise WorkloadError("months must be positive")
+        if self.growth_ratio <= 0:
+            raise WorkloadError("growth_ratio must be positive")
+
+    def jobs_per_month(self) -> List[int]:
+        """Exponentially growing monthly job counts summing to ``total_jobs``."""
+        rate = self.growth_ratio ** (1.0 / max(self.months - 1, 1))
+        weights = [rate ** month for month in range(self.months)]
+        total_weight = sum(weights)
+        counts = [int(round(self.total_jobs * w / total_weight)) for w in weights]
+        # Fix rounding drift on the busiest month.
+        drift = self.total_jobs - sum(counts)
+        counts[-1] += drift
+        return [max(0, c) for c in counts]
+
+
+class TraceGenerator:
+    """Generates the study trace by submitting jobs to the cloud simulator."""
+
+    def __init__(self, config: Optional[TraceGeneratorConfig] = None,
+                 fleet: Optional[Dict[str, Backend]] = None,
+                 service: Optional[QuantumCloudService] = None):
+        self.config = config or TraceGeneratorConfig()
+        self._rng = RandomSource(self.config.seed, name="trace_generator")
+        self.fleet = fleet or fleet_in_study(
+            seed=self.config.seed,
+            include_simulator=self.config.include_simulator,
+        )
+        self.service = service or QuantumCloudService(self.fleet, seed=self.config.seed)
+
+    # -- job synthesis ---------------------------------------------------------------
+
+    def _eligible_backends(self, month: int, width: int,
+                           privileged: bool) -> List[Backend]:
+        eligible = []
+        for backend in self.fleet.values():
+            if not backend.is_online_in_month(month):
+                continue
+            if backend.num_qubits < width:
+                continue
+            if not backend.is_public and not privileged:
+                continue
+            eligible.append(backend)
+        return eligible
+
+    def _synthesise_job(self, month: int, submit_time: float,
+                        job_index: int) -> Optional[Job]:
+        config = self.config
+        rng = self._rng.child("job", job_index)
+        distributions = config.distributions
+
+        user = pick_user(config.users, rng)
+        privileged = rng.random() < user.privileged_probability
+        provider = "academic-hub" if privileged else "open"
+
+        width = distributions.width.sample(rng)
+        family = distributions.family.sample(rng)
+        eligible = self._eligible_backends(month, width, privileged)
+        if not eligible:
+            # Shrink the circuit until something fits (tiny early-fleet months).
+            while width > 1 and not eligible:
+                width = max(1, width // 2)
+                eligible = self._eligible_backends(month, width, privileged)
+            if not eligible:
+                return None
+        pending_estimate = {
+            b.name: self.service.pending_jobs_estimate(b.name, submit_time)
+            for b in eligible
+        }
+        backend = user.select_machine(eligible, rng, timestamp=submit_time,
+                                      pending_estimate=pending_estimate)
+        width = min(width, backend.num_qubits)
+        if width < 1:
+            width = 1
+
+        batch_size = distributions.batch_size.sample(rng)
+        batch_size = min(batch_size, backend.max_batch_size)
+        shots = min(distributions.shots.sample(rng), backend.max_shots)
+
+        base_metrics = compiled_metrics(family, max(width, 1), backend, rng=rng)
+        circuits: List[CircuitSpec] = []
+        for circuit_index in range(batch_size):
+            jitter_rng = rng.child("circuit", circuit_index % 16)
+            metrics = base_metrics if circuit_index >= 16 else \
+                base_metrics.jittered(jitter_rng, relative=0.08)
+            circuits.append(CircuitSpec(
+                name=f"{family}_{width}_{circuit_index}",
+                width=metrics.width,
+                depth=metrics.depth,
+                num_gates=metrics.num_gates,
+                cx_count=metrics.cx_count,
+                cx_depth=metrics.cx_depth,
+                family=family,
+            ))
+
+        compile_seconds = config.compile_model.job_seconds(
+            base_metrics, batch_size, backend.num_qubits, rng=rng
+        )
+        job = Job(
+            provider=provider,
+            backend_name=backend.name,
+            circuits=circuits,
+            shots=shots,
+            submit_time=submit_time,
+            compile_seconds=compile_seconds,
+            metadata={
+                "family": family,
+                "month_index": month,
+                "user_policy": user.policy.value,
+            },
+        )
+        return job
+
+    # -- trace generation --------------------------------------------------------------
+
+    def generate(self) -> TraceDataset:
+        """Submit the whole workload and return the completed trace."""
+        config = self.config
+        monthly_counts = config.jobs_per_month()
+        submissions: List[tuple] = []
+        job_index = 0
+        for month, count in enumerate(monthly_counts):
+            month_start = month * MONTH_SECONDS
+            for _ in range(count):
+                offset = self._rng.uniform(0.0, MONTH_SECONDS)
+                submissions.append((month_start + offset, month, job_index))
+                job_index += 1
+        submissions.sort(key=lambda item: item[0])
+
+        submitted_jobs: List[Job] = []
+        for submit_time, month, index in submissions:
+            job = self._synthesise_job(month, submit_time, index)
+            if job is None:
+                continue
+            self.service.submit(job)
+            submitted_jobs.append(job)
+        self.service.drain()
+
+        records = [self._record_for(job) for job in submitted_jobs]
+        dataset = TraceDataset(records, metadata={
+            "seed": config.seed,
+            "total_jobs": len(records),
+            "months": config.months,
+        })
+        return dataset
+
+    def _record_for(self, job: Job) -> JobRecord:
+        backend = self.fleet[job.backend_name]
+        first = job.circuits[0]
+        crossed = False
+        if job.start_time is not None:
+            crossed = backend.calibration_model.crosses_calibration(
+                job.submit_time, job.start_time
+            )
+        mean_depth = int(round(sum(c.depth for c in job.circuits) / job.batch_size))
+        mean_gates = int(round(sum(c.num_gates for c in job.circuits) / job.batch_size))
+        mean_cx = int(round(sum(c.cx_count for c in job.circuits) / job.batch_size))
+        mean_cx_depth = int(round(
+            sum(c.cx_depth for c in job.circuits) / job.batch_size
+        ))
+        return JobRecord(
+            job_id=job.job_id,
+            provider=job.provider,
+            access=backend.access.value,
+            machine=job.backend_name,
+            machine_qubits=backend.num_qubits,
+            month_index=int(job.metadata.get("month_index", 0)),
+            batch_size=job.batch_size,
+            shots=job.shots,
+            circuit_family=first.family,
+            circuit_width=first.width,
+            circuit_depth=mean_depth,
+            circuit_gates=mean_gates,
+            circuit_cx=mean_cx,
+            circuit_cx_depth=mean_cx_depth,
+            memory_slots=first.width,
+            submit_time=job.submit_time,
+            start_time=job.start_time,
+            end_time=job.end_time,
+            status=job.status.value,
+            queue_seconds=job.queue_seconds,
+            run_seconds=job.run_seconds,
+            compile_seconds=job.compile_seconds,
+            pending_ahead=job.pending_ahead,
+            crossed_calibration=crossed,
+            user_policy=str(job.metadata.get("user_policy", "unknown")),
+        )
+
+
+@lru_cache(maxsize=4)
+def _cached_trace(total_jobs: int, months: int, seed: int) -> TraceDataset:
+    generator = TraceGenerator(TraceGeneratorConfig(
+        total_jobs=total_jobs, months=months, seed=seed
+    ))
+    return generator.generate()
+
+
+def generate_study_trace(total_jobs: int = 6000, months: int = STUDY_MONTHS,
+                         seed: int = 7, use_cache: bool = True) -> TraceDataset:
+    """Generate (or fetch a cached copy of) the full study trace.
+
+    The cache avoids regenerating the same trace for every benchmark figure
+    within one process; callers that mutate the dataset should pass
+    ``use_cache=False``.
+    """
+    if use_cache:
+        return _cached_trace(total_jobs, months, seed)
+    generator = TraceGenerator(TraceGeneratorConfig(
+        total_jobs=total_jobs, months=months, seed=seed
+    ))
+    return generator.generate()

@@ -1,0 +1,267 @@
+"""Trace records and the columnar trace dataset.
+
+A :class:`JobRecord` is one row of the study dataset: everything the
+analysis layer needs about one job (identity, machine, shape, timestamps,
+status, structural circuit metrics, calibration-crossover flag).  The
+:class:`TraceDataset` is a lightweight columnar container (pandas is not
+available offline) with filtering, column extraction and JSON/CSV
+round-trip.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, dataclass, field, fields
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.exceptions import WorkloadError
+from repro.core.types import AccessLevel, JobStatus
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One job of the study trace (the analysis layer's unit of data)."""
+
+    job_id: str
+    provider: str
+    access: str                 # "public" | "privileged" (of the machine)
+    machine: str
+    machine_qubits: int
+    month_index: int            # 0 = first month of the study window
+    batch_size: int
+    shots: int
+    circuit_family: str
+    circuit_width: int
+    circuit_depth: int
+    circuit_gates: int
+    circuit_cx: int
+    circuit_cx_depth: int
+    memory_slots: int
+    submit_time: float          # seconds from the study epoch
+    start_time: Optional[float]
+    end_time: Optional[float]
+    status: str                 # JobStatus value
+    queue_seconds: Optional[float]
+    run_seconds: Optional[float]
+    compile_seconds: float
+    pending_ahead: int
+    crossed_calibration: bool
+    user_policy: str = "unknown"
+
+    # -- derived quantities ----------------------------------------------------------
+
+    @property
+    def total_trials(self) -> int:
+        """Machine trials contributed by this job (batch x shots)."""
+        return self.batch_size * self.shots
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the machine's qubits used by the job's circuits (Fig. 8)."""
+        if self.machine_qubits <= 0:
+            return 0.0
+        return min(1.0, self.circuit_width / self.machine_qubits)
+
+    @property
+    def queue_minutes(self) -> Optional[float]:
+        return None if self.queue_seconds is None else self.queue_seconds / 60.0
+
+    @property
+    def run_minutes(self) -> Optional[float]:
+        return None if self.run_seconds is None else self.run_seconds / 60.0
+
+    @property
+    def queue_to_run_ratio(self) -> Optional[float]:
+        if not self.run_seconds or self.queue_seconds is None:
+            return None
+        if self.run_seconds <= 0:
+            return None
+        return self.queue_seconds / self.run_seconds
+
+    @property
+    def per_circuit_queue_seconds(self) -> Optional[float]:
+        """Effective queue time per circuit in the batch (Fig. 11's metric)."""
+        if self.queue_seconds is None or self.batch_size == 0:
+            return None
+        return self.queue_seconds / self.batch_size
+
+    @property
+    def per_circuit_run_seconds(self) -> Optional[float]:
+        if self.run_seconds is None or self.batch_size == 0:
+            return None
+        return self.run_seconds / self.batch_size
+
+    @property
+    def is_done(self) -> bool:
+        return self.status == JobStatus.DONE.value
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+_FIELD_NAMES = [f.name for f in fields(JobRecord)]
+
+
+class TraceDataset:
+    """An ordered collection of :class:`JobRecord` rows."""
+
+    def __init__(self, records: Optional[Iterable[JobRecord]] = None,
+                 metadata: Optional[Dict[str, object]] = None):
+        self._records: List[JobRecord] = list(records or [])
+        self.metadata: Dict[str, object] = dict(metadata or {})
+
+    # -- container protocol ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[JobRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> JobRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> List[JobRecord]:
+        return list(self._records)
+
+    def append(self, record: JobRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records: Iterable[JobRecord]) -> None:
+        self._records.extend(records)
+
+    # -- selection ---------------------------------------------------------------------
+
+    def filter(self, predicate: Callable[[JobRecord], bool]) -> "TraceDataset":
+        return TraceDataset(
+            (r for r in self._records if predicate(r)), metadata=dict(self.metadata)
+        )
+
+    def completed(self) -> "TraceDataset":
+        """Jobs that reached a terminal state and actually ran (have run time)."""
+        return self.filter(lambda r: r.run_seconds is not None and r.run_seconds > 0)
+
+    def successful(self) -> "TraceDataset":
+        return self.filter(lambda r: r.is_done)
+
+    def for_machine(self, machine: str) -> "TraceDataset":
+        return self.filter(lambda r: r.machine == machine)
+
+    def machines(self) -> List[str]:
+        return sorted({r.machine for r in self._records})
+
+    def providers(self) -> List[str]:
+        return sorted({r.provider for r in self._records})
+
+    # -- column access -----------------------------------------------------------------
+
+    def column(self, name: str) -> List[object]:
+        """Extract a column by field or property name."""
+        if not self._records:
+            return []
+        probe = self._records[0]
+        if not hasattr(probe, name):
+            raise WorkloadError(f"unknown column {name!r}")
+        return [getattr(r, name) for r in self._records]
+
+    def numeric_column(self, name: str, drop_none: bool = True) -> np.ndarray:
+        values = self.column(name)
+        if drop_none:
+            values = [v for v in values if v is not None]
+        return np.asarray(values, dtype=float)
+
+    def group_by_machine(self) -> Dict[str, "TraceDataset"]:
+        groups: Dict[str, List[JobRecord]] = {}
+        for record in self._records:
+            groups.setdefault(record.machine, []).append(record)
+        return {name: TraceDataset(rows) for name, rows in sorted(groups.items())}
+
+    def group_by_month(self) -> Dict[int, "TraceDataset"]:
+        groups: Dict[int, List[JobRecord]] = {}
+        for record in self._records:
+            groups.setdefault(record.month_index, []).append(record)
+        return {month: TraceDataset(rows) for month, rows in sorted(groups.items())}
+
+    # -- aggregate summaries -------------------------------------------------------------
+
+    def total_circuits(self) -> int:
+        return sum(r.batch_size for r in self._records)
+
+    def total_trials(self) -> int:
+        return sum(r.total_trials for r in self._records)
+
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self._records:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        return counts
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "jobs": len(self),
+            "circuits": self.total_circuits(),
+            "trials": self.total_trials(),
+            "machines": len(self.machines()),
+            "statuses": self.status_counts(),
+        }
+
+    # -- persistence ----------------------------------------------------------------------
+
+    def to_json(self, path: Union[str, Path]) -> None:
+        payload = {
+            "metadata": self.metadata,
+            "records": [r.as_dict() for r in self._records],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "TraceDataset":
+        payload = json.loads(Path(path).read_text())
+        records = [JobRecord(**row) for row in payload.get("records", [])]
+        return cls(records, metadata=payload.get("metadata", {}))
+
+    def to_csv(self, path: Union[str, Path]) -> None:
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=_FIELD_NAMES)
+            writer.writeheader()
+            for record in self._records:
+                writer.writerow(record.as_dict())
+
+    @classmethod
+    def from_csv(cls, path: Union[str, Path]) -> "TraceDataset":
+        records: List[JobRecord] = []
+        with open(path, newline="") as handle:
+            reader = csv.DictReader(handle)
+            for row in reader:
+                records.append(JobRecord(**_coerce_row(row)))
+        return cls(records)
+
+
+def _coerce_row(row: Dict[str, str]) -> Dict[str, object]:
+    """Convert CSV string values back to the JobRecord field types."""
+    integer_fields = {
+        "machine_qubits", "month_index", "batch_size", "shots", "circuit_width",
+        "circuit_depth", "circuit_gates", "circuit_cx", "circuit_cx_depth",
+        "memory_slots", "pending_ahead",
+    }
+    float_fields = {"submit_time", "compile_seconds"}
+    optional_float_fields = {"start_time", "end_time", "queue_seconds", "run_seconds"}
+    boolean_fields = {"crossed_calibration"}
+    coerced: Dict[str, object] = {}
+    for key, value in row.items():
+        if key in integer_fields:
+            coerced[key] = int(float(value))
+        elif key in float_fields:
+            coerced[key] = float(value)
+        elif key in optional_float_fields:
+            coerced[key] = None if value in ("", "None") else float(value)
+        elif key in boolean_fields:
+            coerced[key] = value in ("True", "true", "1")
+        else:
+            coerced[key] = value
+    return coerced

@@ -1,0 +1,205 @@
+"""Tests for the per-figure analyses (jobs, queuing, machines, execution,
+calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import crossover_statistics, layout_drift_between_epochs
+from repro.analysis.execution import (
+    batch_runtime_trend,
+    run_time_by_batch_size,
+    run_time_by_machine,
+)
+from repro.analysis.jobs import (
+    cumulative_trials_by_month,
+    jobs_per_machine,
+    status_breakdown,
+    wasted_execution_fraction,
+)
+from repro.analysis.machines import (
+    bisection_bandwidth_table,
+    machine_job_share,
+    pending_jobs_by_machine,
+    utilization_by_machine,
+)
+from repro.analysis.queuing import (
+    per_circuit_queue_by_batch_size,
+    queue_time_by_batch_size,
+    queue_time_by_machine,
+    queue_time_percentile_report,
+    queue_to_run_ratios,
+    ratio_report,
+    sorted_queue_times_minutes,
+)
+from repro.circuits.library import qft_circuit
+from repro.core.exceptions import AnalysisError
+from repro.core.units import DAY_SECONDS
+from repro.workloads.trace import TraceDataset
+
+
+class TestJobTrends:
+    def test_cumulative_trials_monotonic(self, medium_trace):
+        """Fig. 2a: the cumulative trial count only grows."""
+        series = cumulative_trials_by_month(medium_trace)
+        values = [row.cumulative_trials for row in series]
+        assert values == sorted(values)
+        assert values[-1] == medium_trace.total_trials()
+
+    def test_trials_accelerate(self, medium_trace):
+        series = cumulative_trials_by_month(medium_trace)
+        halfway = series[len(series) // 2].cumulative_trials
+        assert series[-1].cumulative_trials > 2 * halfway
+
+    def test_status_breakdown_sums_to_one(self, medium_trace):
+        breakdown = status_breakdown(medium_trace)
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["DONE"] > 0.85
+
+    def test_wasted_fraction_matches_breakdown(self, medium_trace):
+        breakdown = status_breakdown(medium_trace)
+        assert wasted_execution_fraction(medium_trace) == pytest.approx(
+            1.0 - breakdown["DONE"])
+
+    def test_jobs_per_machine_counts(self, medium_trace):
+        counts = jobs_per_machine(medium_trace)
+        assert sum(counts.values()) == len(medium_trace)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(AnalysisError):
+            status_breakdown(TraceDataset())
+
+
+class TestQueueAnalyses:
+    def test_sorted_queue_times_sorted_and_expanded(self, medium_trace):
+        per_circuit = sorted_queue_times_minutes(medium_trace, per_circuit=True)
+        per_job = sorted_queue_times_minutes(medium_trace, per_circuit=False)
+        assert len(per_circuit) > len(per_job)
+        assert np.all(np.diff(per_circuit) >= 0)
+
+    def test_queue_report_shape(self, medium_trace):
+        """Fig. 3 headline numbers land in the paper's qualitative ranges."""
+        report = queue_time_percentile_report(medium_trace)
+        assert 0.0 <= report.fraction_under_one_minute <= 0.6
+        assert report.median_minutes > 5.0
+        assert report.fraction_over_two_hours > 0.1
+        assert report.fraction_over_one_day < 0.5
+
+    def test_ratio_report_shape(self, medium_trace):
+        """Fig. 4: queue dominates execution for most jobs."""
+        report = ratio_report(medium_trace)
+        assert report.median_ratio > 1.0
+        assert 0.0 < report.fraction_at_or_below_one < 0.7
+        ratios = queue_to_run_ratios(medium_trace)
+        assert np.all(np.diff(ratios) >= 0)
+
+    def test_queue_time_by_machine_covers_machines(self, medium_trace):
+        distribution = queue_time_by_machine(medium_trace)
+        assert set(distribution) <= set(medium_trace.machines())
+        assert all(summary.count > 0 for summary in distribution.values())
+
+    def test_public_machines_queue_longer(self, medium_trace):
+        """Fig. 10: public machines show longer queues than privileged ones."""
+        distribution = queue_time_by_machine(medium_trace)
+        public = [s.median for m, s in distribution.items()
+                  if medium_trace.for_machine(m)[0].access == "public"
+                  and "simulator" not in m]
+        privileged = [s.median for m, s in distribution.items()
+                      if medium_trace.for_machine(m)[0].access == "privileged"]
+        if public and privileged:
+            assert np.median(public) > np.median(privileged)
+
+    def test_per_circuit_queue_decreases_with_batch(self, medium_trace):
+        """Fig. 11: larger batches amortise queue time per circuit."""
+        per_circuit = per_circuit_queue_by_batch_size(medium_trace, bin_width=300)
+        bins = sorted(per_circuit)
+        if len(bins) >= 2:
+            assert per_circuit[bins[-1]] < per_circuit[bins[0]]
+
+    def test_queue_by_batch_size_bins(self, medium_trace):
+        binned = queue_time_by_batch_size(medium_trace, bin_width=300)
+        assert all(low < high for (low, high) in binned)
+
+
+class TestMachineAnalyses:
+    def test_bisection_table_matches_paper_shape(self, fleet):
+        """Fig. 6: bisection bandwidth stays tiny even on 65-qubit machines."""
+        rows = bisection_bandwidth_table(fleet)
+        by_name = {row.machine: row for row in rows}
+        assert by_name["ibmq_manhattan"].bisection_bandwidth <= 5
+        assert by_name["ibmq_athens"].bisection_bandwidth == 1
+        mesh_equivalent = 8  # 64-node classical mesh
+        assert by_name["ibmq_manhattan"].bisection_bandwidth < mesh_equivalent
+        assert rows == sorted(rows, key=lambda r: (r.num_qubits, r.machine))
+
+    def test_utilization_by_machine_shape(self, medium_trace):
+        """Fig. 8: small machines are highly utilised, large ones are not."""
+        utilization = utilization_by_machine(medium_trace)
+        small = [s.median for m, s in utilization.items()
+                 if medium_trace.for_machine(m)[0].machine_qubits == 5]
+        large = [s.median for m, s in utilization.items()
+                 if medium_trace.for_machine(m)[0].machine_qubits >= 27]
+        if small and large:
+            assert np.mean(small) > 2 * np.mean(large)
+        assert all(0 <= s.maximum <= 1.0 for s in utilization.values())
+
+    def test_pending_jobs_public_dominate(self, fleet):
+        """Fig. 9: the busiest machine in each size class is public."""
+        pending = pending_jobs_by_machine(fleet, window_start=600 * DAY_SECONDS,
+                                          window_days=7.0, samples=16)
+        five_qubit_public = [pending[name] for name, b in fleet.items()
+                             if b.num_qubits == 5 and b.is_public]
+        five_qubit_privileged = [pending[name] for name, b in fleet.items()
+                                 if b.num_qubits == 5 and not b.is_public]
+        assert max(five_qubit_public) > 10 * max(five_qubit_privileged)
+
+    def test_machine_job_share_sums_to_one(self, medium_trace):
+        shares = machine_job_share(medium_trace)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_pending_jobs_requires_samples(self, fleet):
+        with pytest.raises(AnalysisError):
+            pending_jobs_by_machine(fleet, window_start=0.0, samples=0)
+
+
+class TestExecutionAnalyses:
+    def test_run_time_by_machine(self, medium_trace):
+        per_job = run_time_by_machine(medium_trace)
+        per_circuit = run_time_by_machine(medium_trace, per_circuit=True)
+        assert set(per_circuit) == set(per_job)
+        for machine in per_job:
+            assert per_circuit[machine].median <= per_job[machine].median + 1e-9
+
+    def test_run_time_grows_with_batch(self, medium_trace):
+        """Fig. 14: job runtimes increase proportionally with batch size."""
+        trend = batch_runtime_trend(medium_trace)
+        assert trend.slope_minutes_per_circuit > 0
+        assert trend.correlation > 0.6
+        assert trend.predict_minutes(800) > trend.predict_minutes(10)
+
+    def test_run_time_by_batch_bins(self, medium_trace):
+        binned = run_time_by_batch_size(medium_trace, bin_width=300)
+        medians = [binned[key].median for key in sorted(binned)]
+        assert medians[-1] > medians[0]
+
+
+class TestCalibrationAnalyses:
+    def test_crossover_fraction_in_paper_range(self, medium_trace):
+        """Fig. 12a: a substantial minority of jobs cross a calibration."""
+        stats = crossover_statistics(medium_trace)
+        assert 0.05 < stats.crossover_fraction < 0.5
+        assert stats.intra_calibration_fraction == pytest.approx(
+            1.0 - stats.crossover_fraction)
+
+    def test_layout_drift_between_epochs(self, casablanca):
+        """Fig. 12b: noise-aware layouts differ across calibration epochs."""
+        drift = layout_drift_between_epochs(qft_circuit(4), casablanca,
+                                            epoch_a=0, epoch_b=1)
+        assert drift.machine == casablanca.name
+        assert set(drift.layout_a) == {0, 1, 2, 3}
+        # The mapping typically moves; at minimum the structure is reported.
+        assert drift.moved_qubits >= 0
+        assert drift.cx_count_a > 0 and drift.cx_count_b > 0
+
+    def test_layout_drift_same_epoch_rejected(self, casablanca):
+        with pytest.raises(AnalysisError):
+            layout_drift_between_epochs(qft_circuit(3), casablanca, 1, 1)

@@ -1,0 +1,107 @@
+"""Tests for repro.analysis.stats and repro.analysis.report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import FigureSeries, render_series, render_table
+from repro.analysis.stats import (
+    coefficient_of_variation,
+    cumulative_fraction_below,
+    histogram,
+    linear_fit,
+    pearson_correlation,
+    percentile,
+    summarize,
+)
+from repro.core.exceptions import AnalysisError
+
+
+class TestSummaries:
+    def test_summarize_basic(self):
+        summary = summarize([1, 2, 3, 4, 5])
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.median == pytest.approx(3.0)
+        assert summary.minimum == 1 and summary.maximum == 5
+
+    def test_summarize_drops_none(self):
+        summary = summarize([1.0, None, 3.0])
+        assert summary.count == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            summarize([])
+        with pytest.raises(AnalysisError):
+            percentile([], 50)
+
+    def test_percentile_bounds(self):
+        with pytest.raises(AnalysisError):
+            percentile([1, 2], 120)
+        assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+
+    def test_cumulative_fraction(self):
+        assert cumulative_fraction_below([1, 2, 3, 4], 3) == pytest.approx(0.5)
+
+    def test_coefficient_of_variation(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+        assert coefficient_of_variation([1, 3]) == pytest.approx(0.5)
+
+    def test_histogram(self):
+        counts, edges = histogram([1, 2, 2, 3], bins=3, value_range=(1, 4))
+        assert counts.sum() == 4
+        assert len(edges) == 4
+
+
+class TestCorrelationAndFits:
+    def test_perfect_correlation(self):
+        x = [1, 2, 3, 4, 5]
+        assert pearson_correlation(x, [2 * v for v in x]) == pytest.approx(1.0)
+        assert pearson_correlation(x, [-v for v in x]) == pytest.approx(-1.0)
+
+    def test_zero_variance_returns_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(AnalysisError):
+            pearson_correlation([1, 2], [1])
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(50)
+        y = 3 * x + rng.random(50)
+        assert pearson_correlation(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_linear_fit_recovers_slope(self):
+        x = np.arange(10.0)
+        slope, intercept = linear_fit(x, 2.5 * x + 1.0)
+        assert slope == pytest.approx(2.5)
+        assert intercept == pytest.approx(1.0)
+
+    def test_linear_fit_needs_two_points(self):
+        with pytest.raises(AnalysisError):
+            linear_fit([1], [2])
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        text = render_table("demo", [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5  # title + header + separator + two rows
+
+    def test_render_table_truncation(self):
+        rows = [{"v": i} for i in range(10)]
+        text = render_table("demo", rows, max_rows=3)
+        assert "7 more rows" in text
+
+    def test_render_empty_table(self):
+        assert "(no data)" in render_table("demo", [])
+
+    def test_figure_series(self):
+        series = FigureSeries("Fig. X", "demo", "x", "y")
+        series.add(1, 2.0)
+        series.add(2, 3.0)
+        rows = series.as_rows()
+        assert rows == [{"x": 1, "y": 2.0}, {"x": 2, "y": 3.0}]
+        assert "Fig. X" in render_series(series)

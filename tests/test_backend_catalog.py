@@ -1,0 +1,124 @@
+"""Tests for repro.devices.backend and repro.devices.catalog."""
+
+import pytest
+
+from repro.core.exceptions import DeviceError
+from repro.core.types import AccessLevel, MachineGeneration
+from repro.devices.backend import Backend, DEFAULT_MAX_BATCH_SIZE, DEFAULT_MAX_SHOTS
+from repro.devices.catalog import (
+    MACHINE_NAMES,
+    MACHINE_SPECS,
+    STUDY_MONTHS,
+    build_backend,
+    build_fleet,
+    fake_large_backend,
+    fleet_in_study,
+)
+
+
+class TestBackend:
+    def test_job_shape_limits(self, casablanca):
+        casablanca.validate_job_shape(batch_size=1, shots=1024)
+        casablanca.validate_job_shape(batch_size=DEFAULT_MAX_BATCH_SIZE,
+                                      shots=DEFAULT_MAX_SHOTS)
+        with pytest.raises(DeviceError):
+            casablanca.validate_job_shape(batch_size=0, shots=1024)
+        with pytest.raises(DeviceError):
+            casablanca.validate_job_shape(batch_size=901, shots=1024)
+        with pytest.raises(DeviceError):
+            casablanca.validate_job_shape(batch_size=1, shots=8193)
+
+    def test_generation_property(self, casablanca, manhattan):
+        assert casablanca.generation is MachineGeneration.FALCON_SMALL
+        assert manhattan.generation is MachineGeneration.HUMMINGBIRD
+
+    def test_calibration_changes_with_time(self, casablanca):
+        day = 86400.0
+        first = casablanca.calibration_at(0.0 + 2 * 3600)
+        second = casablanca.calibration_at(5 * day + 2 * 3600)
+        assert first.average_cx_error() != pytest.approx(second.average_cx_error())
+
+    def test_online_window(self):
+        athens = build_backend("ibmq_athens")
+        assert not athens.is_online_in_month(0)
+        assert athens.is_online_in_month(20)
+        retired = build_backend("ibmqx4")
+        assert retired.is_online_in_month(5)
+        assert not retired.is_online_in_month(20)
+
+
+class TestCatalog:
+    def test_catalog_size_matches_paper(self):
+        """25 hardware machines (1-65 qubits) plus the hosted simulator."""
+        hardware = [s for s in MACHINE_SPECS.values() if not s.is_simulator]
+        assert len(hardware) >= 25
+        qubit_counts = {s.num_qubits for s in hardware}
+        assert min(qubit_counts) == 1
+        assert max(qubit_counts) == 65
+
+    def test_machines_named_in_the_paper_present(self):
+        for name in [
+            "ibmq_16_melbourne", "ibmq_athens", "ibmq_ourense", "ibmq_valencia",
+            "ibmq_burlington", "ibmq_london", "ibmq_vigo", "ibmqx2",
+            "ibmq_armonk", "ibmq_johannesburg", "ibmq_paris", "ibmq_boeblingen",
+            "ibmq_poughkeepsie", "ibmq_20_tokyo", "ibmq_toronto", "ibmq_bogota",
+            "ibmq_rome", "ibmq_manhattan", "ibmq_casablanca", "ibmq_santiago",
+            "ibmq_belem", "ibmq_qasm_simulator", "ibmq_guadalupe", "ibmq_lima",
+            "ibmq_quito", "ibmq_rochester", "ibmq_essex", "ibmqx4",
+        ]:
+            assert name in MACHINE_SPECS, name
+
+    def test_build_backend_matches_spec(self):
+        for name in ("ibmqx2", "ibmq_toronto", "ibmq_manhattan"):
+            backend = build_backend(name)
+            assert backend.num_qubits == MACHINE_SPECS[name].num_qubits
+            assert backend.access == MACHINE_SPECS[name].access
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(DeviceError):
+            build_backend("ibmq_atlantis")
+
+    def test_build_fleet_subset(self):
+        fleet = build_fleet(["ibmq_rome", "ibmq_bogota"])
+        assert sorted(fleet) == ["ibmq_bogota", "ibmq_rome"]
+
+    def test_fleet_in_study_excluding_simulator(self):
+        fleet = fleet_in_study(include_simulator=False)
+        assert all(not b.is_simulator for b in fleet.values())
+
+    def test_public_machines_have_higher_demand(self, fleet):
+        """Fig. 9: public machines carry considerably more demand."""
+        public = [float(b.metadata["demand_weight"]) for b in fleet.values()
+                  if b.is_public and not b.is_simulator and b.num_qubits == 5]
+        privileged = [float(b.metadata["demand_weight"]) for b in fleet.values()
+                      if not b.is_public and b.num_qubits == 5]
+        assert min(public) > max(privileged)
+
+    def test_every_topology_is_connected(self, fleet):
+        for backend in fleet.values():
+            assert backend.coupling_map.is_connected_graph(), backend.name
+
+    def test_larger_machines_have_larger_overheads(self, fleet):
+        athens = fleet["ibmq_athens"]
+        manhattan = fleet["ibmq_manhattan"]
+        assert manhattan.base_overhead_seconds > athens.base_overhead_seconds
+
+    def test_study_window_length(self):
+        assert STUDY_MONTHS == 28
+
+
+class TestFakeLargeBackend:
+    def test_size_and_connectivity(self):
+        backend = fake_large_backend(200)
+        assert backend.num_qubits == 200
+        assert backend.coupling_map.is_connected_graph()
+
+    def test_sparse_like_heavy_hex(self):
+        backend = fake_large_backend(300)
+        average_degree = (2.0 * backend.coupling_map.num_edges
+                          / backend.coupling_map.num_qubits)
+        assert average_degree < 4.0
+
+    def test_minimum_size_rejected(self):
+        with pytest.raises(DeviceError):
+            fake_large_backend(1)

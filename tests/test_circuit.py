@@ -1,0 +1,139 @@
+"""Tests for repro.circuits.circuit."""
+
+import pytest
+
+from repro.circuits.circuit import Instruction, QuantumCircuit
+from repro.circuits.gates import Gate
+from repro.core.exceptions import CircuitError
+
+
+class TestConstruction:
+    def test_default_clbits_match_qubits(self):
+        circuit = QuantumCircuit(3)
+        assert circuit.num_qubits == 3
+        assert circuit.num_clbits == 3
+
+    def test_negative_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            QuantumCircuit(-1)
+
+    def test_out_of_range_qubit_rejected(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.h(2)
+
+    def test_out_of_range_clbit_rejected(self):
+        circuit = QuantumCircuit(2, 1)
+        with pytest.raises(CircuitError):
+            circuit.measure(0, 1)
+
+    def test_duplicate_qubits_rejected(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(CircuitError):
+            circuit.cx(1, 1)
+
+    def test_chaining(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        assert len(circuit) == 2
+
+    def test_measure_requires_clbit(self):
+        with pytest.raises(CircuitError):
+            Instruction(Gate("measure"), (0,))
+
+
+class TestMetrics:
+    def test_bell_depth(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1)
+        assert circuit.depth() == 2
+        assert circuit.cx_depth == 1
+        assert circuit.cx_count == 1
+
+    def test_parallel_gates_share_a_layer(self):
+        circuit = QuantumCircuit(2).h(0).h(1)
+        assert circuit.depth() == 1
+
+    def test_barrier_does_not_count_in_depth_or_size(self):
+        circuit = QuantumCircuit(2).h(0).barrier().h(0)
+        assert circuit.depth() == 2
+        assert circuit.size == 2
+
+    def test_measure_counts_in_depth(self):
+        circuit = QuantumCircuit(1).h(0).measure(0, 0)
+        assert circuit.depth() == 2
+        assert circuit.count_measurements() == 1
+
+    def test_gate_counts(self):
+        circuit = QuantumCircuit(2).h(0).h(1).cx(0, 1).measure_all()
+        counts = circuit.gate_counts()
+        assert counts["h"] == 2
+        assert counts["cx"] == 1
+        assert counts["measure"] == 2
+        assert circuit.num_gates == 3  # measurements excluded
+
+    def test_cx_depth_counts_only_two_qubit_gates(self):
+        circuit = QuantumCircuit(2)
+        circuit.h(0).h(0).h(0).cx(0, 1).h(1).cx(0, 1)
+        assert circuit.cx_depth == 2
+
+    def test_num_active_qubits(self):
+        circuit = QuantumCircuit(5).h(0).cx(0, 2)
+        assert circuit.num_active_qubits == 2
+        assert circuit.width == 5
+
+    def test_interacting_pairs(self):
+        circuit = QuantumCircuit(3).cx(0, 1).cx(1, 0).cx(1, 2)
+        pairs = circuit.interacting_pairs()
+        assert pairs[(0, 1)] == 2
+        assert pairs[(1, 2)] == 1
+
+    def test_summary_keys(self):
+        summary = QuantumCircuit(2).h(0).cx(0, 1).measure_all().summary()
+        assert summary["width"] == 2
+        assert summary["cx_count"] == 1
+        assert summary["measurements"] == 2
+
+
+class TestTransformations:
+    def test_copy_is_independent(self):
+        original = QuantumCircuit(2).h(0)
+        duplicate = original.copy()
+        duplicate.x(1)
+        assert len(original) == 1
+        assert len(duplicate) == 2
+
+    def test_remap_qubits(self):
+        circuit = QuantumCircuit(2).cx(0, 1)
+        remapped = circuit.remap_qubits({0: 3, 1: 1}, num_qubits=4)
+        assert remapped.num_qubits == 4
+        assert remapped.instructions[0].qubits == (3, 1)
+
+    def test_compose_offsets_qubits(self):
+        inner = QuantumCircuit(2).cx(0, 1)
+        outer = QuantumCircuit(4)
+        outer.compose(inner, qubit_offset=2)
+        assert outer.instructions[0].qubits == (2, 3)
+
+    def test_compose_overflow_rejected(self):
+        inner = QuantumCircuit(3)
+        outer = QuantumCircuit(3)
+        with pytest.raises(CircuitError):
+            outer.compose(inner, qubit_offset=1)
+
+    def test_without_measurements(self):
+        circuit = QuantumCircuit(2).h(0).measure_all()
+        stripped = circuit.without_measurements()
+        assert stripped.count_measurements() == 0
+        assert stripped.num_gates == 1
+
+    def test_measure_all_grows_clbits(self):
+        circuit = QuantumCircuit(3, 1)
+        circuit.measure_all()
+        assert circuit.num_clbits == 3
+        assert circuit.count_measurements() == 3
+
+    def test_equality(self):
+        a = QuantumCircuit(2).h(0).cx(0, 1)
+        b = QuantumCircuit(2).h(0).cx(0, 1)
+        c = QuantumCircuit(2).h(1).cx(0, 1)
+        assert a == b
+        assert a != c

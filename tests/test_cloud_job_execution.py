@@ -1,0 +1,193 @@
+"""Tests for job objects, the execution-time model and the backlog model."""
+
+import pytest
+
+from repro.cloud.backlog import ExternalLoadModel, diurnal_factor, growth_factor
+from repro.cloud.execution_model import ExecutionTimeModel
+from repro.cloud.job import CircuitSpec, Job, JobResult, circuit_spec_from_circuit
+from repro.circuits.library import qft_circuit
+from repro.core.exceptions import CloudError
+from repro.core.rng import RandomSource
+from repro.core.types import AccessLevel, JobStatus
+from repro.core.units import DAY_SECONDS
+
+
+def _spec(width=3, depth=10, gates=20, cx=6) -> CircuitSpec:
+    return CircuitSpec(name="c", width=width, depth=depth, num_gates=gates,
+                       cx_count=cx, cx_depth=cx // 2)
+
+
+class TestCircuitSpec:
+    def test_validation(self):
+        with pytest.raises(CloudError):
+            CircuitSpec(name="bad", width=0, depth=1, num_gates=1, cx_count=0,
+                        cx_depth=0)
+        with pytest.raises(CloudError):
+            CircuitSpec(name="bad", width=1, depth=-1, num_gates=1, cx_count=0,
+                        cx_depth=0)
+
+    def test_from_circuit(self):
+        circuit = qft_circuit(4)
+        spec = circuit_spec_from_circuit(circuit)
+        assert spec.width == 4
+        assert spec.cx_count == circuit.cx_count
+        assert spec.family == "qft"
+
+
+class TestJob:
+    def test_shape_validation(self):
+        with pytest.raises(CloudError):
+            Job(provider="open", backend_name="x", circuits=[], shots=100,
+                submit_time=0.0)
+        with pytest.raises(CloudError):
+            Job(provider="open", backend_name="x", circuits=[_spec()], shots=0,
+                submit_time=0.0)
+
+    def test_derived_quantities(self):
+        job = Job(provider="open", backend_name="x",
+                  circuits=[_spec(width=2), _spec(width=5)], shots=1024,
+                  submit_time=10.0)
+        assert job.batch_size == 2
+        assert job.total_trials == 2048
+        assert job.max_width == 5
+
+    def test_lifecycle_timestamps(self):
+        job = Job(provider="open", backend_name="x", circuits=[_spec()],
+                  shots=100, submit_time=5.0)
+        job.mark_queued(5.0)
+        job.mark_running(65.0)
+        job.mark_finished(95.0, JobStatus.DONE)
+        assert job.queue_seconds == pytest.approx(60.0)
+        assert job.run_seconds == pytest.approx(30.0)
+        assert job.status.is_terminal
+
+    def test_non_terminal_finish_rejected(self):
+        job = Job(provider="open", backend_name="x", circuits=[_spec()],
+                  shots=100, submit_time=0.0)
+        with pytest.raises(CloudError):
+            job.mark_finished(10.0, JobStatus.RUNNING)
+
+    def test_unique_ids(self):
+        a = Job(provider="open", backend_name="x", circuits=[_spec()],
+                shots=1, submit_time=0.0)
+        b = Job(provider="open", backend_name="x", circuits=[_spec()],
+                shots=1, submit_time=0.0)
+        assert a.job_id != b.job_id
+
+
+class TestJobResult:
+    def test_counts_access(self):
+        result = JobResult(job_id="j", backend_name="x", status=JobStatus.DONE,
+                           per_circuit_counts=[{"00": 7}])
+        assert result.success
+        assert result.counts(0) == {"00": 7}
+        with pytest.raises(CloudError):
+            result.counts(3)
+
+    def test_empty_counts_raise(self):
+        result = JobResult(job_id="j", backend_name="x", status=JobStatus.ERROR)
+        with pytest.raises(CloudError):
+            result.counts()
+
+
+class TestExecutionTimeModel:
+    def test_runtime_grows_with_batch_size(self, athens):
+        """Fig. 14: job run times grow proportionally with batch size."""
+        model = ExecutionTimeModel()
+        small = Job(provider="open", backend_name=athens.name,
+                    circuits=[_spec()] * 5, shots=1024, submit_time=0.0)
+        large = Job(provider="open", backend_name=athens.name,
+                    circuits=[_spec()] * 500, shots=1024, submit_time=0.0)
+        small_seconds = model.expected_seconds(small, athens)
+        large_seconds = model.expected_seconds(large, athens)
+        assert large_seconds > 10 * small_seconds
+
+    def test_runtime_grows_sublinearly_with_shots(self, athens):
+        """Section VI-C: runtimes increase with shots, but at a fractional rate."""
+        model = ExecutionTimeModel()
+        base = Job(provider="open", backend_name=athens.name,
+                   circuits=[_spec()] * 10, shots=1024, submit_time=0.0)
+        more_shots = Job(provider="open", backend_name=athens.name,
+                         circuits=[_spec()] * 10, shots=8192, submit_time=0.0)
+        ratio = (model.expected_seconds(more_shots, athens)
+                 / model.expected_seconds(base, athens))
+        assert 1.0 < ratio < 8.0
+
+    def test_larger_machines_have_larger_overheads(self, athens, manhattan):
+        """Fig. 13: larger machines show higher run times for the same job."""
+        model = ExecutionTimeModel()
+        job = Job(provider="academic-hub", backend_name="x",
+                  circuits=[_spec()] * 20, shots=1024, submit_time=0.0)
+        assert (model.expected_seconds(job, manhattan)
+                > model.expected_seconds(job, athens))
+
+    def test_depth_and_width_have_limited_influence(self, athens):
+        """Section VI-C: circuit characteristics matter much less than batch/shots."""
+        model = ExecutionTimeModel()
+        shallow = Job(provider="open", backend_name=athens.name,
+                      circuits=[_spec(depth=5, gates=10)] * 20, shots=1024,
+                      submit_time=0.0)
+        deep = Job(provider="open", backend_name=athens.name,
+                   circuits=[_spec(depth=200, gates=400)] * 20, shots=1024,
+                   submit_time=0.0)
+        ratio = (model.expected_seconds(deep, athens)
+                 / model.expected_seconds(shallow, athens))
+        assert ratio < 2.0
+
+    def test_jitter_reproducible_with_seeded_rng(self, athens):
+        model = ExecutionTimeModel()
+        job = Job(provider="open", backend_name=athens.name,
+                  circuits=[_spec()] * 3, shots=1024, submit_time=0.0)
+        a = model.simulate_seconds(job, athens, rng=RandomSource(5))
+        b = model.simulate_seconds(job, athens, rng=RandomSource(5))
+        assert a == b
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(CloudError):
+            ExecutionTimeModel(shots_exponent=0.0)
+        with pytest.raises(CloudError):
+            ExecutionTimeModel(depth_reference=-1)
+
+
+class TestExternalLoadModel:
+    def test_public_machines_busier_than_privileged(self, fleet):
+        """Fig. 9: public machines carry far more pending jobs."""
+        athens_model = ExternalLoadModel(backend=fleet["ibmq_athens"], seed=1)
+        rome_model = ExternalLoadModel(backend=fleet["ibmq_rome"], seed=1)
+        t = 10 * DAY_SECONDS
+        assert athens_model.mean_pending_jobs(t) > 5 * rome_model.mean_pending_jobs(t)
+
+    def test_demand_grows_over_the_study(self, fleet):
+        """Fig. 2a: usage accelerates over the two-year window."""
+        model = ExternalLoadModel(backend=fleet["ibmqx2"], seed=1)
+        early = model.mean_pending_jobs(5 * DAY_SECONDS)
+        late = model.mean_pending_jobs(600 * DAY_SECONDS)
+        assert late > 2 * early
+
+    def test_privileged_access_sees_smaller_backlog(self, fleet):
+        # On a *public* machine, fair-share favours privileged submissions.
+        model = ExternalLoadModel(backend=fleet["ibmq_athens"], seed=2)
+        rng_a, rng_b = RandomSource(9), RandomSource(9)
+        public_wait = sum(
+            model.sample_backlog_seconds(1000.0, AccessLevel.PUBLIC, rng_a)
+            for _ in range(200)
+        )
+        privileged_wait = sum(
+            model.sample_backlog_seconds(1000.0, AccessLevel.PRIVILEGED, rng_b)
+            for _ in range(200)
+        )
+        assert privileged_wait < public_wait
+
+    def test_pending_jobs_sample_non_negative(self, fleet):
+        model = ExternalLoadModel(backend=fleet["ibmq_armonk"], seed=3)
+        samples = [model.sample_pending_jobs(t * 3600.0) for t in range(100)]
+        assert all(s >= 0 for s in samples)
+
+    def test_diurnal_and_growth_factors(self):
+        assert 0.25 <= diurnal_factor(0.0) <= 2.0
+        assert growth_factor(0.0) == pytest.approx(1.0)
+        assert growth_factor(420 * DAY_SECONDS) == pytest.approx(2.0)
+
+    def test_invalid_parameters_rejected(self, fleet):
+        with pytest.raises(CloudError):
+            ExternalLoadModel(backend=fleet["ibmqx2"], reference_pending_jobs=0)

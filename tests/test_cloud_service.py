@@ -1,0 +1,184 @@
+"""Tests for the cloud service simulation (repro.cloud.service)."""
+
+import pytest
+
+from repro.cloud.calibration_cycle import CalibrationCrossoverDetector
+from repro.cloud.job import CircuitSpec, Job
+from repro.cloud.service import FailureModel, QuantumCloudService
+from repro.core.exceptions import CloudError
+from repro.core.types import JobStatus
+from repro.core.units import DAY_SECONDS, HOUR_SECONDS
+from repro.devices import build_fleet
+
+
+def _spec(width=2):
+    return CircuitSpec(name="c", width=width, depth=6, num_gates=10, cx_count=3,
+                       cx_depth=2)
+
+
+def _job(backend="ibmq_athens", provider="open", submit=0.0, batch=2,
+         shots=1024, width=2):
+    return Job(provider=provider, backend_name=backend,
+               circuits=[_spec(width)] * batch, shots=shots, submit_time=submit)
+
+
+@pytest.fixture
+def service():
+    fleet = build_fleet(["ibmq_athens", "ibmq_rome", "ibmq_casablanca"], seed=2)
+    return QuantumCloudService(fleet, seed=2)
+
+
+class TestSubmission:
+    def test_job_lifecycle_produces_timestamps(self, service):
+        job = _job(submit=100.0)
+        service.submit(job)
+        service.drain()
+        assert job.status.is_terminal
+        if job.status is not JobStatus.CANCELLED:
+            assert job.start_time is not None
+            assert job.end_time > job.start_time >= job.submit_time
+            assert job.queue_seconds >= 0
+            assert job.run_seconds > 0
+
+    def test_unknown_backend_rejected(self, service):
+        with pytest.raises(CloudError):
+            service.submit(_job(backend="ibmq_nowhere"))
+
+    def test_unknown_provider_rejected(self, service):
+        with pytest.raises(CloudError):
+            service.submit(_job(provider="stranger"))
+
+    def test_public_provider_cannot_use_privileged_machine(self, service):
+        with pytest.raises(CloudError):
+            service.submit(_job(backend="ibmq_rome", provider="open"))
+
+    def test_privileged_provider_can_use_privileged_machine(self, service):
+        job = _job(backend="ibmq_rome", provider="academic-hub")
+        service.submit(job)
+        service.drain()
+        assert job.status.is_terminal
+
+    def test_batch_limit_enforced(self, service):
+        with pytest.raises(CloudError):
+            service.submit(_job(batch=901))
+
+    def test_submission_in_the_past_rejected(self, service):
+        service.submit(_job(submit=HOUR_SECONDS))
+        service.run_until(2 * HOUR_SECONDS)
+        with pytest.raises(CloudError):
+            service.submit(_job(submit=0.0))
+
+
+class TestQueueingBehaviour:
+    def test_same_machine_jobs_serialise(self):
+        """Two studied jobs on one machine cannot overlap in execution."""
+        fleet = build_fleet(["ibmq_athens"], seed=4)
+        service = QuantumCloudService(fleet, seed=4,
+                                      failure_model=FailureModel(0.0, 0.0))
+        first = _job(submit=0.0, batch=50)
+        second = _job(submit=1.0, batch=50)
+        service.submit(first)
+        service.submit(second)
+        service.drain()
+        assert first.start_time is not None and second.start_time is not None
+        earlier, later = sorted([first, second], key=lambda j: j.start_time)
+        assert later.start_time >= earlier.end_time - 1e-6
+
+    def test_queue_seconds_include_backlog(self, service):
+        job = _job(submit=3 * HOUR_SECONDS)
+        service.submit(job)
+        service.drain()
+        if job.status is not JobStatus.CANCELLED:
+            assert job.queue_seconds >= 0.0
+
+    def test_pending_ahead_recorded(self, service):
+        job = _job(submit=10.0)
+        service.submit(job)
+        assert job.pending_ahead >= 0
+
+    def test_completed_jobs_collected(self, service):
+        jobs = [_job(submit=float(i * 60)) for i in range(5)]
+        for job in jobs:
+            service.submit(job)
+        completed = service.drain()
+        assert len(completed) == 5
+        assert all(j.status.is_terminal for j in completed)
+
+
+class TestStatuses:
+    def test_failure_model_produces_errors_and_cancellations(self):
+        fleet = build_fleet(["ibmq_athens"], seed=9)
+        service = QuantumCloudService(
+            fleet, seed=9, failure_model=FailureModel(error_probability=0.5,
+                                                      cancel_probability=0.3))
+        jobs = [_job(submit=float(i * 600)) for i in range(60)]
+        for job in jobs:
+            service.submit(job)
+        service.drain()
+        statuses = {job.status for job in jobs}
+        assert JobStatus.ERROR in statuses
+        assert JobStatus.CANCELLED in statuses
+        cancelled = [j for j in jobs if j.status is JobStatus.CANCELLED]
+        assert all(j.start_time is None for j in cancelled)
+
+    def test_all_done_when_failures_disabled(self):
+        fleet = build_fleet(["ibmq_athens"], seed=1)
+        service = QuantumCloudService(fleet, seed=1,
+                                      failure_model=FailureModel(0.0, 0.0))
+        jobs = [_job(submit=float(i * 600)) for i in range(10)]
+        for job in jobs:
+            service.submit(job)
+        service.drain()
+        assert all(job.status is JobStatus.DONE for job in jobs)
+
+    def test_invalid_failure_model(self):
+        with pytest.raises(CloudError):
+            FailureModel(error_probability=0.9, cancel_probability=0.2)
+
+    def test_result_for_completed_job(self, service):
+        job = _job(submit=0.0)
+        service.submit(job)
+        service.drain()
+        result = service.result_for(job)
+        assert result.job_id == job.job_id
+        assert result.status is job.status
+
+    def test_result_for_unfinished_job_rejected(self, service):
+        job = _job(submit=50.0)
+        with pytest.raises(CloudError):
+            service.result_for(job)
+
+
+class TestCrossoverDetector:
+    def test_crossover_detected_for_long_waits(self):
+        fleet = build_fleet(["ibmq_athens"], seed=5)
+        detector = CalibrationCrossoverDetector(fleet)
+        job = _job(submit=10 * HOUR_SECONDS)
+        job.mark_queued(job.submit_time)
+        job.mark_running(job.submit_time + DAY_SECONDS)  # next calibration epoch
+        record = detector.check(job)
+        assert record.crossed
+        assert record.epochs_stale >= 1
+
+    def test_no_crossover_for_short_waits(self):
+        fleet = build_fleet(["ibmq_athens"], seed=5)
+        detector = CalibrationCrossoverDetector(fleet)
+        job = _job(submit=10 * HOUR_SECONDS)
+        job.mark_queued(job.submit_time)
+        job.mark_running(job.submit_time + 60.0)
+        assert not detector.check(job).crossed
+
+    def test_unstarted_job_rejected(self):
+        fleet = build_fleet(["ibmq_athens"], seed=5)
+        detector = CalibrationCrossoverDetector(fleet)
+        with pytest.raises(CloudError):
+            detector.check(_job())
+
+    def test_crossover_fraction(self):
+        fleet = build_fleet(["ibmq_athens"], seed=5)
+        detector = CalibrationCrossoverDetector(fleet)
+        fast = _job(submit=6 * HOUR_SECONDS)
+        fast.mark_running(fast.submit_time + 30)
+        slow = _job(submit=6 * HOUR_SECONDS)
+        slow.mark_running(slow.submit_time + 2 * DAY_SECONDS)
+        assert detector.crossover_fraction([fast, slow]) == pytest.approx(0.5)

@@ -1,0 +1,69 @@
+"""Tests for repro.core.rng."""
+
+import numpy as np
+import pytest
+
+from repro.core.rng import RandomSource, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5, "a", 1) == derive_seed(5, "a", 1)
+
+    def test_sensitive_to_path(self):
+        assert derive_seed(5, "a") != derive_seed(5, "b")
+        assert derive_seed(5, "a", 1) != derive_seed(5, "a", 2)
+
+    def test_sensitive_to_base(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+
+class TestRandomSource:
+    def test_same_seed_same_stream(self):
+        a = RandomSource(42)
+        b = RandomSource(42)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_children_are_independent_of_sibling_consumption(self):
+        root_a = RandomSource(7)
+        root_b = RandomSource(7)
+        # Consuming one child's stream must not shift a differently named child.
+        child_a1 = root_a.child("x")
+        _ = [child_a1.random() for _ in range(10)]
+        value_a = root_a.child("y").random()
+        value_b = root_b.child("y").random()
+        assert value_a == value_b
+
+    def test_child_streams_differ(self):
+        root = RandomSource(3)
+        assert root.child("a").random() != root.child("b").random()
+
+    def test_integers_bounds(self):
+        rng = RandomSource(1)
+        values = [rng.integers(2, 6) for _ in range(200)]
+        assert min(values) >= 2
+        assert max(values) <= 5
+
+    def test_choice_weighted(self):
+        rng = RandomSource(0)
+        picks = [rng.choice(["a", "b"], p=[0.99, 0.01]) for _ in range(200)]
+        assert picks.count("a") > 150
+
+    def test_shuffle_in_place_preserves_elements(self):
+        rng = RandomSource(5)
+        items = list(range(20))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(20))
+
+    def test_wrapping_generator(self):
+        generator = np.random.default_rng(0)
+        source = RandomSource(generator, name="wrapped")
+        assert source.seed is None
+        assert 0.0 <= source.random() < 1.0
+
+    def test_copy_constructor_shares_stream(self):
+        original = RandomSource(9, name="orig")
+        alias = RandomSource(original)
+        assert alias.name == "orig"
+        # The alias shares the generator object.
+        assert alias.generator is original.generator

@@ -1,0 +1,51 @@
+"""Tests for repro.core.types."""
+
+import pytest
+
+from repro.core.types import AccessLevel, JobStatus, MachineGeneration, TERMINAL_STATUSES
+
+
+class TestJobStatus:
+    def test_terminal_statuses(self):
+        assert JobStatus.DONE.is_terminal
+        assert JobStatus.ERROR.is_terminal
+        assert JobStatus.CANCELLED.is_terminal
+
+    def test_non_terminal_statuses(self):
+        assert not JobStatus.QUEUED.is_terminal
+        assert not JobStatus.RUNNING.is_terminal
+        assert not JobStatus.INITIALIZING.is_terminal
+        assert not JobStatus.VALIDATING.is_terminal
+
+    def test_terminal_set_matches_property(self):
+        for status in JobStatus:
+            assert (status in TERMINAL_STATUSES) == status.is_terminal
+
+    def test_only_done_is_successful(self):
+        assert JobStatus.DONE.is_successful
+        assert not JobStatus.ERROR.is_successful
+        assert not JobStatus.CANCELLED.is_successful
+
+    def test_round_trip_by_value(self):
+        for status in JobStatus:
+            assert JobStatus(status.value) is status
+
+
+class TestAccessLevel:
+    def test_public_flag(self):
+        assert AccessLevel.PUBLIC.is_public
+        assert not AccessLevel.PRIVILEGED.is_public
+
+
+class TestMachineGeneration:
+    @pytest.mark.parametrize("qubits,expected", [
+        (1, MachineGeneration.CANARY),
+        (5, MachineGeneration.CANARY),
+        (7, MachineGeneration.FALCON_SMALL),
+        (16, MachineGeneration.FALCON_MEDIUM),
+        (27, MachineGeneration.FALCON_MEDIUM),
+        (53, MachineGeneration.HUMMINGBIRD),
+        (65, MachineGeneration.HUMMINGBIRD),
+    ])
+    def test_classification_by_qubits(self, qubits, expected):
+        assert MachineGeneration.for_qubit_count(qubits) is expected

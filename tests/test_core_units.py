@@ -1,0 +1,44 @@
+"""Tests for repro.core.units."""
+
+import pytest
+
+from repro.core.units import (
+    DAY_SECONDS,
+    HOUR_SECONDS,
+    MINUTE_SECONDS,
+    days_to_seconds,
+    format_duration,
+    hours_to_seconds,
+    minutes_to_seconds,
+    seconds_to_minutes,
+)
+
+
+class TestConversions:
+    def test_constants_consistent(self):
+        assert HOUR_SECONDS == 60 * MINUTE_SECONDS
+        assert DAY_SECONDS == 24 * HOUR_SECONDS
+
+    def test_minutes_round_trip(self):
+        assert seconds_to_minutes(minutes_to_seconds(7.5)) == pytest.approx(7.5)
+
+    def test_hours_and_days(self):
+        assert hours_to_seconds(2) == 7200
+        assert days_to_seconds(1.5) == pytest.approx(129600)
+
+
+class TestFormatDuration:
+    def test_seconds(self):
+        assert format_duration(42) == "42.0s"
+
+    def test_minutes(self):
+        assert format_duration(90) == "1m30s"
+
+    def test_hours(self):
+        assert format_duration(2 * 3600 + 120) == "2h02m"
+
+    def test_days(self):
+        assert format_duration(DAY_SECONDS + 3 * HOUR_SECONDS) == "1d03h"
+
+    def test_negative(self):
+        assert format_duration(-90) == "-1m30s"

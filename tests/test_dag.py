@@ -1,0 +1,71 @@
+"""Tests for repro.circuits.dag."""
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.dag import CircuitDAG
+from repro.circuits.library import qft_circuit
+
+
+class TestCircuitDAG:
+    def test_node_count_matches_instructions(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).measure_all()
+        dag = CircuitDAG(circuit)
+        assert len(dag) == len(circuit)
+
+    def test_dependencies_follow_wires(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).x(1)
+        dag = CircuitDAG(circuit)
+        # cx (index 1) depends on h (index 0); x (index 2) depends on cx.
+        assert [n.index for n in dag.predecessors(1)] == [0]
+        assert [n.index for n in dag.predecessors(2)] == [1]
+
+    def test_front_layer(self):
+        circuit = QuantumCircuit(3).h(0).h(1).cx(0, 1).x(2)
+        dag = CircuitDAG(circuit)
+        front = {node.index for node in dag.front_layer()}
+        assert front == {0, 1, 3}
+
+    def test_topological_order_respects_dependencies(self):
+        circuit = qft_circuit(4)
+        dag = CircuitDAG(circuit)
+        position = {node.index: order
+                    for order, node in enumerate(dag.topological_nodes())}
+        for node in dag.nodes():
+            for successor in dag.successors(node.index):
+                assert position[node.index] < position[successor.index]
+
+    def test_longest_path_matches_circuit_depth(self):
+        circuit = qft_circuit(5)
+        dag = CircuitDAG(circuit)
+        assert dag.longest_path_length() == circuit.depth()
+        assert dag.longest_path_length(two_qubit_only=True) == circuit.cx_depth
+
+    def test_layers_partition_all_nodes(self):
+        circuit = qft_circuit(3)
+        dag = CircuitDAG(circuit)
+        layers = dag.layers()
+        flattened = [node.index for layer in layers for node in layer]
+        assert sorted(flattened) == list(range(len(circuit)))
+
+    def test_layers_are_independent_within_layer(self):
+        circuit = QuantumCircuit(4).h(0).h(1).cx(0, 1).cx(2, 3)
+        dag = CircuitDAG(circuit)
+        first_layer = {n.index for n in dag.layers()[0]}
+        assert 2 not in first_layer  # cx(0,1) depends on the two h gates
+        assert 3 in first_layer      # cx(2,3) has no dependencies
+
+    def test_to_circuit_round_trip_preserves_semantics(self):
+        circuit = qft_circuit(4)
+        rebuilt = CircuitDAG(circuit).to_circuit()
+        assert rebuilt.gate_counts() == circuit.gate_counts()
+        assert rebuilt.depth() == circuit.depth()
+
+    def test_validate_passes_for_well_formed_circuit(self):
+        CircuitDAG(QuantumCircuit(2).h(0).cx(0, 1)).validate()
+
+    def test_empty_circuit(self):
+        dag = CircuitDAG(QuantumCircuit(2))
+        assert len(dag) == 0
+        assert dag.longest_path_length() == 0
+        assert dag.layers() == []

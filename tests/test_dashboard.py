@@ -1,0 +1,77 @@
+"""Tests for the cloud dashboard (repro.cloud.dashboard)."""
+
+import pytest
+
+from repro.cloud.dashboard import CloudDashboard
+from repro.cloud.service import QuantumCloudService
+from repro.core.exceptions import CloudError
+from repro.devices import build_fleet
+
+
+@pytest.fixture(scope="module")
+def dashboard_fleet():
+    return build_fleet(["ibmq_athens", "ibmq_rome", "ibmq_casablanca",
+                        "ibmq_toronto", "ibmq_qasm_simulator"], seed=4)
+
+
+class TestCloudDashboard:
+    def test_status_covers_every_machine(self, dashboard_fleet):
+        dashboard = CloudDashboard(dashboard_fleet, seed=4)
+        rows = dashboard.status(at_time=0.0)
+        assert {row.machine for row in rows} == set(dashboard_fleet)
+        assert rows == sorted(rows, key=lambda r: (r.qubits, r.machine))
+        for row in rows:
+            assert row.pending_jobs >= 0
+            assert 0 <= row.average_readout_error < 1
+
+    def test_online_flag_follows_fleet_history(self, dashboard_fleet):
+        dashboard = CloudDashboard(dashboard_fleet, seed=4)
+        rows = dashboard.status(at_time=0.0, month_index=0)
+        athens = next(r for r in rows if r.machine == "ibmq_athens")
+        assert athens.online is False  # Athens came online mid-study
+
+    def test_least_busy_prefers_quiet_machines(self, dashboard_fleet):
+        dashboard = CloudDashboard(dashboard_fleet, seed=4)
+        least = dashboard.least_busy(at_time=1000.0)
+        statuses = {r.machine: r.pending_jobs for r in dashboard.status(1000.0)}
+        assert least.pending_jobs == min(statuses.values())
+
+    def test_least_busy_respects_qubit_filter(self, dashboard_fleet):
+        dashboard = CloudDashboard(dashboard_fleet, seed=4)
+        least = dashboard.least_busy(at_time=0.0, min_qubits=20)
+        assert least.qubits >= 20
+
+    def test_least_busy_public_only(self, dashboard_fleet):
+        dashboard = CloudDashboard(dashboard_fleet, seed=4)
+        least = dashboard.least_busy(at_time=0.0, public_only=True)
+        assert least.access == "public"
+
+    def test_least_busy_impossible_filter_rejected(self, dashboard_fleet):
+        dashboard = CloudDashboard(dashboard_fleet, seed=4)
+        with pytest.raises(CloudError):
+            dashboard.least_busy(min_qubits=1000)
+
+    def test_best_calibrated_prefers_hardware_with_lowest_error(self,
+                                                                dashboard_fleet):
+        dashboard = CloudDashboard(dashboard_fleet, seed=4)
+        best = dashboard.best_calibrated(at_time=0.0)
+        hardware_errors = {
+            r.machine: r.average_cx_error for r in dashboard.status(0.0)
+            if not dashboard_fleet[r.machine].is_simulator
+        }
+        assert best.average_cx_error == min(hardware_errors.values())
+
+    def test_service_backed_pending_estimates(self, dashboard_fleet):
+        service = QuantumCloudService(dashboard_fleet, seed=4)
+        dashboard = CloudDashboard(dashboard_fleet, service=service, seed=4)
+        rows = dashboard.status(at_time=0.0)
+        assert all(row.pending_jobs >= 0 for row in rows)
+
+    def test_render_is_a_table(self, dashboard_fleet):
+        text = CloudDashboard(dashboard_fleet, seed=4).render()
+        assert "quantum cloud dashboard" in text
+        assert "ibmq_toronto" in text
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(CloudError):
+            CloudDashboard({})

@@ -1,0 +1,157 @@
+"""Tests for repro.fidelity (metrics, estimator, statevector, sampler)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import ghz_circuit, qft_circuit
+from repro.core.exceptions import CircuitError
+from repro.core.rng import RandomSource
+from repro.fidelity import (
+    NoisySampler,
+    StatevectorSimulator,
+    compute_cx_metrics,
+    estimate_success_probability,
+    ideal_distribution,
+    measure_probability_of_success,
+)
+from repro.transpiler import transpile
+
+
+class TestStatevector:
+    def test_initial_state(self):
+        state = StatevectorSimulator().run(QuantumCircuit(2))
+        assert state[0] == pytest.approx(1.0)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+    def test_x_gate(self):
+        state = StatevectorSimulator().run(QuantumCircuit(1).x(0))
+        assert abs(state[1]) == pytest.approx(1.0)
+
+    def test_bell_state(self):
+        state = StatevectorSimulator().run(QuantumCircuit(2).h(0).cx(0, 1))
+        probabilities = np.abs(state) ** 2
+        assert probabilities[0] == pytest.approx(0.5)
+        assert probabilities[3] == pytest.approx(0.5)
+        assert probabilities[1] == pytest.approx(0.0)
+
+    def test_ghz_distribution(self):
+        distribution = ideal_distribution(ghz_circuit(4, measure=False))
+        assert set(distribution) == {"0000", "1111"}
+        assert distribution["0000"] == pytest.approx(0.5)
+
+    def test_qft_on_zero_state_is_uniform(self):
+        probabilities = StatevectorSimulator().probabilities(
+            qft_circuit(3, measure=False))
+        assert np.allclose(probabilities, 1.0 / 8.0)
+
+    def test_norm_preserved_through_random_unitaries(self):
+        circuit = QuantumCircuit(3)
+        circuit.h(0).cx(0, 1).t(2).rz(0.3, 1).cx(1, 2).ry(0.7, 0)
+        state = StatevectorSimulator().run(circuit)
+        assert np.linalg.norm(state) == pytest.approx(1.0)
+
+    def test_reset_projects_to_zero(self):
+        circuit = QuantumCircuit(1).x(0).reset(0)
+        state = StatevectorSimulator().run(circuit)
+        assert abs(state[0]) == pytest.approx(1.0)
+
+    def test_qubit_limit_enforced(self):
+        simulator = StatevectorSimulator(max_qubits=3)
+        with pytest.raises(CircuitError):
+            simulator.run(QuantumCircuit(4))
+
+    def test_counts_sum_to_shots(self):
+        counts = StatevectorSimulator().counts(ghz_circuit(2, measure=False),
+                                               shots=256, rng=RandomSource(1))
+        assert sum(counts.values()) == 256
+        assert set(counts) <= {"00", "11"}
+
+
+class TestCxMetrics:
+    def test_counts_match_circuit(self, casablanca):
+        result = transpile(qft_circuit(4), casablanca, optimization_level=1)
+        calibration = casablanca.calibration_at(0.0)
+        metrics = compute_cx_metrics(result.circuit, calibration)
+        assert metrics.cx_total == result.circuit.cx_count
+        assert metrics.cx_depth == result.circuit.cx_depth
+        assert metrics.cx_total_x_error == pytest.approx(
+            metrics.cx_total * metrics.average_cx_error)
+
+    def test_no_calibration_gives_zero_error(self):
+        circuit = ghz_circuit(3)
+        metrics = compute_cx_metrics(circuit, calibration=None)
+        assert metrics.average_cx_error == 0.0
+        assert metrics.cx_total == 2
+
+    def test_empty_circuit(self):
+        metrics = compute_cx_metrics(QuantumCircuit(2))
+        assert metrics.cx_total == 0
+        assert metrics.cx_depth == 0
+
+
+class TestSuccessEstimator:
+    def test_probability_in_unit_interval(self, casablanca):
+        result = transpile(qft_circuit(4), casablanca, optimization_level=2)
+        estimate = estimate_success_probability(
+            result.circuit, casablanca.calibration_at(0.0))
+        assert 0.0 < estimate.probability < 1.0
+        assert 0.0 < estimate.gate_factor <= 1.0
+        assert 0.0 < estimate.readout_factor <= 1.0
+        assert 0.0 < estimate.decoherence_factor <= 1.0
+
+    def test_more_cx_means_lower_esp(self, casablanca):
+        """The Fig. 7 correlation: success falls as CX metrics rise."""
+        calibration = casablanca.calibration_at(0.0)
+        small = transpile(ghz_circuit(3), casablanca, optimization_level=2)
+        large = transpile(qft_circuit(6), casablanca, optimization_level=2)
+        esp_small = estimate_success_probability(small.circuit, calibration)
+        esp_large = estimate_success_probability(large.circuit, calibration)
+        assert esp_large.cx_metrics.cx_total > esp_small.cx_metrics.cx_total
+        assert esp_large.probability < esp_small.probability
+
+    def test_empty_circuit_has_unit_gate_factor(self, casablanca):
+        estimate = estimate_success_probability(
+            QuantumCircuit(1), casablanca.calibration_at(0.0))
+        assert estimate.gate_factor == pytest.approx(1.0)
+
+    def test_as_dict_contains_metric_keys(self, casablanca):
+        result = transpile(ghz_circuit(2), casablanca, optimization_level=1)
+        estimate = estimate_success_probability(
+            result.circuit, casablanca.calibration_at(0.0))
+        payload = estimate.as_dict()
+        assert "probability" in payload and "cx_total" in payload
+
+
+class TestNoisySampler:
+    def test_counts_sum_to_shots(self, casablanca):
+        logical = ghz_circuit(3)
+        result = transpile(logical, casablanca, optimization_level=1)
+        sampler = NoisySampler(seed=1)
+        sampled = sampler.sample(logical, result.circuit,
+                                 casablanca.calibration_at(0.0), shots=512)
+        assert sum(sampled.counts.values()) == 512
+        assert 0.0 <= sampled.probability_of_success <= 1.0
+
+    def test_pos_degrades_with_bigger_circuits(self, casablanca):
+        calibration = casablanca.calibration_at(0.0)
+        small_logical = ghz_circuit(2)
+        large_logical = ghz_circuit(6)
+        small_pos = measure_probability_of_success(
+            small_logical,
+            transpile(small_logical, casablanca, optimization_level=2).circuit,
+            calibration, shots=2048, seed=3)
+        large_pos = measure_probability_of_success(
+            large_logical,
+            transpile(large_logical, casablanca, optimization_level=2).circuit,
+            calibration, shots=2048, seed=3)
+        assert large_pos < small_pos
+
+    def test_invalid_shots_rejected(self, casablanca):
+        logical = ghz_circuit(2)
+        compiled = transpile(logical, casablanca).circuit
+        with pytest.raises(CircuitError):
+            NoisySampler().sample(logical, compiled,
+                                  casablanca.calibration_at(0.0), shots=0)

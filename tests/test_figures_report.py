@@ -1,0 +1,52 @@
+"""Tests for the one-call figure reproduction (repro.analysis.figures)."""
+
+import json
+
+import pytest
+
+from repro.analysis.figures import ReproductionReport, reproduce_all
+from repro.core.exceptions import AnalysisError
+from repro.workloads.trace import TraceDataset
+
+
+class TestReproduceAll:
+    def test_report_covers_every_trace_driven_figure(self, medium_trace, fleet):
+        report = reproduce_all(medium_trace, fleet=fleet)
+        assert report.trace_summary["jobs"] == len(medium_trace)
+        assert report.fig2a_cumulative_trials
+        assert abs(sum(report.fig2b_status.values()) - 1.0) < 1e-9
+        assert report.fig3_queue_report["median_minutes"] > 0
+        assert report.fig4_ratio_report["median_ratio"] > 0
+        assert report.fig6_bisection
+        assert report.fig8_utilization
+        assert report.fig9_pending_jobs
+        assert report.fig10_queue_by_machine
+        assert report.fig11_per_circuit_queue
+        assert 0 < report.fig12a_crossover["crossover_fraction"] < 1
+        assert report.fig13_run_by_machine
+        assert report.fig14_batch_trend["slope_minutes_per_circuit"] > 0
+
+    def test_report_without_fleet_skips_fleet_figures(self, medium_trace):
+        report = reproduce_all(medium_trace)
+        assert report.fig6_bisection == []
+        assert report.fig9_pending_jobs == {}
+        assert report.fig2b_status  # trace-only figures still present
+
+    def test_report_is_json_serialisable(self, medium_trace, fleet):
+        report = reproduce_all(medium_trace, fleet=fleet)
+        payload = json.dumps(report.as_dict())
+        assert "fig14_batch_trend" in payload
+
+    def test_render_contains_section_titles(self, medium_trace, fleet):
+        text = reproduce_all(medium_trace, fleet=fleet).render()
+        assert "Fig. 2a" in text
+        assert "Fig. 12a" in text
+        assert "Fig. 14" in text
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(AnalysisError):
+            reproduce_all(TraceDataset())
+
+    def test_default_report_is_empty(self):
+        report = ReproductionReport()
+        assert report.as_dict()["fig2b_status"] == {}

@@ -1,0 +1,119 @@
+"""Tests for repro.circuits.gates."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import (
+    GATE_SPECS,
+    Gate,
+    IBM_BASIS_GATES,
+    NON_UNITARY_OPERATIONS,
+    TWO_QUBIT_GATES,
+    gate_matrix,
+    is_basis_gate,
+)
+from repro.core.exceptions import CircuitError
+
+
+class TestGateSpecs:
+    def test_basis_gates_present(self):
+        for name in IBM_BASIS_GATES:
+            assert name in GATE_SPECS
+
+    def test_two_qubit_set(self):
+        assert "cx" in TWO_QUBIT_GATES
+        assert "swap" in TWO_QUBIT_GATES
+        assert "h" not in TWO_QUBIT_GATES
+        assert "measure" not in TWO_QUBIT_GATES
+
+    def test_is_basis_gate(self):
+        assert is_basis_gate("cx")
+        assert is_basis_gate("measure")
+        assert not is_basis_gate("h")
+
+
+class TestGateConstruction:
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("frobnicate")
+
+    def test_wrong_parameter_count_rejected(self):
+        with pytest.raises(CircuitError):
+            Gate("rz")
+        with pytest.raises(CircuitError):
+            Gate("x", (0.5,))
+
+    def test_parameterised_gate(self):
+        gate = Gate("rz", (math.pi / 3,))
+        assert gate.num_qubits == 1
+        assert gate.params == (math.pi / 3,)
+
+    def test_inverse_of_self_inverse(self):
+        assert Gate("x").inverse() == Gate("x")
+        assert Gate("cx").inverse() == Gate("cx")
+
+    def test_inverse_of_rotation_negates_angle(self):
+        inverse = Gate("rz", (0.7,)).inverse()
+        assert inverse.params == (-0.7,)
+
+    def test_inverse_of_s_is_sdg(self):
+        assert Gate("s").inverse() == Gate("sdg")
+        assert Gate("tdg").inverse() == Gate("t")
+
+
+def _is_unitary(matrix: np.ndarray) -> bool:
+    identity = np.eye(matrix.shape[0])
+    return np.allclose(matrix @ matrix.conj().T, identity, atol=1e-10)
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize("name", [
+        "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "sxdg",
+        "cx", "cz", "swap", "iswap", "ccx", "cswap",
+    ])
+    def test_fixed_gates_are_unitary(self, name):
+        assert _is_unitary(gate_matrix(Gate(name)))
+
+    @pytest.mark.parametrize("name", ["rx", "ry", "rz", "p", "cp", "crz", "rzz"])
+    def test_parameterised_gates_are_unitary(self, name):
+        assert _is_unitary(gate_matrix(Gate(name, (0.37,))))
+
+    def test_u_gate_unitary(self):
+        assert _is_unitary(gate_matrix(Gate("u", (0.3, 0.7, 1.1))))
+
+    def test_matrix_dimensions_match_qubit_count(self):
+        for name in ("x", "cx", "ccx"):
+            gate = Gate(name)
+            matrix = gate_matrix(gate)
+            assert matrix.shape == (2 ** gate.num_qubits,) * 2
+
+    def test_non_unitary_operations_rejected(self):
+        for name in NON_UNITARY_OPERATIONS:
+            if name == "barrier":
+                continue
+            with pytest.raises(CircuitError):
+                gate_matrix(Gate(name))
+
+    def test_hadamard_matrix_values(self):
+        matrix = gate_matrix(Gate("h"))
+        expected = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+        assert np.allclose(matrix, expected)
+
+    def test_cx_flips_target_when_control_set(self):
+        matrix = gate_matrix(Gate("cx"))
+        # Basis ordering is |control target>: |10> (index 2) -> |11> (index 3).
+        state = np.zeros(4)
+        state[2] = 1.0
+        result = matrix @ state
+        assert result[3] == pytest.approx(1.0)
+
+    def test_sx_squares_to_x(self):
+        sx = gate_matrix(Gate("sx"))
+        x = gate_matrix(Gate("x"))
+        assert np.allclose(sx @ sx, x)
+
+    def test_rz_is_diagonal(self):
+        matrix = gate_matrix(Gate("rz", (1.3,)))
+        assert np.allclose(matrix, np.diag(np.diag(matrix)))

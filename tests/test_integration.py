@@ -1,0 +1,103 @@
+"""Integration tests: the full pipeline from circuits to analyses.
+
+These tests exercise the same paths the benchmark harness uses, end to end:
+generate a trace with the cloud simulator, run every analysis the paper
+reports, fit the prediction models, and apply the recommendation policies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    batch_runtime_trend,
+    bisection_bandwidth_table,
+    crossover_statistics,
+    cumulative_trials_by_month,
+    queue_time_percentile_report,
+    ratio_report,
+    run_time_by_machine,
+    status_breakdown,
+    utilization_by_machine,
+)
+from repro.circuits import qft_echo_circuit
+from repro.cloud import CircuitSpec, Job, QuantumCloudService, circuit_spec_from_circuit
+from repro.core.types import JobStatus
+from repro.devices import build_fleet
+from repro.fidelity import estimate_success_probability, measure_probability_of_success
+from repro.prediction import QueueTimePredictor, RuntimePredictionStudy
+from repro.scheduling import BatchingPlanner, MachineSelector, SelectionObjective
+from repro.transpiler import transpile
+
+
+class TestFullAnalysisPipeline:
+    def test_every_paper_analysis_runs_on_one_trace(self, medium_trace, fleet):
+        """One pass over the medium trace touches every figure's analysis."""
+        assert cumulative_trials_by_month(medium_trace)[-1].cumulative_trials > 0
+        assert status_breakdown(medium_trace)["DONE"] > 0.8
+        assert queue_time_percentile_report(medium_trace).median_minutes > 0
+        assert ratio_report(medium_trace).median_ratio > 0
+        assert len(bisection_bandwidth_table(fleet)) >= 25
+        assert len(utilization_by_machine(medium_trace)) > 3
+        assert len(run_time_by_machine(medium_trace)) > 3
+        assert batch_runtime_trend(medium_trace).slope_minutes_per_circuit > 0
+        assert 0 < crossover_statistics(medium_trace).crossover_fraction < 1
+
+    def test_prediction_pipeline_on_trace(self, medium_trace):
+        study = RuntimePredictionStudy(min_jobs_per_machine=40)
+        results = study.run(medium_trace)
+        correlations = [r.full_model_correlation for r in results.values()]
+        assert np.median(correlations) > 0.85
+        predictor = QueueTimePredictor().fit(medium_trace)
+        machine = next(iter(results))
+        prediction = predictor.predict(machine, pending_ahead=20)
+        assert prediction.upper_minutes >= prediction.lower_minutes >= 0
+
+
+class TestClientWorkflow:
+    """The end-to-end path a user of the library would follow."""
+
+    def test_compile_estimate_submit_and_analyse(self):
+        fleet = build_fleet(["ibmq_athens", "ibmq_casablanca", "ibmq_toronto"],
+                            seed=7)
+        service = QuantumCloudService(fleet, seed=7)
+
+        # 1. Build a benchmark circuit and pick a machine by fidelity/queue.
+        circuit = qft_echo_circuit(3)
+        selector = MachineSelector(SelectionObjective.BALANCED)
+        waits = {name: service.pending_jobs_estimate(name, 0.0)
+                 for name in fleet}
+        choice = selector.select(circuit, list(fleet.values()),
+                                 expected_wait_minutes=waits)
+        backend = fleet[choice.machine]
+
+        # 2. Compile and estimate the success probability.
+        compiled = transpile(circuit, backend, optimization_level=2)
+        estimate = estimate_success_probability(
+            compiled.circuit, backend.calibration_at(0.0))
+        assert 0.0 < estimate.probability <= 1.0
+
+        # 3. Measure a POS with the noisy sampler (the hardware stand-in).
+        pos = measure_probability_of_success(
+            circuit, compiled.circuit, backend.calibration_at(0.0), shots=1024)
+        assert 0.0 <= pos <= 1.0
+
+        # 4. Batch the circuit into a job and submit it to the cloud.
+        spec = circuit_spec_from_circuit(compiled.circuit, family="qft_echo")
+        spec = CircuitSpec(name=spec.name, width=circuit.num_qubits,
+                           depth=spec.depth, num_gates=spec.num_gates,
+                           cx_count=spec.cx_count, cx_depth=spec.cx_depth,
+                           family="qft_echo")
+        planner = BatchingPlanner(backend, expected_queue_minutes=30.0)
+        plan = planner.plan([spec] * 10)
+        assert plan.num_jobs == 1
+        job = Job(provider="academic-hub", backend_name=backend.name,
+                  circuits=list(plan.batches[0]), shots=1024,
+                  submit_time=0.0, compile_seconds=compiled.total_seconds)
+        service.submit(job)
+        service.drain()
+
+        # 5. The job completes with timestamps the analysis layer understands.
+        assert job.status in (JobStatus.DONE, JobStatus.ERROR, JobStatus.CANCELLED)
+        if job.status is not JobStatus.CANCELLED:
+            assert job.run_seconds > 0
+            assert job.queue_seconds >= 0

@@ -1,0 +1,60 @@
+"""Tests for repro.transpiler.layout."""
+
+import pytest
+
+from repro.core.exceptions import TranspilerError
+from repro.transpiler.layout import Layout
+
+
+class TestLayout:
+    def test_trivial(self):
+        layout = Layout.trivial(3)
+        assert layout.physical(0) == 0
+        assert layout.physical(2) == 2
+        assert layout.num_mapped == 3
+
+    def test_from_physical_list(self):
+        layout = Layout.from_physical_list([4, 2, 0])
+        assert layout.physical(0) == 4
+        assert layout.virtual(2) == 1
+
+    def test_double_assignment_rejected(self):
+        layout = Layout({0: 1})
+        with pytest.raises(TranspilerError):
+            layout.assign(0, 2)
+        with pytest.raises(TranspilerError):
+            layout.assign(1, 1)
+
+    def test_unmapped_virtual_raises(self):
+        with pytest.raises(TranspilerError):
+            Layout().physical(0)
+
+    def test_unmapped_physical_returns_none(self):
+        assert Layout({0: 1}).virtual(0) is None
+
+    def test_swap_physical(self):
+        layout = Layout({0: 0, 1: 1})
+        layout.swap_physical(0, 1)
+        assert layout.physical(0) == 1
+        assert layout.physical(1) == 0
+
+    def test_swap_with_empty_slot(self):
+        layout = Layout({0: 0})
+        layout.swap_physical(0, 5)
+        assert layout.physical(0) == 5
+        assert layout.virtual(0) is None
+
+    def test_copy_is_independent(self):
+        layout = Layout({0: 0})
+        clone = layout.copy()
+        clone.assign(1, 1)
+        assert not layout.has_virtual(1)
+
+    def test_equality_and_dict(self):
+        assert Layout({0: 2, 1: 3}) == Layout({1: 3, 0: 2})
+        assert Layout({0: 2}).as_dict() == {0: 2}
+
+    def test_bijectivity_invariant(self):
+        layout = Layout({0: 5, 1: 3, 2: 7})
+        for virtual in layout.virtual_qubits():
+            assert layout.virtual(layout.physical(virtual)) == virtual

@@ -1,0 +1,130 @@
+"""Tests for repro.circuits.library."""
+
+import pytest
+
+from repro.circuits.library import (
+    CIRCUIT_FAMILIES,
+    bernstein_vazirani_circuit,
+    build_circuit,
+    bv_circuit,
+    ghz_circuit,
+    qaoa_maxcut_circuit,
+    qft_circuit,
+    random_circuit,
+    vqe_ansatz_circuit,
+)
+from repro.core.exceptions import CircuitError
+from repro.core.rng import RandomSource
+
+
+class TestQft:
+    def test_gate_structure(self):
+        circuit = qft_circuit(4, measure=False)
+        counts = circuit.gate_counts()
+        assert counts["h"] == 4
+        assert counts["cp"] == 6          # n(n-1)/2 controlled phases
+        assert counts["swap"] == 2        # floor(n/2) bit-reversal swaps
+
+    def test_measured_by_default(self):
+        assert qft_circuit(3).count_measurements() == 3
+
+    def test_without_swaps(self):
+        circuit = qft_circuit(4, include_swaps=False, measure=False)
+        assert "swap" not in circuit.gate_counts()
+
+    def test_single_qubit(self):
+        circuit = qft_circuit(1, measure=False)
+        assert circuit.gate_counts() == {"h": 1}
+
+    def test_invalid_size(self):
+        with pytest.raises(CircuitError):
+            qft_circuit(0)
+
+
+class TestGhz:
+    def test_structure(self):
+        circuit = ghz_circuit(5, measure=False)
+        counts = circuit.gate_counts()
+        assert counts["h"] == 1
+        assert counts["cx"] == 4
+
+    def test_cx_chain_is_nearest_neighbour_in_logical_indices(self):
+        circuit = ghz_circuit(4, measure=False)
+        cx_pairs = [i.qubits for i in circuit.two_qubit_instructions()]
+        assert cx_pairs == [(0, 1), (1, 2), (2, 3)]
+
+
+class TestBernsteinVazirani:
+    def test_secret_encoded_as_cx_count(self):
+        circuit = bernstein_vazirani_circuit("1011", measure=False)
+        assert circuit.cx_count == 3
+        assert circuit.num_qubits == 5  # 4 data + 1 ancilla
+
+    def test_invalid_secret(self):
+        with pytest.raises(CircuitError):
+            bernstein_vazirani_circuit("10a1")
+        with pytest.raises(CircuitError):
+            bernstein_vazirani_circuit("")
+
+    def test_bv_width_helper(self):
+        circuit = bv_circuit(5, rng=RandomSource(1))
+        assert circuit.num_qubits == 5
+        assert circuit.cx_count >= 1
+
+    def test_bv_minimum_width(self):
+        with pytest.raises(CircuitError):
+            bv_circuit(1)
+
+
+class TestQaoaAndVqe:
+    def test_qaoa_ring_structure(self):
+        circuit = qaoa_maxcut_circuit(4, num_layers=2, measure=False)
+        counts = circuit.gate_counts()
+        assert counts["h"] == 4
+        assert counts["rzz"] == 8   # 4 edges x 2 layers
+        assert counts["rx"] == 8
+
+    def test_qaoa_custom_edges_validated(self):
+        with pytest.raises(CircuitError):
+            qaoa_maxcut_circuit(3, edges=[(0, 3)])
+        with pytest.raises(CircuitError):
+            qaoa_maxcut_circuit(3, edges=[(1, 1)])
+
+    def test_vqe_parameter_count_enforced(self):
+        with pytest.raises(CircuitError):
+            vqe_ansatz_circuit(3, num_layers=2, parameters=[0.1, 0.2])
+
+    def test_vqe_structure(self):
+        circuit = vqe_ansatz_circuit(3, num_layers=2, measure=False)
+        counts = circuit.gate_counts()
+        assert counts["cx"] == 4          # (n-1) per layer
+        assert counts["ry"] == 9          # n per rotation layer x (layers+1)
+        assert counts["rz"] == 9
+
+
+class TestRandomCircuit:
+    def test_deterministic_for_seed(self):
+        a = random_circuit(4, 6, rng=RandomSource(9))
+        b = random_circuit(4, 6, rng=RandomSource(9))
+        assert a == b
+
+    def test_depth_scales_with_requested_layers(self):
+        shallow = random_circuit(4, 2, rng=RandomSource(1), measure=False)
+        deep = random_circuit(4, 12, rng=RandomSource(1), measure=False)
+        assert deep.depth() > shallow.depth()
+
+    def test_invalid_depth(self):
+        with pytest.raises(CircuitError):
+            random_circuit(2, -1)
+
+
+class TestBuildCircuit:
+    @pytest.mark.parametrize("family", sorted(CIRCUIT_FAMILIES))
+    def test_every_family_builds(self, family):
+        circuit = build_circuit(family, 4, rng=RandomSource(2))
+        assert circuit.num_qubits >= 2
+        assert circuit.metadata["family"] == family
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(CircuitError):
+            build_circuit("does-not-exist", 4)

@@ -1,0 +1,115 @@
+"""Tests for the access-class comparison and the prediction error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.providers import (
+    access_class_profiles,
+    public_to_privileged_queue_ratio,
+)
+from repro.core.exceptions import AnalysisError, PredictionError
+from repro.prediction import RuntimePredictionStudy
+from repro.prediction.evaluation import (
+    PredictionErrorReport,
+    evaluate_study,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    root_mean_squared_error,
+)
+from repro.workloads.trace import TraceDataset
+
+
+class TestAccessClassProfiles:
+    def test_both_classes_present(self, medium_trace):
+        profiles = access_class_profiles(medium_trace)
+        assert set(profiles) == {"public", "privileged"}
+        shares = sum(p.job_share for p in profiles.values())
+        assert shares == pytest.approx(1.0)
+
+    def test_public_queues_longer(self, medium_trace):
+        """Fig. 10's contrast between access classes."""
+        profiles = access_class_profiles(medium_trace)
+        assert (profiles["public"].queue_minutes.median
+                > profiles["privileged"].queue_minutes.median)
+        assert public_to_privileged_queue_ratio(medium_trace) > 1.5
+
+    def test_run_times_similar_across_classes(self, medium_trace):
+        """Execution time is machine-overhead bound, not access bound."""
+        profiles = access_class_profiles(medium_trace)
+        ratio = (profiles["public"].run_minutes.median
+                 / max(profiles["privileged"].run_minutes.median, 1e-9))
+        assert 0.1 < ratio < 10.0
+
+    def test_crossover_fraction_bounded(self, medium_trace):
+        profiles = access_class_profiles(medium_trace)
+        for profile in profiles.values():
+            assert 0.0 <= profile.crossover_fraction <= 1.0
+
+    def test_as_dict_keys(self, medium_trace):
+        profile = access_class_profiles(medium_trace)["public"]
+        payload = profile.as_dict()
+        assert "median_queue_minutes" in payload
+        assert payload["jobs"] == profile.jobs
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(AnalysisError):
+            access_class_profiles(TraceDataset())
+
+
+class TestErrorMetrics:
+    def test_known_values(self):
+        actual = [1.0, 2.0, 3.0]
+        predicted = [1.0, 3.0, 5.0]
+        assert mean_absolute_error(actual, predicted) == pytest.approx(1.0)
+        assert root_mean_squared_error(actual, predicted) == pytest.approx(
+            np.sqrt(5.0 / 3.0))
+        assert mean_absolute_percentage_error(actual, predicted) == pytest.approx(
+            (0 + 0.5 + 2.0 / 3.0) / 3)
+
+    def test_perfect_prediction(self):
+        values = [0.5, 1.5, 7.0]
+        assert mean_absolute_error(values, values) == 0.0
+        assert root_mean_squared_error(values, values) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PredictionError):
+            mean_absolute_error([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PredictionError):
+            root_mean_squared_error([], [])
+
+    def test_mape_all_zero_actuals_rejected(self):
+        with pytest.raises(PredictionError):
+            mean_absolute_percentage_error([0.0, 0.0], [1.0, 1.0])
+
+
+class TestEvaluateStudy:
+    def test_reports_for_fitted_study(self, medium_trace):
+        study = RuntimePredictionStudy(min_jobs_per_machine=40)
+        results = study.run(medium_trace)
+        reports = evaluate_study(results)
+        assert reports
+        for report in reports.values():
+            assert report.samples > 0
+            assert report.mae_minutes >= 0
+            assert report.rmse_minutes >= report.mae_minutes - 1e-9
+            assert 0.0 <= report.relative_mae <= 1.5
+
+    def test_absolute_errors_small_relative_to_range(self, medium_trace):
+        """The Fig. 16 argument: even low-correlation machines have small MAE."""
+        study = RuntimePredictionStudy(min_jobs_per_machine=40)
+        reports = evaluate_study(study.run(medium_trace))
+        worst = min(reports.values(), key=lambda r: r.correlation)
+        assert worst.relative_mae < 0.5
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(PredictionError):
+            evaluate_study({})
+
+    def test_report_as_dict(self):
+        report = PredictionErrorReport(machine="m", samples=10, correlation=0.9,
+                                       mae_minutes=0.5, rmse_minutes=0.7,
+                                       mape=0.2, actual_range_minutes=10.0)
+        payload = report.as_dict()
+        assert payload["relative_mae"] == pytest.approx(0.05)

@@ -1,0 +1,79 @@
+"""Tests for repro.circuits.qasm."""
+
+import math
+
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.library import ghz_circuit, qft_circuit
+from repro.circuits.qasm import from_qasm, to_qasm
+from repro.core.exceptions import CircuitError
+
+
+class TestExport:
+    def test_header_and_registers(self):
+        text = to_qasm(QuantumCircuit(3, 2))
+        assert "OPENQASM 2.0;" in text
+        assert "qreg q[3];" in text
+        assert "creg c[2];" in text
+
+    def test_gate_lines(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).rz(math.pi / 4, 1)
+        text = to_qasm(circuit)
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+        assert "rz(0.785398163397" in text
+
+    def test_measure_line(self):
+        text = to_qasm(QuantumCircuit(1).measure(0, 0))
+        assert "measure q[0] -> c[0];" in text
+
+    def test_barrier_line(self):
+        text = to_qasm(QuantumCircuit(2).barrier())
+        assert "barrier q[0],q[1];" in text
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("circuit", [
+        ghz_circuit(4),
+        qft_circuit(4),
+        QuantumCircuit(3).h(0).cx(0, 2).rz(0.25, 1).barrier().measure_all(),
+    ])
+    def test_round_trip_preserves_structure(self, circuit):
+        restored = from_qasm(to_qasm(circuit))
+        assert restored.num_qubits == circuit.num_qubits
+        assert restored.gate_counts() == circuit.gate_counts()
+        assert restored.depth() == circuit.depth()
+        assert restored.cx_count == circuit.cx_count
+
+    def test_round_trip_preserves_parameters(self):
+        circuit = QuantumCircuit(1).rz(1.234567, 0).rx(-0.5, 0)
+        restored = from_qasm(to_qasm(circuit))
+        for original, parsed in zip(circuit.instructions, restored.instructions):
+            assert parsed.gate.params == pytest.approx(original.gate.params)
+
+
+class TestImportErrors:
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(CircuitError):
+            from_qasm('OPENQASM 2.0;\ninclude "qelib1.inc";\nh q[0];\n')
+
+    def test_unknown_gate_rejected(self):
+        text = 'OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nmystery q[0];\n'
+        with pytest.raises(CircuitError):
+            from_qasm(text)
+
+    def test_pi_expressions_supported(self):
+        text = 'OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nrz(pi/2) q[0];\n'
+        circuit = from_qasm(text)
+        assert circuit.instructions[0].gate.params[0] == pytest.approx(math.pi / 2)
+
+    def test_malformed_parameter_rejected(self):
+        text = 'OPENQASM 2.0;\nqreg q[1];\ncreg c[1];\nrz(__import__) q[0];\n'
+        with pytest.raises(CircuitError):
+            from_qasm(text)
+
+    def test_comments_ignored(self):
+        text = ('OPENQASM 2.0;\n// a comment\nqreg q[1];\ncreg c[1];\n'
+                'h q[0]; // trailing\n')
+        assert from_qasm(text).gate_counts() == {"h": 1}

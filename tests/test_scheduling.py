@@ -1,0 +1,179 @@
+"""Tests for repro.scheduling (policies, load balancing, batching,
+multi-programming)."""
+
+import pytest
+
+from repro.circuits.library import ghz_circuit, qft_circuit
+from repro.cloud.job import CircuitSpec, Job
+from repro.core.exceptions import ReproError
+from repro.devices import build_backend, build_fleet
+from repro.scheduling import (
+    BatchingPlanner,
+    LoadBalancer,
+    MachineSelector,
+    MultiProgrammer,
+    SelectionObjective,
+)
+
+
+def _spec(width=2, name="c"):
+    return CircuitSpec(name=name, width=width, depth=8, num_gates=14,
+                       cx_count=4, cx_depth=3)
+
+
+def _job(backend="ibmq_athens", batch=10, width=2):
+    return Job(provider="academic-hub", backend_name=backend,
+               circuits=[_spec(width)] * batch, shots=1024, submit_time=0.0)
+
+
+class TestMachineSelector:
+    @pytest.fixture(scope="class")
+    def candidates(self):
+        return [build_backend(name, seed=2) for name in
+                ("ibmq_athens", "ibmq_casablanca", "ibmq_toronto")]
+
+    def test_fidelity_objective_ranks_by_success(self, candidates):
+        selector = MachineSelector(SelectionObjective.FIDELITY)
+        choices = selector.evaluate(ghz_circuit(3), candidates)
+        successes = [c.estimated_success for c in choices]
+        assert successes == sorted(successes, reverse=True)
+
+    def test_queue_objective_prefers_idle_machine(self, candidates):
+        selector = MachineSelector(SelectionObjective.QUEUE)
+        waits = {"ibmq_athens": 600.0, "ibmq_casablanca": 5.0,
+                 "ibmq_toronto": 90.0}
+        best = selector.select(ghz_circuit(3), candidates,
+                               expected_wait_minutes=waits)
+        assert best.machine == "ibmq_casablanca"
+
+    def test_balanced_objective_trades_off(self, candidates):
+        selector = MachineSelector(SelectionObjective.BALANCED,
+                                   fidelity_weight=0.5)
+        waits = {"ibmq_athens": 2000.0, "ibmq_casablanca": 10.0,
+                 "ibmq_toronto": 10.0}
+        best = selector.select(ghz_circuit(3), candidates,
+                               expected_wait_minutes=waits)
+        assert best.machine in ("ibmq_casablanca", "ibmq_toronto")
+
+    def test_cx_metrics_reported(self, candidates):
+        selector = MachineSelector()
+        choices = selector.evaluate(qft_circuit(4), candidates)
+        assert all(choice.cx_total > 0 for choice in choices)
+        assert all(0 <= choice.estimated_success <= 1 for choice in choices)
+
+    def test_too_small_machines_excluded(self, candidates):
+        selector = MachineSelector()
+        choices = selector.evaluate(qft_circuit(6), candidates)
+        assert all(choice.machine != "ibmq_athens" for choice in choices)
+
+    def test_no_fitting_machine_rejected(self, candidates):
+        selector = MachineSelector()
+        with pytest.raises(ReproError):
+            selector.evaluate(qft_circuit(40), candidates)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ReproError):
+            MachineSelector(fidelity_weight=1.5)
+
+
+class TestLoadBalancer:
+    @pytest.fixture(scope="class")
+    def fleet_subset(self):
+        return build_fleet(["ibmq_athens", "ibmq_santiago", "ibmq_rome",
+                            "ibmq_bogota"], seed=2)
+
+    def test_balancing_reduces_imbalance(self, fleet_subset):
+        """Recommendation V-E.4: vendor balancing beats user heuristics."""
+        jobs = [_job("ibmq_athens", batch=50) for _ in range(20)]
+        balancer = LoadBalancer(fleet_subset)
+        balanced = balancer.assign(jobs)
+        baseline = LoadBalancer.user_driven_baseline(jobs, fleet_subset)
+        assert balanced.imbalance < baseline.imbalance
+        assert balanced.max_backlog < baseline.max_backlog
+
+    def test_all_jobs_assigned(self, fleet_subset):
+        jobs = [_job(batch=b) for b in (5, 50, 500)]
+        result = LoadBalancer(fleet_subset).assign(jobs)
+        assert set(result.assignments) == {job.job_id for job in jobs}
+
+    def test_qubit_requirement_respected(self, fleet_subset):
+        fleet = dict(fleet_subset)
+        fleet["ibmq_toronto"] = build_backend("ibmq_toronto", seed=2)
+        jobs = [_job(width=16, batch=5)]
+        result = LoadBalancer(fleet).assign(jobs)
+        assert result.assignments[jobs[0].job_id] == "ibmq_toronto"
+
+    def test_unplaceable_job_rejected(self, fleet_subset):
+        with pytest.raises(ReproError):
+            LoadBalancer(fleet_subset).assign([_job(width=50)])
+
+    def test_custom_runtime_estimator_used(self, fleet_subset):
+        jobs = [_job(batch=10), _job(batch=10)]
+        result = LoadBalancer(fleet_subset).assign(
+            jobs, job_runtime_estimator=lambda job, backend: 1000.0)
+        assert sum(result.backlog_seconds.values()) == pytest.approx(2000.0)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ReproError):
+            LoadBalancer({})
+
+
+class TestBatchingPlanner:
+    def test_batched_plan_reduces_per_circuit_queue(self, athens):
+        """Fig. 11 / recommendation V-E.5: batching amortises queue time."""
+        planner = BatchingPlanner(athens, expected_queue_minutes=60.0)
+        circuits = [_spec(name=f"c{i}") for i in range(300)]
+        saving = planner.saving_versus_unbatched(circuits)
+        assert saving < 0.05
+
+    def test_batch_limit_respected(self, athens):
+        planner = BatchingPlanner(athens)
+        circuits = [_spec(name=f"c{i}") for i in range(1000)]
+        plan = planner.plan(circuits)
+        assert plan.num_jobs == 2
+        assert max(len(batch) for batch in plan.batches) <= athens.max_batch_size
+        assert plan.num_circuits == 1000
+
+    def test_custom_max_batch(self, athens):
+        planner = BatchingPlanner(athens)
+        plan = planner.plan([_spec(name=f"c{i}") for i in range(10)], max_batch=3)
+        assert plan.num_jobs == 4
+
+    def test_oversized_circuit_rejected(self, athens):
+        planner = BatchingPlanner(athens)
+        with pytest.raises(ReproError):
+            planner.plan([_spec(width=20)])
+
+    def test_empty_input_rejected(self, athens):
+        with pytest.raises(ReproError):
+            BatchingPlanner(athens).plan([])
+
+
+class TestMultiProgrammer:
+    def test_colocation_improves_utilization(self, manhattan):
+        """Recommendation IV-D.3: co-location raises machine utilisation."""
+        programmer = MultiProgrammer(manhattan)
+        circuits = [_spec(width=5, name=f"c{i}") for i in range(8)]
+        gain = programmer.utilization_gain(circuits)
+        assert gain > 3.0
+
+    def test_regions_are_disjoint_and_connected(self, manhattan):
+        programmer = MultiProgrammer(manhattan)
+        circuits = [_spec(width=4, name=f"c{i}") for i in range(6)]
+        plan = programmer.plan(circuits)
+        used = []
+        for name, region in plan.placements:
+            assert manhattan.coupling_map.subgraph_is_connected(region)
+            used.extend(region)
+        assert len(used) == len(set(used))
+
+    def test_oversubscription_leaves_leftovers(self, athens):
+        programmer = MultiProgrammer(athens)
+        circuits = [_spec(width=3, name=f"c{i}") for i in range(5)]
+        plan = programmer.plan(circuits)
+        assert plan.circuits_placed >= 1
+        assert plan.circuits_placed + len(plan.leftover_circuits) == 5
+
+    def test_empty_input_rejected(self, athens):
+        with pytest.raises(ReproError):
+            MultiProgrammer(athens).plan([])

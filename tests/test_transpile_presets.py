@@ -1,0 +1,135 @@
+"""Tests for the preset transpilation pipelines (repro.transpiler.presets)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import IBM_BASIS_GATES
+from repro.circuits.library import bv_circuit, ghz_circuit, qft_circuit
+from repro.core.exceptions import TranspilerError
+from repro.fidelity.statevector import StatevectorSimulator
+from repro.transpiler import OPTIMIZATION_LEVELS, preset_pass_manager, transpile
+from repro.transpiler.layout import Layout
+from repro.transpiler.passes import CheckMap, PropertySet
+
+
+def _marginal_probabilities(circuit, qubits, total_qubits):
+    """Probability distribution over a subset of qubits of a compiled circuit."""
+    simulator = StatevectorSimulator(max_qubits=12)
+    probabilities = simulator.probabilities(circuit.without_measurements())
+    marginal = np.zeros(2 ** len(qubits))
+    for index, probability in enumerate(probabilities):
+        key = 0
+        for position, qubit in enumerate(qubits):
+            bit = (index >> qubit) & 1
+            key |= bit << position
+        marginal[key] += probability
+    return marginal
+
+
+class TestPresets:
+    def test_all_levels_available(self):
+        for level in OPTIMIZATION_LEVELS:
+            assert len(preset_pass_manager(level)) > 5
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(TranspilerError):
+            preset_pass_manager(7)
+
+    def test_oversized_circuit_rejected(self, athens):
+        with pytest.raises(TranspilerError):
+            transpile(qft_circuit(6), athens)
+
+
+class TestTranspileOutput:
+    @pytest.mark.parametrize("level", OPTIMIZATION_LEVELS)
+    def test_output_in_basis_and_mapped(self, casablanca, level):
+        result = transpile(qft_circuit(4), casablanca, optimization_level=level)
+        compiled = result.circuit
+        allowed = set(IBM_BASIS_GATES) | {"measure", "barrier", "reset"}
+        assert set(compiled.gate_counts()) <= allowed
+        props = PropertySet({"coupling_map": casablanca.coupling_map})
+        CheckMap().run(compiled, props)
+        assert props["is_swap_mapped"] is True
+        assert compiled.num_qubits == casablanca.num_qubits
+
+    @pytest.mark.parametrize("level", OPTIMIZATION_LEVELS)
+    def test_timings_cover_every_pass(self, casablanca, level):
+        result = transpile(ghz_circuit(3), casablanca, optimization_level=level)
+        manager = preset_pass_manager(level)
+        assert len(result.timings) == len(manager)
+        assert result.total_seconds > 0
+        assert all(t.seconds >= 0 for t in result.timings)
+
+    def test_higher_levels_do_not_increase_cx(self, casablanca):
+        circuit = qft_circuit(4)
+        cx_counts = {
+            level: transpile(circuit, casablanca, optimization_level=level,
+                             seed=23).circuit.cx_count
+            for level in (0, 3)
+        }
+        assert cx_counts[3] <= cx_counts[0]
+
+    def test_initial_layout_respected(self, casablanca):
+        circuit = ghz_circuit(2)
+        layout = Layout({0: 5, 1: 6})
+        result = transpile(circuit, casablanca, optimization_level=1,
+                           initial_layout=layout)
+        assert result.layout.physical(0) == 5
+        assert result.layout.physical(1) == 6
+
+    def test_summary_fields(self, casablanca):
+        result = transpile(ghz_circuit(3), casablanca, optimization_level=2)
+        summary = result.summary()
+        assert summary["width"] == casablanca.num_qubits
+        assert summary["cx_count"] >= 2
+        assert summary["total_compile_seconds"] == pytest.approx(result.total_seconds)
+
+    def test_timing_by_pass_sums_to_total(self, casablanca):
+        result = transpile(ghz_circuit(3), casablanca, optimization_level=3)
+        assert sum(result.timing_by_pass().values()) == pytest.approx(
+            result.total_seconds)
+
+
+class TestSemanticEquivalence:
+    """Compiled circuits must compute the same function as the source."""
+
+    @pytest.mark.parametrize("level", [1, 3])
+    def test_ghz_distribution_preserved(self, level):
+        from repro.devices import build_backend
+
+        backend = build_backend("ibmq_athens", seed=1)
+        circuit = ghz_circuit(3)
+        result = transpile(circuit, backend, optimization_level=level, seed=5)
+        # Map the logical qubits through the final layout (routing may permute).
+        layout = result.properties.get("final_layout")
+        initial = result.layout
+        physical = []
+        for virtual in range(3):
+            start = initial.physical(virtual)
+            end = layout.physical(start) if layout is not None else start
+            physical.append(end)
+        marginal = _marginal_probabilities(result.circuit, physical,
+                                           backend.num_qubits)
+        # GHZ: only all-zeros and all-ones outcomes, each with probability 1/2.
+        assert marginal[0] == pytest.approx(0.5, abs=1e-6)
+        assert marginal[-1] == pytest.approx(0.5, abs=1e-6)
+
+    def test_bv_secret_recovered(self):
+        from repro.devices import build_backend
+
+        backend = build_backend("ibmq_athens", seed=1)
+        circuit = bv_circuit(4)  # 3 data qubits + ancilla
+        secret = circuit.metadata["secret"]
+        result = transpile(circuit, backend, optimization_level=3, seed=5)
+        layout = result.properties.get("final_layout")
+        initial = result.layout
+        physical = []
+        for virtual in range(3):
+            start = initial.physical(virtual)
+            end = layout.physical(start) if layout is not None else start
+            physical.append(end)
+        marginal = _marginal_probabilities(result.circuit, physical,
+                                           backend.num_qubits)
+        expected_index = int(secret, 2)
+        assert marginal[expected_index] == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,330 @@
+"""Tests for the individual transpiler passes."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import QuantumCircuit
+from repro.circuits.gates import IBM_BASIS_GATES
+from repro.circuits.library import ghz_circuit, qft_circuit
+from repro.core.exceptions import TranspilerError
+from repro.devices.topology import line_topology, t_topology
+from repro.fidelity.statevector import StatevectorSimulator
+from repro.transpiler.layout import Layout
+from repro.transpiler.passes import (
+    ApplyLayout,
+    BasicSwap,
+    BasisTranslator,
+    CheckMap,
+    Collect2qBlocks,
+    CommutativeCancellation,
+    ConsolidateBlocks,
+    CSPLayout,
+    DenseLayout,
+    Depth,
+    EnlargeWithAncilla,
+    FixedPoint,
+    FullAncillaAllocation,
+    NoiseAdaptiveLayout,
+    Optimize1qGates,
+    PropertySet,
+    RemoveDiagonalGatesBeforeMeasure,
+    RemoveResetInZeroState,
+    SabreLayout,
+    SetLayout,
+    StochasticSwap,
+    TrivialLayout,
+    Unroll3qOrMore,
+    UnitarySynthesis,
+    UnrollCustomDefinitions,
+)
+from repro.transpiler.passes.optimization import (
+    BarrierBeforeFinalMeasurements,
+    OptimizeSwapBeforeMeasure,
+)
+
+
+def _properties(coupling_map, calibration=None):
+    props = PropertySet({"coupling_map": coupling_map})
+    if calibration is not None:
+        props["calibration"] = calibration
+    return props
+
+
+def _statevector_equal(circuit_a, circuit_b):
+    """Compare circuits up to global phase (ignoring measurements)."""
+    simulator = StatevectorSimulator()
+    state_a = simulator.run(circuit_a.without_measurements())
+    state_b = simulator.run(circuit_b.without_measurements())
+    overlap = abs(np.vdot(state_a, state_b))
+    return overlap == pytest.approx(1.0, abs=1e-7)
+
+
+class TestLayoutPasses:
+    def test_trivial_layout_identity(self):
+        circuit = ghz_circuit(3)
+        props = _properties(line_topology(5))
+        TrivialLayout().run(circuit, props)
+        assert props["layout"] == Layout.trivial(3)
+
+    def test_trivial_layout_rejects_oversized_circuit(self):
+        props = _properties(line_topology(2))
+        with pytest.raises(TranspilerError):
+            TrivialLayout().run(ghz_circuit(3), props)
+
+    def test_set_layout_honours_request(self):
+        circuit = ghz_circuit(2)
+        requested = Layout({0: 3, 1: 4})
+        props = _properties(line_topology(5))
+        props["requested_layout"] = requested
+        SetLayout().run(circuit, props)
+        assert props["layout"] == requested
+
+    def test_dense_layout_picks_connected_region(self):
+        circuit = ghz_circuit(3)
+        props = _properties(t_topology())
+        DenseLayout().run(circuit, props)
+        layout = props["layout"]
+        physical = [layout.physical(v) for v in range(3)]
+        assert t_topology().subgraph_is_connected(physical)
+
+    def test_noise_adaptive_layout_prefers_good_edges(self, casablanca):
+        circuit = ghz_circuit(2)
+        calibration = casablanca.calibration_at(0.0)
+        props = _properties(casablanca.coupling_map, calibration)
+        NoiseAdaptiveLayout().run(circuit, props)
+        layout = props["layout"]
+        a, b = layout.physical(0), layout.physical(1)
+
+        def edge_cost(x, y):
+            gate = calibration.gate(x, y)
+            readout = (calibration.qubit(x).readout_error
+                       + calibration.qubit(y).readout_error)
+            return gate.error + 0.25 * readout
+
+        chosen_cost = edge_cost(a, b)
+        best_cost = min(edge_cost(*edge) for edge in casablanca.coupling_map.edges)
+        assert chosen_cost == pytest.approx(best_cost)
+
+    def test_csp_layout_finds_swap_free_mapping_when_possible(self):
+        # GHZ chain on a line topology admits a perfect layout.
+        circuit = ghz_circuit(4)
+        props = _properties(line_topology(5))
+        CSPLayout().run(circuit, props)
+        assert props["csp_layout_found"] is True
+        layout = props["layout"]
+        for instr in circuit.two_qubit_instructions():
+            a, b = layout.physical(instr.qubits[0]), layout.physical(instr.qubits[1])
+            assert line_topology(5).are_connected(a, b)
+
+    def test_csp_layout_gives_up_when_impossible(self):
+        # A 5-qubit QFT is all-to-all; the T topology cannot host it swap-free.
+        circuit = qft_circuit(5)
+        props = _properties(t_topology())
+        CSPLayout().run(circuit, props)
+        assert props["csp_layout_found"] is False
+        assert props.get("layout") is None
+
+    def test_sabre_layout_produces_complete_layout(self, casablanca):
+        circuit = qft_circuit(4)
+        props = _properties(casablanca.coupling_map,
+                            casablanca.calibration_at(0.0))
+        SabreLayout(iterations=1).run(circuit, props)
+        layout = props["layout"]
+        assert all(layout.has_virtual(v) for v in range(4))
+
+
+class TestAllocationPasses:
+    def test_full_ancilla_allocation_covers_device(self):
+        circuit = ghz_circuit(2)
+        props = _properties(line_topology(5))
+        TrivialLayout().run(circuit, props)
+        FullAncillaAllocation().run(circuit, props)
+        assert props["layout"].num_mapped == 5
+        assert props["num_ancillas"] == 3
+
+    def test_enlarge_and_apply_layout(self):
+        circuit = ghz_circuit(2)
+        props = _properties(line_topology(5))
+        TrivialLayout().run(circuit, props)
+        FullAncillaAllocation().run(circuit, props)
+        widened = EnlargeWithAncilla().run(circuit, props)
+        applied = ApplyLayout().run(widened, props)
+        assert applied.num_qubits == 5
+
+    def test_apply_layout_requires_complete_layout(self):
+        circuit = ghz_circuit(3)
+        props = _properties(line_topology(5))
+        props["layout"] = Layout({0: 0})
+        with pytest.raises(TranspilerError):
+            ApplyLayout().run(circuit, props)
+
+
+class TestRoutingPasses:
+    @pytest.mark.parametrize("router", [BasicSwap(), StochasticSwap(trials=3)])
+    def test_routing_makes_circuit_mapped(self, router):
+        topology = line_topology(5)
+        circuit = QuantumCircuit(5).cx(0, 4).cx(1, 3)
+        props = _properties(topology)
+        routed = router.run(circuit, props)
+        check = PropertySet({"coupling_map": topology})
+        CheckMap().run(routed, check)
+        assert check["is_swap_mapped"] is True
+        assert props["swap_count"] > 0
+
+    def test_routing_preserves_two_qubit_gate_count(self):
+        topology = line_topology(5)
+        circuit = QuantumCircuit(5).cx(0, 4).cx(2, 4)
+        routed = BasicSwap().run(circuit, _properties(topology))
+        original_cx = circuit.gate_counts().get("cx", 0)
+        routed_cx = routed.gate_counts().get("cx", 0)
+        assert routed_cx == original_cx  # swaps are separate gates
+
+    def test_stochastic_swap_not_worse_than_basic(self):
+        topology = line_topology(6)
+        circuit = QuantumCircuit(6)
+        for a in range(6):
+            for b in range(a + 1, 6):
+                circuit.cx(a, b)
+        basic_props = _properties(topology)
+        BasicSwap().run(circuit, basic_props)
+        stochastic_props = _properties(topology)
+        StochasticSwap(trials=6, seed=3).run(circuit, stochastic_props)
+        assert stochastic_props["swap_count"] <= basic_props["swap_count"] * 1.5
+
+    def test_checkmap_detects_unmapped(self):
+        topology = line_topology(4)
+        circuit = QuantumCircuit(4).cx(0, 3)
+        props = _properties(topology)
+        CheckMap().run(circuit, props)
+        assert props["is_swap_mapped"] is False
+
+    def test_adjacent_gates_need_no_swaps(self):
+        topology = line_topology(3)
+        circuit = QuantumCircuit(3).cx(0, 1).cx(1, 2)
+        props = _properties(topology)
+        routed = StochasticSwap().run(circuit, props)
+        assert props["swap_count"] == 0
+        assert routed.gate_counts() == circuit.gate_counts()
+
+
+class TestUnrollPasses:
+    def test_unroll_3q(self):
+        circuit = QuantumCircuit(3).ccx(0, 1, 2)
+        unrolled = Unroll3qOrMore().run(circuit, PropertySet())
+        assert all(instr.gate.num_qubits <= 2 for instr in unrolled)
+        assert _statevector_equal(circuit, unrolled)
+
+    def test_basis_translation_only_emits_basis_gates(self):
+        circuit = qft_circuit(3)
+        translated = BasisTranslator().run(circuit, PropertySet())
+        allowed = set(IBM_BASIS_GATES) | {"measure", "barrier", "reset"}
+        assert set(translated.gate_counts()) <= allowed
+
+    @pytest.mark.parametrize("builder", [
+        lambda: QuantumCircuit(1).h(0),
+        lambda: QuantumCircuit(1).t(0).s(0).sdg(0),
+        lambda: QuantumCircuit(1).rx(0.3, 0).ry(0.7, 0),
+        lambda: QuantumCircuit(2).swap(0, 1),
+        lambda: QuantumCircuit(2).cz(0, 1),
+        lambda: QuantumCircuit(2).cp(0.4, 0, 1),
+        lambda: QuantumCircuit(2).rzz(0.9, 0, 1),
+        lambda: QuantumCircuit(3).ccx(0, 1, 2),
+    ])
+    def test_basis_translation_preserves_semantics(self, builder):
+        circuit = builder()
+        translated = BasisTranslator().run(
+            Unroll3qOrMore().run(circuit, PropertySet()), PropertySet()
+        )
+        assert _statevector_equal(circuit, translated)
+
+    def test_unroll_custom_definitions_accepts_known_gates(self):
+        circuit = qft_circuit(3)
+        UnrollCustomDefinitions().run(circuit, PropertySet())  # no exception
+
+    def test_unitary_synthesis_replaces_u_gates(self):
+        circuit = QuantumCircuit(1).u(0.3, 0.1, -0.4, 0)
+        synthesised = UnitarySynthesis().run(circuit, PropertySet())
+        assert "u" not in synthesised.gate_counts()
+        assert _statevector_equal(circuit, synthesised)
+
+
+class TestOptimizationPasses:
+    def test_optimize_1q_merges_runs(self):
+        circuit = QuantumCircuit(1).h(0).t(0).h(0).s(0)
+        optimised = Optimize1qGates().run(circuit, PropertySet())
+        assert optimised.size < circuit.size
+        assert _statevector_equal(circuit, optimised)
+
+    def test_optimize_1q_removes_identity_runs(self):
+        circuit = QuantumCircuit(1).h(0).h(0)
+        optimised = Optimize1qGates().run(circuit, PropertySet())
+        assert optimised.size == 0
+
+    def test_commutative_cancellation_removes_cx_pairs(self):
+        circuit = QuantumCircuit(2).cx(0, 1).cx(0, 1).h(0)
+        optimised = CommutativeCancellation().run(circuit, PropertySet())
+        assert optimised.gate_counts().get("cx", 0) == 0
+        assert _statevector_equal(circuit, optimised)
+
+    def test_commutative_cancellation_merges_rz(self):
+        circuit = QuantumCircuit(1).rz(0.3, 0).rz(0.4, 0)
+        optimised = CommutativeCancellation().run(circuit, PropertySet())
+        assert optimised.size == 1
+        assert optimised.instructions[0].gate.params[0] == pytest.approx(0.7)
+
+    def test_commutative_cancellation_keeps_reversed_cx(self):
+        circuit = QuantumCircuit(2).cx(0, 1).cx(1, 0)
+        optimised = CommutativeCancellation().run(circuit, PropertySet())
+        assert optimised.gate_counts().get("cx", 0) == 2
+
+    def test_remove_diagonal_before_measure(self):
+        circuit = QuantumCircuit(1).h(0).rz(0.3, 0).measure(0, 0)
+        optimised = RemoveDiagonalGatesBeforeMeasure().run(circuit, PropertySet())
+        assert "rz" not in optimised.gate_counts()
+        assert optimised.count_measurements() == 1
+
+    def test_diagonal_not_removed_when_followed_by_non_measure(self):
+        circuit = QuantumCircuit(1).rz(0.3, 0).h(0).measure(0, 0)
+        optimised = RemoveDiagonalGatesBeforeMeasure().run(circuit, PropertySet())
+        assert "rz" in optimised.gate_counts()
+
+    def test_remove_reset_in_zero_state(self):
+        circuit = QuantumCircuit(2)
+        circuit.reset(0)       # qubit untouched: removable
+        circuit.h(1)
+        circuit.reset(1)       # qubit already used: must stay
+        optimised = RemoveResetInZeroState().run(circuit, PropertySet())
+        assert optimised.gate_counts().get("reset", 0) == 1
+
+    def test_optimize_swap_before_measure(self):
+        circuit = QuantumCircuit(2).h(0).swap(0, 1).measure(0, 0).measure(1, 1)
+        optimised = OptimizeSwapBeforeMeasure().run(circuit, PropertySet())
+        assert "swap" not in optimised.gate_counts()
+        assert optimised.count_measurements() == 2
+
+    def test_barrier_before_final_measurements(self):
+        circuit = QuantumCircuit(2).h(0).cx(0, 1).measure(0, 0).measure(1, 1)
+        rebuilt = BarrierBeforeFinalMeasurements().run(circuit, PropertySet())
+        names = [i.name for i in rebuilt.instructions]
+        assert "barrier" in names
+        assert names.index("barrier") < names.index("measure")
+
+    def test_collect_and_consolidate_blocks(self):
+        circuit = QuantumCircuit(2).cx(0, 1).cx(0, 1).cx(0, 1)
+        props = PropertySet()
+        Collect2qBlocks().run(circuit, props)
+        assert props["blocks_2q"], "expected at least one collected block"
+        consolidated = ConsolidateBlocks().run(circuit, props)
+        assert consolidated.gate_counts().get("cx", 0) == 1
+        assert _statevector_equal(circuit, consolidated)
+
+    def test_depth_and_fixed_point(self):
+        circuit = ghz_circuit(3)
+        props = PropertySet()
+        Depth().run(circuit, props)
+        FixedPoint("depth").run(circuit, props)
+        assert props["depth"] == circuit.depth()
+        assert props["depth_fixed_point"] is False
+        Depth().run(circuit, props)
+        FixedPoint("depth").run(circuit, props)
+        assert props["depth_fixed_point"] is True

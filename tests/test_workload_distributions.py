@@ -1,0 +1,174 @@
+"""Tests for repro.workloads.distributions, circuit_metrics and compile_model."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import WorkloadError
+from repro.core.rng import RandomSource
+from repro.devices import build_backend
+from repro.transpiler import transpile
+from repro.circuits.library import build_circuit
+from repro.workloads.circuit_metrics import (
+    CircuitMetrics,
+    compiled_metrics,
+    logical_metrics,
+    routing_overhead_factor,
+)
+from repro.workloads.compile_model import CompileTimeModel
+from repro.workloads.distributions import (
+    BatchSizeSampler,
+    FamilySampler,
+    ShotsSampler,
+    WidthSampler,
+    WorkloadDistributions,
+)
+
+
+class TestSamplers:
+    def test_batch_sizes_within_limits(self):
+        sampler = BatchSizeSampler()
+        rng = RandomSource(1)
+        samples = [sampler.sample(rng) for _ in range(2000)]
+        assert min(samples) >= 1
+        assert max(samples) <= 900
+
+    def test_batch_size_mean_near_hundred(self):
+        """~6000 jobs x mean batch ~100 gives the paper's ~600k circuits."""
+        sampler = BatchSizeSampler()
+        rng = RandomSource(2)
+        samples = [sampler.sample(rng) for _ in range(5000)]
+        assert 70 <= np.mean(samples) <= 160
+
+    def test_invalid_mixture_rejected(self):
+        with pytest.raises(WorkloadError):
+            BatchSizeSampler(components=((0.5, 1, 10),))
+
+    def test_shots_respect_ibm_limit(self):
+        sampler = ShotsSampler()
+        rng = RandomSource(3)
+        samples = [sampler.sample(rng) for _ in range(2000)]
+        assert max(samples) <= 8192
+        assert set(samples) <= set(sampler.values)
+
+    def test_width_distribution_is_nisq_scale(self):
+        sampler = WidthSampler()
+        rng = RandomSource(4)
+        samples = [sampler.sample(rng) for _ in range(3000)]
+        assert min(samples) >= 1
+        assert max(samples) <= 27
+        fraction_small = np.mean([s <= 6 for s in samples])
+        assert fraction_small > 0.6
+
+    def test_family_sampler_covers_all_families(self):
+        sampler = FamilySampler()
+        rng = RandomSource(5)
+        samples = {sampler.sample(rng) for _ in range(2000)}
+        assert samples == set(sampler.families)
+
+    def test_provider_mix(self):
+        distributions = WorkloadDistributions(privileged_fraction=0.5)
+        rng = RandomSource(6)
+        providers = [distributions.sample_provider(rng) for _ in range(2000)]
+        fraction = providers.count("academic-hub") / len(providers)
+        assert 0.4 <= fraction <= 0.6
+
+    def test_invalid_privileged_fraction(self):
+        with pytest.raises(WorkloadError):
+            WorkloadDistributions(privileged_fraction=1.5)
+
+
+class TestCircuitMetrics:
+    @pytest.mark.parametrize("family", ["qft", "ghz", "bv", "qaoa", "vqe", "random"])
+    def test_logical_metrics_match_real_circuits(self, family):
+        metrics = logical_metrics(family, 5)
+        circuit = build_circuit(family, 5, rng=RandomSource(5, name="metrics"))
+        assert metrics.width == circuit.num_qubits
+        # Two-qubit gates are counted in CX equivalents, so the count is at
+        # least the raw two-qubit gate count and at most 3x it (SWAP cost).
+        assert circuit.cx_count <= metrics.cx_count <= 3 * max(circuit.cx_count, 1)
+
+    def test_ghz_metrics_exact(self):
+        # GHZ uses only native CX, so the equivalent count is exact.
+        circuit = build_circuit("ghz", 6)
+        assert logical_metrics("ghz", 6).cx_count == circuit.cx_count
+
+    def test_analytic_formulas_for_large_widths(self):
+        metrics = logical_metrics("qft", 100)
+        assert metrics.width == 100
+        assert metrics.cx_count == 100 * 99
+        assert metrics.num_gates > metrics.cx_count
+
+    def test_routing_overhead_larger_on_sparse_machines(self, fleet):
+        simulator = fleet["ibmq_qasm_simulator"]
+        manhattan = fleet["ibmq_manhattan"]
+        sim_gate, _ = routing_overhead_factor(simulator, 8)
+        sparse_gate, _ = routing_overhead_factor(manhattan, 8)
+        assert sim_gate == pytest.approx(1.0)
+        assert sparse_gate > 1.2
+
+    def test_compiled_metrics_within_2x_of_real_transpiler(self):
+        """The overhead model must stay in the ballpark of the real compiler."""
+        backend = build_backend("ibmq_casablanca", seed=1)
+        estimated = compiled_metrics("qft", 5, backend)
+        real = transpile(build_circuit("qft", 5), backend,
+                         optimization_level=1).circuit
+        assert 0.4 * real.cx_count <= estimated.cx_count <= 2.5 * real.cx_count
+
+    def test_compiled_metrics_reject_oversized(self, athens):
+        with pytest.raises(WorkloadError):
+            compiled_metrics("qft", 10, athens)
+
+    def test_jitter_is_bounded_and_positive(self):
+        base = CircuitMetrics(width=4, depth=20, num_gates=40, cx_count=10,
+                              cx_depth=8)
+        rng = RandomSource(7)
+        for _ in range(100):
+            jittered = base.jittered(rng)
+            assert jittered.width == 4
+            assert jittered.depth >= 1
+            assert jittered.cx_count >= 0
+
+
+class TestCompileTimeModel:
+    def test_compile_time_grows_with_machine_size(self):
+        """Fig. 5: the same circuit compiled for a bigger machine costs more."""
+        model = CompileTimeModel(jitter_sigma=0.0)
+        metrics = logical_metrics("qft", 16)
+        small = model.circuit_seconds(metrics, machine_qubits=16)
+        large = model.circuit_seconds(metrics, machine_qubits=1000)
+        assert large > 2 * small
+
+    def test_compile_time_grows_with_circuit_size(self):
+        model = CompileTimeModel(jitter_sigma=0.0)
+        small = model.circuit_seconds(logical_metrics("qft", 4), 27)
+        large = model.circuit_seconds(logical_metrics("qft", 24), 27)
+        assert large > 5 * small
+
+    def test_job_seconds_scale_with_batch(self):
+        model = CompileTimeModel(jitter_sigma=0.0)
+        metrics = logical_metrics("ghz", 5)
+        assert model.job_seconds(metrics, 10, 27) == pytest.approx(
+            10 * model.circuit_seconds(metrics, 27))
+
+    def test_model_within_order_of_magnitude_of_real_transpiler(self):
+        """Calibration check against the actual pass manager."""
+        import time
+
+        backend = build_backend("ibmq_casablanca", seed=1)
+        circuit = build_circuit("qft", 5)
+        started = time.perf_counter()
+        transpile(circuit, backend, optimization_level=2)
+        measured = time.perf_counter() - started
+        model = CompileTimeModel(jitter_sigma=0.0)
+        estimated = model.circuit_seconds(logical_metrics("qft", 5),
+                                          backend.num_qubits)
+        assert estimated < 30 * measured
+        assert measured < 300 * estimated
+
+    def test_invalid_inputs_rejected(self):
+        model = CompileTimeModel()
+        metrics = logical_metrics("ghz", 3)
+        with pytest.raises(WorkloadError):
+            model.circuit_seconds(metrics, machine_qubits=0)
+        with pytest.raises(WorkloadError):
+            model.job_seconds(metrics, batch_size=0, machine_qubits=5)
