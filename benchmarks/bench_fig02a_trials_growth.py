@@ -8,7 +8,7 @@ from repro.analysis import cumulative_trials_by_month
 from repro.analysis.report import render_table
 
 
-def test_fig02a_cumulative_trials(benchmark, study_trace, emit):
+def test_fig02a_cumulative_trials(benchmark, study_trace, emit, full_scale):
     series = benchmark(cumulative_trials_by_month, study_trace)
 
     rows = [
@@ -33,5 +33,6 @@ def test_fig02a_cumulative_trials(benchmark, study_trace, emit):
     # Shape assertions: monotone growth that accelerates over time.
     cumulative = [entry.cumulative_trials for entry in series]
     assert cumulative == sorted(cumulative)
-    assert total > 4 * first_half
-    assert total > 1e8
+    if full_scale:
+        assert total > 4 * first_half
+        assert total > 1e8

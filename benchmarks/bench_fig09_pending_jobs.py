@@ -6,7 +6,6 @@ machines carry 10-100x the pending jobs of comparable privileged machines,
 and the load is unequal even between machines of the same size.
 """
 
-import numpy as np
 
 from repro.analysis import pending_jobs_by_machine
 from repro.analysis.report import render_table

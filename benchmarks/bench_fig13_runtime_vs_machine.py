@@ -11,7 +11,7 @@ from repro.analysis import run_time_by_machine
 from repro.analysis.report import render_table
 
 
-def test_fig13_run_time_by_machine(benchmark, study_trace, emit):
+def test_fig13_run_time_by_machine(benchmark, study_trace, emit, full_scale):
     distribution = benchmark(run_time_by_machine, study_trace)
 
     qubits = {r.machine: r.machine_qubits for r in study_trace}
@@ -37,10 +37,11 @@ def test_fig13_run_time_by_machine(benchmark, study_trace, emit):
     small = [s.median for m, s in distribution.items()
              if qubits[m] <= 7 and "simulator" not in m]
     large = [s.median for m, s in distribution.items() if qubits[m] >= 27]
-    assert small and large
-    # Larger machines show higher run times on average.
-    assert np.mean(large) > np.mean(small)
-    # Run times span sub-minute to tens of minutes.
-    assert min(s.median for s in distribution.values()) < 5
-    assert max(s.p90 for s in distribution.values()) > 5
-    assert float((per_circuit < 60).mean()) > 0.9
+    if full_scale:
+        assert small and large
+        # Larger machines show higher run times on average.
+        assert np.mean(large) > np.mean(small)
+        # Run times span sub-minute to tens of minutes.
+        assert min(s.median for s in distribution.values()) < 5
+        assert max(s.p90 for s in distribution.values()) > 5
+        assert float((per_circuit < 60).mean()) > 0.9

@@ -2,9 +2,17 @@
 
 The harness regenerates the data series behind every figure of the paper's
 evaluation.  A single full-scale synthetic study trace (about 6000 jobs over
-28 months, matching the paper's dataset size) is generated once per session
-and shared by all benches; the scale can be reduced for quick runs with the
-``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_MONTHS`` environment variables.
+28 months, matching the paper's dataset size) is produced once per session
+through the parallel sharded study runner (:mod:`repro.runner`) and shared
+by all benches.  Scale and execution knobs come from the environment:
+
+``REPRO_BENCH_JOBS`` / ``REPRO_BENCH_MONTHS`` / ``REPRO_BENCH_SEED``
+    trace scale (defaults: 6000 jobs, 28 months, seed 7),
+``REPRO_BENCH_WORKERS``
+    worker processes for trace generation (default: one per core),
+``REPRO_BENCH_CACHE``
+    trace-cache directory (default ``.repro-cache``; set to an empty string
+    to disable caching and regenerate every session).
 
 Each bench prints the reproduced series/rows (via the ``emit`` fixture,
 which bypasses pytest's output capture so the tables appear in the console
@@ -17,28 +25,43 @@ import os
 
 import pytest
 
+from repro.core.env import env_int
 from repro.devices import fleet_in_study
-from repro.workloads import TraceGenerator, TraceGeneratorConfig
+from repro.runner import default_workers, run_study
+from repro.workloads import TraceGeneratorConfig
 
+BENCH_JOBS = env_int("REPRO_BENCH_JOBS", 6000)
+BENCH_MONTHS = env_int("REPRO_BENCH_MONTHS", 28)
+BENCH_SEED = env_int("REPRO_BENCH_SEED", 7)
+BENCH_WORKERS = env_int("REPRO_BENCH_WORKERS", default_workers())
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE", ".repro-cache")
 
-def _env_int(name: str, default: int) -> int:
-    try:
-        return int(os.environ.get(name, default))
-    except ValueError:
-        return default
-
-
-BENCH_JOBS = _env_int("REPRO_BENCH_JOBS", 6000)
-BENCH_MONTHS = _env_int("REPRO_BENCH_MONTHS", 28)
-BENCH_SEED = _env_int("REPRO_BENCH_SEED", 7)
+#: The paper-shape assertions (growth ratios, distribution medians, machine
+#: coverage) only hold once the trace approaches the paper's scale.  Reduced
+#: runs — like the CI smoke job at 200 jobs / 2 months — still exercise and
+#: time every analysis but skip those final assertions.
+FULL_SCALE = BENCH_JOBS >= 2000 and BENCH_MONTHS >= 20
 
 
 @pytest.fixture(scope="session")
-def study_trace():
+def study_config():
+    """The generator config every figure bench reproduces from."""
+    return TraceGeneratorConfig(total_jobs=BENCH_JOBS, months=BENCH_MONTHS,
+                                seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def study_trace(study_config):
     """The full-scale synthetic study trace shared by every figure bench."""
-    config = TraceGeneratorConfig(total_jobs=BENCH_JOBS, months=BENCH_MONTHS,
-                                  seed=BENCH_SEED)
-    return TraceGenerator(config).generate()
+    result = run_study(config=study_config, workers=BENCH_WORKERS,
+                       cache_dir=BENCH_CACHE or None)
+    return result.trace
+
+
+@pytest.fixture(scope="session")
+def full_scale():
+    """Whether the trace is big enough for the paper-shape assertions."""
+    return FULL_SCALE
 
 
 @pytest.fixture(scope="session")

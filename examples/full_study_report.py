@@ -3,7 +3,10 @@
 Combines the cloud dashboard view of the fleet with
 :func:`repro.analysis.reproduce_all`, which runs every trace-driven analysis
 of the paper (Figures 2-4 and 8-14) on a synthetic study trace and bundles
-the results into a single JSON-serialisable report.
+the results into a single JSON-serialisable report.  The trace itself comes
+from the parallel sharded study runner (:mod:`repro.runner`), which spreads
+generation across every core and caches the result on disk, so a second run
+is instant.  (``python -m repro report`` is the CLI flavour of this script.)
 
 Run with:  python examples/full_study_report.py [num_jobs] [output.json]
 """
@@ -14,7 +17,7 @@ import sys
 from repro.analysis import reproduce_all
 from repro.cloud import CloudDashboard
 from repro.devices import fleet_in_study
-from repro.workloads import TraceGenerator, TraceGeneratorConfig
+from repro.runner import run_study
 
 
 def main() -> None:
@@ -32,9 +35,11 @@ def main() -> None:
           f"(average CX error {best.average_cx_error:.3%})\n")
 
     print(f"generating a {total_jobs}-job study trace ...")
-    trace = TraceGenerator(TraceGeneratorConfig(total_jobs=total_jobs,
-                                                seed=7)).generate()
-    report = reproduce_all(trace, fleet=fleet)
+    result = run_study(total_jobs=total_jobs, seed=7,
+                       cache_dir=".repro-cache")
+    print(f"  {'cache hit' if result.cache_hit else 'generated'} in "
+          f"{result.total_seconds:.1f}s with {result.workers} workers\n")
+    report = reproduce_all(result.trace, fleet=fleet)
     print(report.render())
 
     if output_path:

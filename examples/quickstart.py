@@ -7,7 +7,9 @@ This walks the path a cloud user takes every day:
 2. compile it for a specific IBM-style machine (noise-aware),
 3. estimate the probability of success from the compiled CX metrics,
 4. submit a batched job to the cloud simulator and inspect the queue/run
-   times it experienced.
+   times it experienced,
+5. scale up: regenerate a slice of the paper's study through the parallel
+   sharded runner.
 
 Run with:  python examples/quickstart.py
 """
@@ -17,6 +19,7 @@ from repro.cloud import Job, QuantumCloudService, circuit_spec_from_circuit
 from repro.core.units import format_duration
 from repro.devices import build_fleet
 from repro.fidelity import estimate_success_probability, measure_probability_of_success
+from repro.runner import run_study
 from repro.transpiler import transpile
 
 
@@ -59,6 +62,16 @@ def main() -> None:
         print(f"  ran for {format_duration(job.run_seconds)} "
               f"({job.batch_size} circuits x {job.shots} shots)")
         print(f"  queue:run ratio = {job.queue_seconds / job.run_seconds:.1f}x")
+
+    # --- 5. a miniature study through the parallel sharded runner ----------------
+    result = run_study(total_jobs=120, months=3, seed=7, use_cache=False)
+    summary = result.trace.summary()
+    print(f"\nmini study via the sharded runner ({result.workers} workers, "
+          f"{result.total_seconds:.1f}s): {summary['jobs']} jobs, "
+          f"{summary['circuits']} circuits, {summary['trials']:.3g} trials "
+          f"on {summary['machines']} machines")
+    print("full scale:  python -m repro run-study --jobs 6000  "
+          "(then `python -m repro figures`)")
 
 
 if __name__ == "__main__":

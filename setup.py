@@ -1,8 +1,10 @@
-"""Setup shim.
+"""Setup shim for offline editable installs.
 
-The environment used for the reproduction is offline; a plain ``setup.py``
-lets ``pip install -e .`` take the legacy editable-install path without
-needing to download the ``wheel`` build backend.
+`pip install -e .` without network access must take the legacy
+``setup.py develop`` path (the PEP 660 editable route of this pip/setuptools
+vintage requires the ``wheel`` package, which the offline image lacks).
+Keeping this shim — and no ``[build-system]`` table in ``pyproject.toml`` —
+preserves that path; all metadata lives in ``pyproject.toml``.
 """
 from setuptools import setup
 

@@ -25,7 +25,7 @@ from repro.workloads import TraceDataset, TraceGenerator, TraceGeneratorConfig, 
 from repro.prediction import RuntimePredictionStudy, QueueTimePredictor
 from repro.scheduling import MachineSelector, SelectionObjective
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "QuantumCircuit",

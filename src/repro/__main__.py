@@ -1,0 +1,260 @@
+"""Command-line interface of the study reproduction.
+
+``python -m repro`` (or the ``repro`` console script) drives the parallel
+sharded study runner and the analysis layer:
+
+* ``repro run-study`` — generate the merged study trace across workers and
+  optionally save it to JSON/CSV.
+* ``repro figures`` — reproduce every trace-driven figure of the paper from
+  a trace file or a freshly generated trace.
+* ``repro report`` — the full characterisation report: fleet dashboard plus
+  all reproduced figures.
+* ``repro bench`` — measure the runner's multi-worker speedup and write the
+  ``BENCH_runner.json`` artifact consumed by CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis import reproduce_all
+from repro.core.env import env_int
+from repro.core.exceptions import ReproError
+from repro.runner import StudyResult, default_workers, run_study
+from repro.workloads.generator import TraceGeneratorConfig
+from repro.workloads.trace import TraceDataset
+
+
+def _add_generation_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=env_int("REPRO_BENCH_JOBS", 6000),
+        help="total jobs of the study trace (default: %(default)s)")
+    parser.add_argument(
+        "--months", type=int, default=env_int("REPRO_BENCH_MONTHS", 28),
+        help="length of the study window in months (default: %(default)s)")
+    parser.add_argument(
+        "--seed", type=int, default=env_int("REPRO_BENCH_SEED", 7),
+        help="root seed of the study (default: %(default)s)")
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per core, capped at 16)")
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="synthesis shards (default: equal to --workers; the result "
+             "never depends on this, only the load balance does)")
+    parser.add_argument(
+        "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
+        help="directory of the on-disk trace cache (default: "
+             "$REPRO_CACHE_DIR, or no caching)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore the trace cache even when --cache-dir is set")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress progress output")
+
+
+def _progress(quiet: bool):
+    if quiet:
+        return None
+    return lambda message: print(f"[repro] {message}", file=sys.stderr)
+
+
+def _generate(args: argparse.Namespace, quiet: bool = False) -> StudyResult:
+    config = TraceGeneratorConfig(
+        total_jobs=args.jobs, months=args.months, seed=args.seed)
+    return run_study(
+        config=config,
+        workers=args.workers,
+        num_shards=args.shards,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        progress=_progress(quiet),
+        use_cache=not args.no_cache,
+    )
+
+
+def _save_trace(trace: TraceDataset, output: str) -> None:
+    path = Path(output)
+    if path.suffix.lower() == ".csv":
+        trace.to_csv(path)
+    else:
+        trace.to_json(path)
+    print(f"trace written to {path}")
+
+
+# -- subcommands --------------------------------------------------------------------
+
+
+def cmd_run_study(args: argparse.Namespace) -> int:
+    result = _generate(args, quiet=args.quiet)
+    print(json.dumps(result.summary(), indent=2))
+    if args.output:
+        _save_trace(result.trace, args.output)
+    return 0
+
+
+def _load_or_generate_trace(args: argparse.Namespace):
+    """The (trace, fleet) pair for analysis subcommands."""
+    if getattr(args, "trace", None):
+        trace = TraceDataset.from_json(args.trace)
+        seed = int(trace.metadata.get("seed", args.seed))
+        fleet = TraceGeneratorConfig(seed=seed).build_fleet()
+        return trace, fleet
+    result = _generate(args, quiet=args.quiet)
+    return result.trace, result.config.build_fleet()
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    trace, fleet = _load_or_generate_trace(args)
+    report = reproduce_all(trace, fleet=fleet)
+    if args.output:
+        Path(args.output).write_text(json.dumps(report.as_dict(), indent=2))
+        print(f"figure data written to {args.output}")
+    if not args.quiet or not args.output:
+        print(report.render(max_rows=args.max_rows))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.cloud import CloudDashboard
+
+    trace, fleet = _load_or_generate_trace(args)
+    dashboard = CloudDashboard(fleet, seed=args.seed)
+    print(dashboard.render(at_time=0.0))
+    print()
+    report = reproduce_all(trace, fleet=fleet)
+    print(report.render(max_rows=args.max_rows))
+    if args.output:
+        payload = {
+            "trace_summary": trace.summary(),
+            "figures": report.as_dict(),
+        }
+        Path(args.output).write_text(json.dumps(payload, indent=2))
+        print(f"\nfull report written to {args.output}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    worker_counts: List[int] = sorted({
+        max(1, int(w)) for w in args.worker_counts.split(",") if w.strip()
+    })
+    if not worker_counts:
+        worker_counts = [1, default_workers()]
+    config = TraceGeneratorConfig(
+        total_jobs=args.jobs, months=args.months, seed=args.seed)
+    runs: Dict[int, Dict[str, float]] = {}
+    for workers in worker_counts:
+        started = time.perf_counter()
+        result = run_study(
+            config=config, workers=workers, num_shards=args.shards,
+            use_cache=False, progress=_progress(args.quiet))
+        elapsed = time.perf_counter() - started
+        runs[workers] = {
+            "seconds": round(elapsed, 3),
+            **{f"{name}_seconds": round(value, 3)
+               for name, value in result.timings.items()},
+        }
+        print(f"workers={workers}: {elapsed:.2f}s "
+              f"({len(result.trace)} jobs)")
+    baseline = runs[worker_counts[0]]["seconds"]
+    payload = {
+        "benchmark": "runner_scaling",
+        "jobs": args.jobs,
+        "months": args.months,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "runs": {
+            str(workers): {
+                **metrics,
+                "speedup": round(baseline / metrics["seconds"], 3)
+                if metrics["seconds"] > 0 else None,
+            }
+            for workers, metrics in runs.items()
+        },
+    }
+    best = max(runs, key=lambda w: baseline / runs[w]["seconds"])
+    payload["best_speedup"] = round(baseline / runs[best]["seconds"], 3)
+    payload["best_workers"] = best
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2))
+    print(f"benchmark results written to {output} "
+          f"(best speedup {payload['best_speedup']}x at {best} workers)")
+    return 0
+
+
+# -- parser -------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the IISWC'21 quantum-cloud "
+                    "characterisation study.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run-study", help="generate the merged study trace in parallel")
+    _add_generation_arguments(run_parser)
+    run_parser.add_argument(
+        "--output", help="write the trace to this path (.json or .csv)")
+    run_parser.set_defaults(handler=cmd_run_study)
+
+    figures_parser = subparsers.add_parser(
+        "figures", help="reproduce the paper's trace-driven figures")
+    _add_generation_arguments(figures_parser)
+    figures_parser.add_argument(
+        "--trace", help="reuse a trace JSON file instead of generating one")
+    figures_parser.add_argument(
+        "--output", help="write the figure data as JSON to this path")
+    figures_parser.add_argument(
+        "--max-rows", type=int, default=12,
+        help="rows per rendered table (default: %(default)s)")
+    figures_parser.set_defaults(handler=cmd_figures)
+
+    report_parser = subparsers.add_parser(
+        "report", help="fleet dashboard plus the full reproduced study")
+    _add_generation_arguments(report_parser)
+    report_parser.add_argument(
+        "--trace", help="reuse a trace JSON file instead of generating one")
+    report_parser.add_argument(
+        "--output", help="write the full report as JSON to this path")
+    report_parser.add_argument(
+        "--max-rows", type=int, default=12,
+        help="rows per rendered table (default: %(default)s)")
+    report_parser.set_defaults(handler=cmd_report)
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="measure runner speedup and write BENCH_runner.json")
+    _add_generation_arguments(bench_parser)
+    bench_parser.add_argument(
+        "--worker-counts", default=f"1,{default_workers()}",
+        help="comma-separated worker counts to time (default: %(default)s)")
+    bench_parser.add_argument(
+        "--output", default="BENCH_runner.json",
+        help="artifact path (default: %(default)s)")
+    bench_parser.set_defaults(handler=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.handler(args))
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"repro: error: {exc.filename or exc} not found", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.exceptions import AnalysisError

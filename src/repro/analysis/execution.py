@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-import numpy as np
 
 from repro.analysis.stats import DistributionSummary, linear_fit, summarize
 from repro.core.exceptions import AnalysisError

@@ -10,7 +10,7 @@ trace so the comparison can be reported (and asserted) directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -16,14 +16,9 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.circuits.gates import (
-    Gate,
-    GATE_SPECS,
-    NON_UNITARY_OPERATIONS,
-    TWO_QUBIT_GATES,
-)
+from repro.circuits.gates import Gate, NON_UNITARY_OPERATIONS, TWO_QUBIT_GATES
 from repro.core.exceptions import CircuitError
 
 

@@ -9,7 +9,7 @@ classical-bit wires, backed by :mod:`networkx`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Tuple
 
 import networkx as nx
 

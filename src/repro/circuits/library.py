@@ -10,7 +10,7 @@ from these families with family-specific size distributions.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.exceptions import CircuitError

@@ -22,12 +22,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.core.exceptions import CloudError
 from repro.core.rng import RandomSource
 from repro.core.types import AccessLevel
-from repro.core.units import DAY_SECONDS, HOUR_SECONDS, MINUTE_SECONDS
+from repro.core.units import DAY_SECONDS, MINUTE_SECONDS
 from repro.devices.backend import Backend
 
 

@@ -11,8 +11,8 @@ the analysis layer needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.cloud.backlog import ExternalLoadModel
 from repro.cloud.calibration_cycle import CalibrationCrossoverDetector
@@ -23,7 +23,7 @@ from repro.cloud.provider import DEFAULT_PROVIDERS, Provider
 from repro.cloud.queues import FairShareQueue
 from repro.core.exceptions import CloudError, DeviceError
 from repro.core.rng import RandomSource
-from repro.core.types import AccessLevel, JobStatus
+from repro.core.types import JobStatus
 from repro.devices.backend import Backend
 
 
@@ -34,6 +34,7 @@ class _MachineState:
     backend: Backend
     queue: FairShareQueue
     load_model: ExternalLoadModel
+    rng: RandomSource
     busy_until: float = 0.0
     jobs_completed: int = 0
     busy_seconds: float = 0.0
@@ -75,6 +76,11 @@ class QuantumCloudService:
         self._machines: Dict[str, _MachineState] = {}
         for name, backend in self.fleet.items():
             shares = {p.name: p.fair_share for p in self.providers.values()}
+            # Every machine draws from its own spawned stream, keyed only by
+            # (service seed, machine name).  Per-machine dynamics are then
+            # independent of the rest of the fleet, so a simulation sharded
+            # across sub-fleet services reproduces the single-service run
+            # machine for machine.
             self._machines[name] = _MachineState(
                 backend=backend,
                 queue=FairShareQueue(shares=shares),
@@ -82,6 +88,7 @@ class QuantumCloudService:
                     backend=backend,
                     seed=RandomSource(seed, "load").child(name).seed or 0,
                 ),
+                rng=self._rng.spawn(name),
             )
         self._completed: List[Job] = []
         self.crossover_detector = CalibrationCrossoverDetector(self.fleet)
@@ -129,7 +136,7 @@ class QuantumCloudService:
         self.events.run_until(job.submit_time)
         job.mark_queued(job.submit_time)
         job.pending_ahead = (
-            state.load_model.sample_pending_jobs(job.submit_time, self._rng)
+            state.load_model.sample_pending_jobs(job.submit_time, state.rng)
             + len(state.queue)
         )
         state.queue.push(job, job.submit_time)
@@ -189,15 +196,15 @@ class QuantumCloudService:
         job = state.queue.pop(now)
         provider = self.provider_for(job.provider)
         backlog = state.load_model.sample_backlog_seconds(
-            now, access=provider.access, rng=self._rng
+            now, access=provider.access, rng=state.rng
         )
         start_time = max(now, state.busy_until) + backlog
 
         # Decide the terminal status up front.
-        draw = self._rng.random()
+        draw = state.rng.random()
         if draw < self.failure_model.cancel_probability:
             # Cancelled while waiting: it never runs on the machine.
-            cancel_delay = min(backlog, self._rng.uniform(30.0, 3600.0))
+            cancel_delay = min(backlog, state.rng.uniform(30.0, 3600.0))
             self.events.schedule(
                 now + cancel_delay,
                 lambda j=job: self._finish_cancelled(j),
@@ -211,13 +218,13 @@ class QuantumCloudService:
             return
 
         run_seconds = self.execution_model.simulate_seconds(
-            job, state.backend, rng=self._rng
+            job, state.backend, rng=state.rng
         )
         is_error = draw < (self.failure_model.cancel_probability
                            + self.failure_model.error_probability)
         if is_error:
             # Errors abort partway through the run.
-            run_seconds *= self._rng.uniform(0.1, 0.9)
+            run_seconds *= state.rng.uniform(0.1, 0.9)
 
         end_time = start_time + run_seconds
         state.busy_until = end_time

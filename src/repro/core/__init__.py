@@ -31,6 +31,7 @@ from repro.core.units import (
     days_to_seconds,
     format_duration,
 )
+from repro.core.env import env_int
 from repro.core.rng import RandomSource, derive_seed
 
 __all__ = [
@@ -56,4 +57,5 @@ __all__ = [
     "format_duration",
     "RandomSource",
     "derive_seed",
+    "env_int",
 ]

@@ -1,0 +1,17 @@
+"""Environment-variable helpers shared by the CLI and the bench harness."""
+
+from __future__ import annotations
+
+import os
+
+
+def env_int(name: str, default: int) -> int:
+    """The integer value of environment variable ``name``.
+
+    Unset or malformed values fall back to ``default`` — the harness knobs
+    (``REPRO_BENCH_JOBS`` and friends) should never crash a run over a typo.
+    """
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default

@@ -66,6 +66,27 @@ class RandomSource:
         label = self.name + "/" + "/".join(str(n) for n in names)
         return RandomSource(child_seed, name=label)
 
+    def spawn_seed(self, key: object) -> int:
+        """Derive the integer seed of the spawned stream for ``key``.
+
+        Spawned seeds live in their own namespace, separate from
+        :meth:`child`, so a shard runner that spawns per-shard streams can
+        never collide with subsystem child streams of the same name.
+        """
+        base = self._seed if self._seed is not None else 0
+        return derive_seed(base, self.name, "#spawn", key)
+
+    def spawn(self, key: object) -> "RandomSource":
+        """Create an independently seeded stream for a shard or worker.
+
+        Unlike :meth:`child`, which is meant for named subsystems hanging off
+        one generator tree, ``spawn`` is the entry point for *horizontal*
+        parallelism: every shard/worker/job index gets a stream that is fully
+        determined by ``(root seed, root name, key)`` and therefore identical
+        no matter which process, worker count, or shard layout produced it.
+        """
+        return RandomSource(self.spawn_seed(key), name=f"{self.name}#{key}")
+
     # -- thin convenience wrappers -------------------------------------------------
 
     def random(self) -> float:

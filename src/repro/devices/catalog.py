@@ -15,7 +15,7 @@ bandwidth, which is what the analyses consume.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.exceptions import DeviceError

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Dict, Set
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import NON_UNITARY_OPERATIONS, TWO_QUBIT_GATES

@@ -12,7 +12,7 @@ likely outcomes — the quantity plotted as "POS (%)" in Fig. 7.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -11,7 +11,7 @@ application) and is bounded to a moderate number of qubits.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 

@@ -12,12 +12,12 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.core.exceptions import PredictionError
-from repro.workloads.trace import JobRecord, TraceDataset
+from repro.workloads.trace import TraceDataset
 
 
 @dataclass(frozen=True)

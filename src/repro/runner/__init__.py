@@ -1,0 +1,44 @@
+"""Parallel sharded execution of the study trace pipeline.
+
+The runner turns the trace generation behind every figure of the paper into
+an embarrassingly parallel workload:
+
+* :mod:`repro.runner.sharding` — deterministic partitioning of the
+  submission plan (synthesis shards) and of the fleet (simulation groups).
+* :mod:`repro.runner.executor` — :class:`StudyRunner`, which executes both
+  stages across ``multiprocessing`` workers and merges the result with
+  stable ordering; :func:`run_study` is the one-call entry point.
+* :mod:`repro.runner.cache` — the on-disk :class:`TraceCache` keyed by a
+  content fingerprint of the generator config.
+
+The merged trace is a pure function of the
+:class:`~repro.workloads.generator.TraceGeneratorConfig`: worker count and
+shard count only change how fast it is produced, never its bytes.
+"""
+
+from repro.runner.cache import TraceCache, config_fingerprint
+from repro.runner.executor import (
+    StudyResult,
+    StudyRunner,
+    default_workers,
+    run_study,
+)
+from repro.runner.sharding import (
+    MachineGroup,
+    ShardSpec,
+    plan_machine_groups,
+    plan_shards,
+)
+
+__all__ = [
+    "MachineGroup",
+    "ShardSpec",
+    "StudyResult",
+    "StudyRunner",
+    "TraceCache",
+    "config_fingerprint",
+    "default_workers",
+    "plan_machine_groups",
+    "plan_shards",
+    "run_study",
+]

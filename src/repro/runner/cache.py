@@ -1,0 +1,114 @@
+"""On-disk caching of generated study traces.
+
+Generating the full 6000-job trace takes minutes of CPU; every benchmark
+session and CI run used to pay that cost again.  :class:`TraceCache` stores
+each generated trace as JSON under a key derived from the *content* of its
+:class:`~repro.workloads.generator.TraceGeneratorConfig`, so any run with an
+equivalent config — regardless of worker or shard count, which do not affect
+the result — gets the exact bytes of the first run back.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.workloads.generator import TraceGeneratorConfig
+from repro.workloads.trace import TraceDataset
+
+#: Bump when the generated-trace semantics change so stale caches miss.
+TRACE_SCHEMA_VERSION = 1
+
+
+def _canonical(value: object) -> object:
+    """Reduce a config value to a JSON-serialisable canonical form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__class__": type(value).__name__, **fields}
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def config_fingerprint(config: TraceGeneratorConfig) -> str:
+    """A stable content hash of everything that shapes the generated trace.
+
+    The package version is part of the hash so that releases that change
+    generator/simulator behaviour invalidate old caches automatically;
+    ``TRACE_SCHEMA_VERSION`` covers intentional format breaks in between.
+    """
+    from repro import __version__
+
+    payload = {
+        "schema": TRACE_SCHEMA_VERSION,
+        "version": __version__,
+        "config": _canonical(config),
+    }
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    )
+    return digest.hexdigest()[:24]
+
+
+class TraceCache:
+    """A directory of cached traces keyed by config fingerprint."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"trace-{key}.json"
+
+    def get(self, key: str) -> Optional[TraceDataset]:
+        """The cached trace for ``key``, or None on a miss.
+
+        A corrupt or unreadable entry (e.g. hand-edited, or written by an
+        incompatible version) counts as a miss and will be overwritten by
+        the regenerated trace rather than poisoning every later run.
+        """
+        path = self.path_for(key)
+        if not path.is_file():
+            self.misses += 1
+            return None
+        try:
+            trace = TraceDataset.from_json(path)
+        except (ValueError, TypeError, KeyError, OSError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def get_bytes(self, key: str) -> Optional[bytes]:
+        """The exact cached bytes for ``key`` (None on a miss)."""
+        path = self.path_for(key)
+        if not path.is_file():
+            return None
+        return path.read_bytes()
+
+    def put(self, key: str, trace: TraceDataset) -> Path:
+        """Store ``trace`` under ``key`` atomically; returns the cache path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        scratch = path.with_suffix(f".tmp.{os.getpid()}")
+        trace.to_json(scratch)
+        scratch.replace(path)
+        return path
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}

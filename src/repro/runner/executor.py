@@ -1,0 +1,305 @@
+"""The parallel sharded study runner.
+
+:class:`StudyRunner` turns one
+:class:`~repro.workloads.generator.TraceGeneratorConfig` into a merged
+:class:`~repro.workloads.trace.TraceDataset` using a pool of worker
+processes, in two embarrassingly parallel stages:
+
+1. **Synthesis** — the submission plan is dealt round-robin across shards
+   and each worker synthesises its shard's jobs.  Job randomness is keyed by
+   global job index, so the synthesised jobs are identical for any shard or
+   worker count.
+2. **Simulation** — machines are packed into balanced groups and each worker
+   drives its own :class:`~repro.cloud.service.QuantumCloudService` over its
+   sub-fleet.  The service draws from per-machine spawned streams, so the
+   merged per-machine dynamics equal the single-service run exactly.
+
+The merged records are sorted by ``(submit_time, job_id)``, making the whole
+pipeline a pure function of the config: same seed in, byte-identical trace
+out, no matter how the work was partitioned.  Results are memoised on disk
+through :class:`~repro.runner.cache.TraceCache`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cloud.job import Job
+from repro.cloud.service import QuantumCloudService
+from repro.runner.cache import TraceCache, config_fingerprint
+from repro.runner.sharding import (
+    MachineGroup,
+    ShardSpec,
+    plan_machine_groups,
+    plan_shards,
+)
+from repro.workloads.generator import (
+    JobSynthesizer,
+    TraceGeneratorConfig,
+    plan_submissions,
+    record_for,
+)
+from repro.workloads.trace import JobRecord, TraceDataset
+
+ProgressCallback = Callable[[str], None]
+
+# Per-process worker state, populated once by the pool initializer so that
+# the fleet and synthesizer are built a single time per worker rather than
+# once per shard.
+_WORKER: Dict[str, object] = {}
+
+
+def _init_worker(config: TraceGeneratorConfig) -> None:
+    fleet = config.build_fleet()
+    _WORKER["config"] = config
+    _WORKER["fleet"] = fleet
+    _WORKER["synthesizer"] = JobSynthesizer(config, fleet)
+
+
+def _synthesise_shard_with(synthesizer: JobSynthesizer,
+                           shard: ShardSpec) -> List[Job]:
+    jobs: List[Job] = []
+    for planned in shard.submissions:
+        job = synthesizer.synthesise(planned)
+        if job is not None:
+            jobs.append(job)
+    return jobs
+
+
+def _simulate_group_with(config: TraceGeneratorConfig,
+                         fleet: Dict[str, object],
+                         group: MachineGroup,
+                         jobs: Sequence[Job]) -> List[JobRecord]:
+    sub_fleet = {name: fleet[name] for name in group.machines}
+    service = QuantumCloudService(sub_fleet, seed=config.seed)
+    ordered = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+    for job in ordered:
+        service.submit(job)
+    service.drain()
+    return [record_for(job, fleet) for job in ordered]
+
+
+def _pool_synthesise(shard: ShardSpec) -> List[Job]:
+    return _synthesise_shard_with(_WORKER["synthesizer"], shard)
+
+
+def _pool_simulate(payload: Tuple[MachineGroup, List[Job]]) -> List[JobRecord]:
+    group, jobs = payload
+    return _simulate_group_with(_WORKER["config"], _WORKER["fleet"], group, jobs)
+
+
+@dataclass
+class StudyResult:
+    """A merged study trace plus how it was produced."""
+
+    trace: TraceDataset
+    config: TraceGeneratorConfig
+    workers: int
+    num_shards: int
+    cache_key: str
+    cache_hit: bool = False
+    cache_path: Optional[Path] = None
+    timings: Dict[str, float] = field(default_factory=dict)
+    shard_sizes: List[int] = field(default_factory=list)
+    group_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.timings.get("total", 0.0)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "jobs": len(self.trace),
+            "workers": self.workers,
+            "shards": self.num_shards,
+            "cache_hit": self.cache_hit,
+            **{f"{name}_seconds": round(value, 3)
+               for name, value in sorted(self.timings.items())},
+        }
+
+
+def default_workers() -> int:
+    """Worker-count default: every core, capped to keep small hosts usable."""
+    return max(1, min(os.cpu_count() or 1, 16))
+
+
+class StudyRunner:
+    """Runs one study config to a merged trace across worker processes."""
+
+    def __init__(
+        self,
+        config: Optional[TraceGeneratorConfig] = None,
+        workers: Optional[int] = None,
+        num_shards: Optional[int] = None,
+        cache: Optional[Union[TraceCache, str, Path]] = None,
+        progress: Optional[ProgressCallback] = None,
+    ):
+        self.config = config or TraceGeneratorConfig()
+        self.workers = max(1, int(workers if workers is not None
+                                  else default_workers()))
+        self.num_shards = max(1, int(num_shards if num_shards is not None
+                                     else self.workers))
+        if cache is not None and not isinstance(cache, TraceCache):
+            cache = TraceCache(cache)
+        self.cache = cache
+        self._progress = progress or (lambda message: None)
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run(self, use_cache: bool = True) -> StudyResult:
+        """Produce the merged study trace (from cache when possible)."""
+        started = time.perf_counter()
+        key = config_fingerprint(self.config)
+        if use_cache and self.cache is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._progress(f"cache hit for config {key}")
+                return StudyResult(
+                    trace=cached,
+                    config=self.config,
+                    workers=self.workers,
+                    num_shards=self.num_shards,
+                    cache_key=key,
+                    cache_hit=True,
+                    cache_path=self.cache.path_for(key),
+                    timings={"total": time.perf_counter() - started},
+                )
+
+        plan_started = time.perf_counter()
+        submissions = plan_submissions(self.config)
+        shards = plan_shards(self.config, submissions, self.num_shards)
+        plan_seconds = time.perf_counter() - plan_started
+        self._progress(
+            f"planned {len(submissions)} submissions across "
+            f"{len(shards)} shards ({self.workers} workers)"
+        )
+
+        pool = None
+        fleet = None
+        try:
+            if self.workers > 1:
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in multiprocessing.get_all_start_methods()
+                    else "spawn"
+                )
+                pool = context.Pool(
+                    processes=self.workers,
+                    initializer=_init_worker,
+                    initargs=(self.config,),
+                )
+            else:
+                fleet = self.config.build_fleet()
+
+            synthesis_started = time.perf_counter()
+            if pool is not None:
+                per_shard_jobs = pool.map(_pool_synthesise, shards)
+            else:
+                synthesizer = JobSynthesizer(self.config, fleet)
+                per_shard_jobs = [
+                    _synthesise_shard_with(synthesizer, shard)
+                    for shard in shards
+                ]
+            synthesis_seconds = time.perf_counter() - synthesis_started
+            jobs = [job for shard_jobs in per_shard_jobs for job in shard_jobs]
+            self._progress(
+                f"synthesised {len(jobs)} jobs in {synthesis_seconds:.1f}s"
+            )
+
+            job_counts: Dict[str, int] = {}
+            jobs_by_machine: Dict[str, List[Job]] = {}
+            for job in jobs:
+                job_counts[job.backend_name] = job_counts.get(job.backend_name, 0) + 1
+                jobs_by_machine.setdefault(job.backend_name, []).append(job)
+            groups = plan_machine_groups(job_counts, self.workers)
+            payloads = [
+                (group, [job for name in group.machines
+                         for job in jobs_by_machine[name]])
+                for group in groups
+            ]
+
+            simulation_started = time.perf_counter()
+            if pool is not None:
+                per_group_records = pool.map(_pool_simulate, payloads)
+            else:
+                per_group_records = [
+                    _simulate_group_with(self.config, fleet, group, group_jobs)
+                    for group, group_jobs in payloads
+                ]
+            simulation_seconds = time.perf_counter() - simulation_started
+            self._progress(
+                f"simulated {len(groups)} machine groups in "
+                f"{simulation_seconds:.1f}s"
+            )
+        finally:
+            if pool is not None:
+                pool.close()
+                pool.join()
+
+        merge_started = time.perf_counter()
+        records = [r for group_records in per_group_records for r in group_records]
+        records.sort(key=lambda r: (r.submit_time, r.job_id))
+        trace = TraceDataset(records, metadata={
+            "seed": self.config.seed,
+            "total_jobs": len(records),
+            "months": self.config.months,
+        })
+        cache_path = None
+        if use_cache and self.cache is not None:
+            cache_path = self.cache.put(key, trace)
+        merge_seconds = time.perf_counter() - merge_started
+
+        return StudyResult(
+            trace=trace,
+            config=self.config,
+            workers=self.workers,
+            num_shards=self.num_shards,
+            cache_key=key,
+            cache_hit=False,
+            cache_path=cache_path,
+            timings={
+                "plan": plan_seconds,
+                "synthesis": synthesis_seconds,
+                "simulation": simulation_seconds,
+                "merge": merge_seconds,
+                "total": time.perf_counter() - started,
+            },
+            shard_sizes=[len(shard) for shard in shards],
+            group_sizes=[group.expected_jobs for group in groups],
+        )
+
+
+def run_study(
+    total_jobs: int = 6000,
+    months: Optional[int] = None,
+    seed: int = 7,
+    *,
+    config: Optional[TraceGeneratorConfig] = None,
+    workers: Optional[int] = None,
+    num_shards: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[ProgressCallback] = None,
+    use_cache: bool = True,
+) -> StudyResult:
+    """One-call entry point: run a study config through the sharded runner.
+
+    Either pass an explicit ``config`` or the common scalar knobs
+    (``total_jobs`` / ``months`` / ``seed``).
+    """
+    if config is None:
+        kwargs: Dict[str, object] = {"total_jobs": total_jobs, "seed": seed}
+        if months is not None:
+            kwargs["months"] = months
+        config = TraceGeneratorConfig(**kwargs)
+    runner = StudyRunner(
+        config,
+        workers=workers,
+        num_shards=num_shards,
+        cache=cache_dir,
+        progress=progress,
+    )
+    return runner.run(use_cache=use_cache)

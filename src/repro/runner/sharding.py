@@ -1,0 +1,97 @@
+"""Deterministic work partitioning for the parallel study runner.
+
+The runner splits a study into two independently parallel stages and this
+module owns both partitions:
+
+* **Synthesis shards** (:class:`ShardSpec`): the planned submissions are
+  dealt round-robin across shards.  Independent streams are seeded at *job*
+  granularity rather than shard granularity — every job's randomness is
+  ``root.spawn(job_index)`` with the global job index — so the synthesised
+  jobs are identical for any shard count and sharding only changes which
+  process does the work.
+* **Simulation groups** (:class:`MachineGroup`): machines are packed into
+  groups balanced by expected job count.  The cloud service draws from
+  per-machine spawned streams, so simulating a sub-fleet reproduces the
+  single-service run machine for machine and any grouping yields the same
+  merged trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.exceptions import WorkloadError
+from repro.workloads.generator import PlannedSubmission, TraceGeneratorConfig
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One synthesis shard: the slice of the submission plan a worker owns."""
+
+    shard_id: int
+    num_shards: int
+    submissions: Tuple[PlannedSubmission, ...]
+
+    def __len__(self) -> int:
+        return len(self.submissions)
+
+
+@dataclass(frozen=True)
+class MachineGroup:
+    """One simulation group: the machines whose queues a worker simulates."""
+
+    group_id: int
+    machines: Tuple[str, ...]
+    expected_jobs: int = 0
+
+
+def plan_shards(config: TraceGeneratorConfig,
+                submissions: Sequence[PlannedSubmission],
+                num_shards: int) -> List[ShardSpec]:
+    """Deal the submission plan round-robin across ``num_shards`` shards.
+
+    Round-robin (rather than contiguous slices) balances the exponential
+    demand growth: late, busy months spread across all shards instead of
+    landing on the last one.
+    """
+    if num_shards < 1:
+        raise WorkloadError("num_shards must be at least 1")
+    return [
+        ShardSpec(
+            shard_id=shard_id,
+            num_shards=num_shards,
+            submissions=tuple(submissions[shard_id::num_shards]),
+        )
+        for shard_id in range(num_shards)
+    ]
+
+
+def plan_machine_groups(job_counts: Dict[str, int],
+                        num_groups: int) -> List[MachineGroup]:
+    """Pack machines into groups balanced by job count (greedy LPT).
+
+    The grouping is deterministic: machines are considered in
+    (count-descending, name) order and each goes to the least-loaded group,
+    ties broken by group id.  Machines with zero jobs are skipped — their
+    queues never run any event.
+    """
+    if num_groups < 1:
+        raise WorkloadError("num_groups must be at least 1")
+    loaded = sorted(
+        ((count, name) for name, count in job_counts.items() if count > 0),
+        key=lambda item: (-item[0], item[1]),
+    )
+    num_groups = min(num_groups, len(loaded)) or 1
+    totals = [0] * num_groups
+    members: List[List[str]] = [[] for _ in range(num_groups)]
+    for count, name in loaded:
+        target = min(range(num_groups), key=lambda g: (totals[g], g))
+        totals[target] += count
+        members[target].append(name)
+    return [
+        MachineGroup(group_id=g, machines=tuple(sorted(members[g])),
+                     expected_jobs=totals[g])
+        for g in range(num_groups)
+        if members[g]
+    ]

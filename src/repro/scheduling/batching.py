@@ -9,8 +9,8 @@ relative to submitting each circuit as its own job.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.cloud.job import CircuitSpec
 from repro.core.exceptions import ReproError

@@ -12,7 +12,7 @@ routing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.cloud.job import Job
 from repro.core.exceptions import ReproError

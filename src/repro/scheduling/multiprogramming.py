@@ -9,8 +9,8 @@ the utilisation achieved versus running the circuits one at a time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.cloud.job import CircuitSpec
 from repro.core.exceptions import ReproError

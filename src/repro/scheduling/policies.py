@@ -17,7 +17,6 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.exceptions import ReproError
-from repro.core.units import HOUR_SECONDS
 from repro.devices.backend import Backend
 from repro.fidelity.estimator import estimate_success_probability
 from repro.transpiler.presets import transpile

@@ -14,8 +14,7 @@ in Fig. 5 and the noise-aware mapping it illustrates in Fig. 12b:
 
 from __future__ import annotations
 
-import itertools
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.exceptions import TranspilerError

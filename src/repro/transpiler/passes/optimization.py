@@ -14,9 +14,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.circuits.circuit import Instruction, QuantumCircuit
-from repro.circuits.dag import CircuitDAG
 from repro.circuits.gates import GATE_SPECS, Gate, NON_UNITARY_OPERATIONS
-from repro.core.exceptions import TranspilerError
 from repro.transpiler.passes.base import AnalysisPass, PropertySet, TransformationPass
 from repro.transpiler.passes.unroll import (
     instruction_sequence_matrix,

@@ -9,7 +9,7 @@ cheapest — the expensive pass that dominates Fig. 5 at large qubit counts.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.circuits.circuit import Instruction, QuantumCircuit
 from repro.circuits.gates import Gate

@@ -283,8 +283,13 @@ def euler_zyz_angles(matrix: np.ndarray) -> Tuple[float, float, float]:
         phi_minus_lam = 0.0
         phi_plus_lam = 2.0 * cmath.phase(su2[1, 1])
     else:
-        phi_plus_lam = cmath.phase(su2[1, 1]) - cmath.phase(su2[0, 0])
-        phi_minus_lam = cmath.phase(su2[1, 0]) - cmath.phase(-su2[0, 1])
+        # In SU(2), su2[0,0] = e^{-i(phi+lam)/2} cos(theta/2) and
+        # su2[1,0] = e^{i(phi-lam)/2} sin(theta/2) with cos, sin >= 0, so each
+        # half-angle phase is read off one entry.  Differencing the conjugate
+        # entries instead loses a 2*pi winding when a half-angle equals pi
+        # (e.g. the product H X), which silently yields a different unitary.
+        phi_plus_lam = 2.0 * cmath.phase(su2[1, 1])
+        phi_minus_lam = 2.0 * cmath.phase(su2[1, 0])
     phi = (phi_plus_lam + phi_minus_lam) / 2.0
     lam = (phi_plus_lam - phi_minus_lam) / 2.0
     return theta, phi, lam

@@ -10,7 +10,7 @@ crossover analysis) can inspect what the compiler decided.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.circuits.circuit import QuantumCircuit

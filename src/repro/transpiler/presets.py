@@ -8,7 +8,7 @@ at level 3), ancilla allocation, layout application, stochastic swap routing,
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.exceptions import TranspilerError
@@ -25,7 +25,6 @@ from repro.transpiler.passes.layout_passes import (
     CSPLayout,
     DenseLayout,
     NoiseAdaptiveLayout,
-    SabreLayout,
     SetLayout,
     TrivialLayout,
 )

@@ -13,7 +13,7 @@ Calibration targets (from the paper):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Tuple
 
 from repro.core.exceptions import WorkloadError
 from repro.core.rng import RandomSource

@@ -6,22 +6,31 @@ scale and marginal distributions match the paper's dataset: ~6000 jobs /
 with exponential demand growth, mixed public/privileged access, and the
 mixed user population of :mod:`repro.workloads.users`.
 
+The generator is split into three deterministic stages so that the parallel
+study runner (:mod:`repro.runner`) can reuse them from worker processes:
+
+* :func:`plan_submissions` — when each job is submitted (pure function of
+  the config seed),
+* :class:`JobSynthesizer` — what each job looks like (keyed by the *global*
+  job index through :meth:`repro.core.rng.RandomSource.spawn`, so the result
+  does not depend on which shard or process synthesises it),
+* :func:`record_for` — how a completed job becomes a trace row.
+
 The output is a :class:`~repro.workloads.trace.TraceDataset` ready for the
 analysis layer and the per-figure benches.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.cloud.backlog import ExternalLoadModel
 from repro.cloud.job import CircuitSpec, Job
 from repro.cloud.service import QuantumCloudService
 from repro.core.exceptions import WorkloadError
 from repro.core.rng import RandomSource
-from repro.core.types import JobStatus
 from repro.core.units import DAY_SECONDS
 from repro.devices.backend import Backend
 from repro.devices.catalog import STUDY_MONTHS, fleet_in_study
@@ -37,6 +46,10 @@ from repro.workloads.users import (
 
 #: Average length of a study month in seconds.
 MONTH_SECONDS = 30.4 * DAY_SECONDS
+
+#: An estimator of the pending-job count on a backend at a timestamp,
+#: used by queue-sensitive machine-selection policies.
+PendingEstimator = Callable[[Backend, float], float]
 
 
 @dataclass
@@ -72,22 +85,88 @@ class TraceGeneratorConfig:
         counts[-1] += drift
         return [max(0, c) for c in counts]
 
+    def build_fleet(self) -> Dict[str, Backend]:
+        """The study fleet this configuration simulates."""
+        return fleet_in_study(seed=self.seed,
+                              include_simulator=self.include_simulator)
 
-class TraceGenerator:
-    """Generates the study trace by submitting jobs to the cloud simulator."""
 
-    def __init__(self, config: Optional[TraceGeneratorConfig] = None,
-                 fleet: Optional[Dict[str, Backend]] = None,
-                 service: Optional[QuantumCloudService] = None):
-        self.config = config or TraceGeneratorConfig()
-        self._rng = RandomSource(self.config.seed, name="trace_generator")
-        self.fleet = fleet or fleet_in_study(
-            seed=self.config.seed,
-            include_simulator=self.config.include_simulator,
-        )
-        self.service = service or QuantumCloudService(self.fleet, seed=self.config.seed)
+@dataclass(frozen=True)
+class PlannedSubmission:
+    """One planned job submission: when it happens and which job it is."""
 
-    # -- job synthesis ---------------------------------------------------------------
+    submit_time: float
+    month: int
+    job_index: int
+
+
+def job_id_for_index(job_index: int) -> str:
+    """The deterministic job id of the ``job_index``-th planned submission."""
+    return f"job-{job_index + 1:06d}"
+
+
+def plan_submissions(config: TraceGeneratorConfig) -> List[PlannedSubmission]:
+    """Lay out every submission of the study, sorted by submission time.
+
+    The schedule is a pure function of the config seed: monthly job counts
+    follow the configured exponential growth, and each job's offset within
+    its month is drawn from the root trace-generator stream in a fixed
+    order.  Shard runners therefore all agree on the exact same plan.
+    """
+    rng = RandomSource(config.seed, name="trace_generator")
+    submissions: List[PlannedSubmission] = []
+    job_index = 0
+    for month, count in enumerate(config.jobs_per_month()):
+        month_start = month * MONTH_SECONDS
+        for _ in range(count):
+            offset = rng.uniform(0.0, MONTH_SECONDS)
+            submissions.append(PlannedSubmission(
+                submit_time=month_start + offset,
+                month=month,
+                job_index=job_index,
+            ))
+            job_index += 1
+    submissions.sort(key=lambda item: item.submit_time)
+    return submissions
+
+
+def expected_pending_estimator(fleet: Dict[str, Backend]) -> PendingEstimator:
+    """A service-free pending-jobs estimator (the external-load expectation).
+
+    Queue-sensitive users see the *expected* backlog of each machine, a pure
+    function of the timestamp.  This is what the sharded runner uses: unlike
+    the live-service estimate it does not depend on how many studied jobs
+    happen to sit in the queue of one shard's service, so machine selection
+    is identical for every shard layout.
+    """
+    models = {
+        name: ExternalLoadModel(backend=backend)
+        for name, backend in fleet.items()
+    }
+
+    def estimate(backend: Backend, timestamp: float) -> float:
+        return models[backend.name].mean_pending_jobs(timestamp)
+
+    return estimate
+
+
+class JobSynthesizer:
+    """Synthesises study jobs deterministically by global job index.
+
+    All randomness of job ``i`` comes from ``root.spawn(i)``, where ``root``
+    is the trace-generator stream of the config seed.  Two synthesizers with
+    the same config and fleet therefore produce byte-identical jobs for the
+    same index, no matter how many other jobs either one has synthesised —
+    the property the sharded study runner relies on.
+    """
+
+    def __init__(self, config: TraceGeneratorConfig,
+                 fleet: Dict[str, Backend],
+                 pending_estimator: Optional[PendingEstimator] = None):
+        self.config = config
+        self.fleet = fleet
+        self._root = RandomSource(config.seed, name="trace_generator")
+        self._pending = pending_estimator or expected_pending_estimator(fleet)
 
     def _eligible_backends(self, month: int, width: int,
                            privileged: bool) -> List[Backend]:
@@ -102,10 +181,12 @@ class TraceGenerator:
             eligible.append(backend)
         return eligible
 
-    def _synthesise_job(self, month: int, submit_time: float,
-                        job_index: int) -> Optional[Job]:
+    def synthesise(self, planned: PlannedSubmission) -> Optional[Job]:
+        """Build the job for one planned submission (None if nothing fits)."""
         config = self.config
-        rng = self._rng.child("job", job_index)
+        month = planned.month
+        submit_time = planned.submit_time
+        rng = self._root.spawn(planned.job_index)
         distributions = config.distributions
 
         user = pick_user(config.users, rng)
@@ -123,8 +204,7 @@ class TraceGenerator:
             if not eligible:
                 return None
         pending_estimate = {
-            b.name: self.service.pending_jobs_estimate(b.name, submit_time)
-            for b in eligible
+            b.name: self._pending(b, submit_time) for b in eligible
         }
         backend = user.select_machine(eligible, rng, timestamp=submit_time,
                                       pending_estimate=pending_estimate)
@@ -162,88 +242,105 @@ class TraceGenerator:
             shots=shots,
             submit_time=submit_time,
             compile_seconds=compile_seconds,
+            job_id=job_id_for_index(planned.job_index),
             metadata={
                 "family": family,
                 "month_index": month,
                 "user_policy": user.policy.value,
+                "job_index": planned.job_index,
             },
         )
         return job
+
+
+def record_for(job: Job, fleet: Dict[str, Backend]) -> JobRecord:
+    """Turn a finished job into the trace row the analysis layer consumes."""
+    backend = fleet[job.backend_name]
+    first = job.circuits[0]
+    crossed = False
+    if job.start_time is not None:
+        crossed = backend.calibration_model.crosses_calibration(
+            job.submit_time, job.start_time
+        )
+    mean_depth = int(round(sum(c.depth for c in job.circuits) / job.batch_size))
+    mean_gates = int(round(sum(c.num_gates for c in job.circuits) / job.batch_size))
+    mean_cx = int(round(sum(c.cx_count for c in job.circuits) / job.batch_size))
+    mean_cx_depth = int(round(
+        sum(c.cx_depth for c in job.circuits) / job.batch_size
+    ))
+    return JobRecord(
+        job_id=job.job_id,
+        provider=job.provider,
+        access=backend.access.value,
+        machine=job.backend_name,
+        machine_qubits=backend.num_qubits,
+        month_index=int(job.metadata.get("month_index", 0)),
+        batch_size=job.batch_size,
+        shots=job.shots,
+        circuit_family=first.family,
+        circuit_width=first.width,
+        circuit_depth=mean_depth,
+        circuit_gates=mean_gates,
+        circuit_cx=mean_cx,
+        circuit_cx_depth=mean_cx_depth,
+        memory_slots=first.width,
+        submit_time=job.submit_time,
+        start_time=job.start_time,
+        end_time=job.end_time,
+        status=job.status.value,
+        queue_seconds=job.queue_seconds,
+        run_seconds=job.run_seconds,
+        compile_seconds=job.compile_seconds,
+        pending_ahead=job.pending_ahead,
+        crossed_calibration=crossed,
+        user_policy=str(job.metadata.get("user_policy", "unknown")),
+    )
+
+
+class TraceGenerator:
+    """Generates the study trace by submitting jobs to the cloud simulator.
+
+    This is the single-process reference path: synthesis and simulation are
+    interleaved against one live :class:`QuantumCloudService`, so
+    queue-sensitive users see the live studied queue on top of the external
+    load.  The parallel runner in :mod:`repro.runner` shards the same
+    synthesis and simulation stages across processes instead.
+    """
+
+    def __init__(self, config: Optional[TraceGeneratorConfig] = None,
+                 fleet: Optional[Dict[str, Backend]] = None,
+                 service: Optional[QuantumCloudService] = None):
+        self.config = config or TraceGeneratorConfig()
+        self.fleet = fleet or self.config.build_fleet()
+        self.service = service or QuantumCloudService(self.fleet, seed=self.config.seed)
+        self.synthesizer = JobSynthesizer(
+            self.config, self.fleet, pending_estimator=self._live_pending_estimate
+        )
+
+    def _live_pending_estimate(self, backend: Backend, timestamp: float) -> float:
+        return self.service.pending_jobs_estimate(backend.name, timestamp)
 
     # -- trace generation --------------------------------------------------------------
 
     def generate(self) -> TraceDataset:
         """Submit the whole workload and return the completed trace."""
         config = self.config
-        monthly_counts = config.jobs_per_month()
-        submissions: List[tuple] = []
-        job_index = 0
-        for month, count in enumerate(monthly_counts):
-            month_start = month * MONTH_SECONDS
-            for _ in range(count):
-                offset = self._rng.uniform(0.0, MONTH_SECONDS)
-                submissions.append((month_start + offset, month, job_index))
-                job_index += 1
-        submissions.sort(key=lambda item: item[0])
-
         submitted_jobs: List[Job] = []
-        for submit_time, month, index in submissions:
-            job = self._synthesise_job(month, submit_time, index)
+        for planned in plan_submissions(config):
+            job = self.synthesizer.synthesise(planned)
             if job is None:
                 continue
             self.service.submit(job)
             submitted_jobs.append(job)
         self.service.drain()
 
-        records = [self._record_for(job) for job in submitted_jobs]
+        records = [record_for(job, self.fleet) for job in submitted_jobs]
         dataset = TraceDataset(records, metadata={
             "seed": config.seed,
             "total_jobs": len(records),
             "months": config.months,
         })
         return dataset
-
-    def _record_for(self, job: Job) -> JobRecord:
-        backend = self.fleet[job.backend_name]
-        first = job.circuits[0]
-        crossed = False
-        if job.start_time is not None:
-            crossed = backend.calibration_model.crosses_calibration(
-                job.submit_time, job.start_time
-            )
-        mean_depth = int(round(sum(c.depth for c in job.circuits) / job.batch_size))
-        mean_gates = int(round(sum(c.num_gates for c in job.circuits) / job.batch_size))
-        mean_cx = int(round(sum(c.cx_count for c in job.circuits) / job.batch_size))
-        mean_cx_depth = int(round(
-            sum(c.cx_depth for c in job.circuits) / job.batch_size
-        ))
-        return JobRecord(
-            job_id=job.job_id,
-            provider=job.provider,
-            access=backend.access.value,
-            machine=job.backend_name,
-            machine_qubits=backend.num_qubits,
-            month_index=int(job.metadata.get("month_index", 0)),
-            batch_size=job.batch_size,
-            shots=job.shots,
-            circuit_family=first.family,
-            circuit_width=first.width,
-            circuit_depth=mean_depth,
-            circuit_gates=mean_gates,
-            circuit_cx=mean_cx,
-            circuit_cx_depth=mean_cx_depth,
-            memory_slots=first.width,
-            submit_time=job.submit_time,
-            start_time=job.start_time,
-            end_time=job.end_time,
-            status=job.status.value,
-            queue_seconds=job.queue_seconds,
-            run_seconds=job.run_seconds,
-            compile_seconds=job.compile_seconds,
-            pending_ahead=job.pending_ahead,
-            crossed_calibration=crossed,
-            user_policy=str(job.metadata.get("user_policy", "unknown")),
-        )
 
 
 @lru_cache(maxsize=4)

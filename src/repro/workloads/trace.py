@@ -12,14 +12,14 @@ from __future__ import annotations
 
 import csv
 import json
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import asdict, dataclass, fields
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
 
 import numpy as np
 
 from repro.core.exceptions import WorkloadError
-from repro.core.types import AccessLevel, JobStatus
+from repro.core.types import JobStatus
 
 
 @dataclass(frozen=True)

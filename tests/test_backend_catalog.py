@@ -3,10 +3,9 @@
 import pytest
 
 from repro.core.exceptions import DeviceError
-from repro.core.types import AccessLevel, MachineGeneration
-from repro.devices.backend import Backend, DEFAULT_MAX_BATCH_SIZE, DEFAULT_MAX_SHOTS
+from repro.core.types import MachineGeneration
+from repro.devices.backend import DEFAULT_MAX_BATCH_SIZE, DEFAULT_MAX_SHOTS
 from repro.devices.catalog import (
-    MACHINE_NAMES,
     MACHINE_SPECS,
     STUDY_MONTHS,
     build_backend,

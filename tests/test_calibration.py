@@ -6,8 +6,6 @@ from repro.core.exceptions import DeviceError
 from repro.core.units import DAY_SECONDS, HOUR_SECONDS
 from repro.devices.calibration import (
     CalibrationModel,
-    CalibrationProfile,
-    CalibrationSnapshot,
     DriftModel,
     GateCalibration,
     QubitCalibration,

@@ -1,7 +1,6 @@
 """Tests for repro.core.rng."""
 
 import numpy as np
-import pytest
 
 from repro.core.rng import RandomSource, derive_seed
 
@@ -60,6 +59,27 @@ class TestRandomSource:
         source = RandomSource(generator, name="wrapped")
         assert source.seed is None
         assert 0.0 <= source.random() < 1.0
+
+    def test_spawn_deterministic(self):
+        assert RandomSource(13).spawn(2).random() == RandomSource(13).spawn(2).random()
+        assert RandomSource(13).spawn_seed(2) == RandomSource(13).spawn_seed(2)
+
+    def test_spawn_streams_differ_by_key(self):
+        root = RandomSource(13)
+        assert root.spawn(0).random() != root.spawn(1).random()
+
+    def test_spawn_independent_of_consumption_and_order(self):
+        root_a = RandomSource(21)
+        root_b = RandomSource(21)
+        # Draining the root and sibling spawns must not shift spawn(5).
+        _ = [root_a.random() for _ in range(7)]
+        _ = [root_a.spawn(0).random() for _ in range(3)]
+        assert root_a.spawn(5).random() == root_b.spawn(5).random()
+
+    def test_spawn_namespace_distinct_from_child(self):
+        root = RandomSource(3)
+        assert root.spawn("x").random() != root.child("x").random()
+        assert root.spawn_seed("x") != derive_seed(3, root.name, "x")
 
     def test_copy_constructor_shares_stream(self):
         original = RandomSource(9, name="orig")

@@ -1,6 +1,5 @@
 """Tests for repro.circuits.dag."""
 
-import pytest
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.dag import CircuitDAG

@@ -1,6 +1,5 @@
 """Tests for repro.fidelity (metrics, estimator, statevector, sampler)."""
 
-import math
 
 import numpy as np
 import pytest

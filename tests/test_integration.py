@@ -6,7 +6,6 @@ reports, fit the prediction models, and apply the recommendation policies.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import (
     batch_runtime_trend,

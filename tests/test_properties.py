@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) on the core data structures and invariants."""
 
-import math
 
 import numpy as np
 import pytest
@@ -8,9 +7,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.stats import pearson_correlation, summarize
-from repro.circuits.circuit import QuantumCircuit
-from repro.circuits.gates import Gate, gate_matrix
-from repro.circuits.library import ghz_circuit, qft_circuit, random_circuit
+from repro.circuits.library import random_circuit
 from repro.circuits.qasm import from_qasm, to_qasm
 from repro.cloud.queues import FairShareQueue
 from repro.cloud.job import CircuitSpec, Job

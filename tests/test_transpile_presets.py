@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.gates import IBM_BASIS_GATES
 from repro.circuits.library import bv_circuit, ghz_circuit, qft_circuit
 from repro.core.exceptions import TranspilerError

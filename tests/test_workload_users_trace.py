@@ -1,6 +1,5 @@
 """Tests for user behaviour models and the trace dataset container."""
 
-import math
 
 import pytest
 
