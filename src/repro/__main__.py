@@ -80,10 +80,7 @@ def _generate(args: argparse.Namespace, quiet: bool = False) -> StudyResult:
 
 def _save_trace(trace: TraceDataset, output: str) -> None:
     path = Path(output)
-    if path.suffix.lower() == ".csv":
-        trace.to_csv(path)
-    else:
-        trace.to_json(path)
+    trace.save(path)
     print(f"trace written to {path}")
 
 
@@ -101,7 +98,7 @@ def cmd_run_study(args: argparse.Namespace) -> int:
 def _load_or_generate_trace(args: argparse.Namespace):
     """The (trace, fleet) pair for analysis subcommands."""
     if getattr(args, "trace", None):
-        trace = TraceDataset.from_json(args.trace)
+        trace = TraceDataset.load(args.trace)
         seed = int(trace.metadata.get("seed", args.seed))
         fleet = TraceGeneratorConfig(seed=seed).build_fleet()
         return trace, fleet
@@ -202,14 +199,16 @@ def build_parser() -> argparse.ArgumentParser:
         "run-study", help="generate the merged study trace in parallel")
     _add_generation_arguments(run_parser)
     run_parser.add_argument(
-        "--output", help="write the trace to this path (.json or .csv)")
+        "--output",
+        help="write the trace to this path (.npz, .json or .csv)")
     run_parser.set_defaults(handler=cmd_run_study)
 
     figures_parser = subparsers.add_parser(
         "figures", help="reproduce the paper's trace-driven figures")
     _add_generation_arguments(figures_parser)
     figures_parser.add_argument(
-        "--trace", help="reuse a trace JSON file instead of generating one")
+        "--trace",
+        help="reuse a trace file (.npz/.json/.csv) instead of generating one")
     figures_parser.add_argument(
         "--output", help="write the figure data as JSON to this path")
     figures_parser.add_argument(
@@ -221,7 +220,8 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="fleet dashboard plus the full reproduced study")
     _add_generation_arguments(report_parser)
     report_parser.add_argument(
-        "--trace", help="reuse a trace JSON file instead of generating one")
+        "--trace",
+        help="reuse a trace file (.npz/.json/.csv) instead of generating one")
     report_parser.add_argument(
         "--output", help="write the full report as JSON to this path")
     report_parser.add_argument(

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+import numpy as np
+
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.exceptions import AnalysisError
 from repro.devices.backend import Backend
@@ -39,11 +41,12 @@ class CrossoverStatistics:
 
 def crossover_statistics(trace: TraceDataset) -> CrossoverStatistics:
     """Count calibration crossovers among jobs that actually started."""
-    started = [r for r in trace if r.start_time is not None]
-    if not started:
+    started = ~np.isnan(trace.values("start_time"))
+    total = int(started.sum())
+    if total == 0:
         raise AnalysisError("no started jobs in the trace")
-    crossed = sum(1 for r in started if r.crossed_calibration)
-    return CrossoverStatistics(total_jobs=len(started), crossed_jobs=crossed)
+    crossed = int((trace.values("crossed_calibration") & started).sum())
+    return CrossoverStatistics(total_jobs=total, crossed_jobs=crossed)
 
 
 @dataclass(frozen=True)

@@ -1,12 +1,18 @@
-"""Execution-time analyses (Section VI, Figures 13-14)."""
+"""Execution-time analyses (Section VI, Figures 13-14), as column operations."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
+import numpy as np
 
-from repro.analysis.stats import DistributionSummary, linear_fit, summarize
+from repro.analysis.stats import (
+    DistributionSummary,
+    linear_fit,
+    pearson_correlation,
+    summarize,
+)
 from repro.core.exceptions import AnalysisError
 from repro.workloads.trace import TraceDataset
 
@@ -21,13 +27,10 @@ def run_time_by_machine(trace: TraceDataset,
     result: Dict[str, DistributionSummary] = {}
     for machine, subset in trace.group_by_machine().items():
         if per_circuit:
-            values = [
-                r.per_circuit_run_seconds / 60.0 for r in subset
-                if r.per_circuit_run_seconds is not None
-            ]
+            values = subset.numeric_column("per_circuit_run_seconds") / 60.0
         else:
-            values = [r.run_minutes for r in subset if r.run_minutes is not None]
-        if values:
+            values = subset.numeric_column("run_minutes")
+        if values.size:
             result[machine] = summarize(values)
     if not result:
         raise AnalysisError("no completed jobs in the trace")
@@ -49,33 +52,30 @@ class BatchRuntimeTrend:
 def run_time_by_batch_size(trace: TraceDataset, bin_width: int = 100
                            ) -> Dict[Tuple[int, int], DistributionSummary]:
     """Fig. 14 series: run minutes binned by batch size."""
-    completed = [r for r in trace if r.run_minutes is not None]
-    if not completed:
+    minutes = trace.values("run_minutes")
+    batch = trace.values("batch_size")
+    valid = ~np.isnan(minutes)
+    if not valid.any():
         raise AnalysisError("no completed jobs in the trace")
     edges = list(range(0, 900, bin_width)) + [900]
     bins = [(edges[i] + 1, edges[i + 1]) for i in range(len(edges) - 1)]
     result: Dict[Tuple[int, int], DistributionSummary] = {}
     for low, high in bins:
-        values = [r.run_minutes for r in completed if low <= r.batch_size <= high]
-        if values:
+        values = minutes[valid & (batch >= low) & (batch <= high)]
+        if values.size:
             result[(low, high)] = summarize(values)
     return result
 
 
 def batch_runtime_trend(trace: TraceDataset) -> BatchRuntimeTrend:
     """Fit the Fig. 14 proportional trend between batch size and run time."""
-    batches: List[float] = []
-    minutes: List[float] = []
-    for record in trace:
-        if record.run_minutes is None:
-            continue
-        batches.append(float(record.batch_size))
-        minutes.append(record.run_minutes)
-    if len(batches) < 2:
+    minutes = trace.values("run_minutes")
+    valid = ~np.isnan(minutes)
+    if int(valid.sum()) < 2:
         raise AnalysisError("need at least two completed jobs to fit a trend")
+    batches = trace.values("batch_size")[valid].astype(float)
+    minutes = minutes[valid]
     slope, intercept = linear_fit(batches, minutes)
-    from repro.analysis.stats import pearson_correlation
-
     return BatchRuntimeTrend(
         slope_minutes_per_circuit=slope,
         intercept_minutes=intercept,

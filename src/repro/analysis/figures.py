@@ -15,7 +15,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.analysis.calibration import crossover_statistics
-from repro.analysis.execution import batch_runtime_trend, run_time_by_machine
+from repro.analysis.execution import (
+    batch_runtime_trend,
+    run_time_by_batch_size,
+    run_time_by_machine,
+)
 from repro.analysis.jobs import cumulative_trials_by_month, status_breakdown
 from repro.analysis.machines import (
     bisection_bandwidth_table,
@@ -24,9 +28,13 @@ from repro.analysis.machines import (
 )
 from repro.analysis.queuing import (
     per_circuit_queue_by_batch_size,
+    queue_time_by_batch_size,
     queue_time_by_machine,
     queue_time_percentile_report,
+    queue_to_run_ratios,
     ratio_report,
+    report_from_sorted_minutes,
+    sorted_queue_times_minutes,
 )
 from repro.analysis.report import render_table
 from repro.core.exceptions import AnalysisError
@@ -170,8 +178,71 @@ def reproduce_all(
         window_start = pending_window_start
         if window_start is None:
             # Default to a week near the end of the trace window.
-            last_submit = max(r.submit_time for r in trace)
+            last_submit = float(trace.values("submit_time").max())
             window_start = max(0.0, last_submit - 14 * DAY_SECONDS)
         report.fig9_pending_jobs = pending_jobs_by_machine(
             fleet, window_start=window_start, trace=trace)
     return report
+
+
+def trace_figure_suite(trace: TraceDataset,
+                       bin_width: int = 100) -> Dict[str, object]:
+    """Every purely trace-driven figure computation, as raw data.
+
+    This is the vectorised analysis suite the data-plane benchmark times and
+    the golden-equivalence test compares against the row-at-a-time reference
+    implementation (:mod:`repro.workloads.rowpath`).  Unlike
+    :func:`reproduce_all` it needs no fleet and returns raw arrays/dicts
+    rather than a rendered report.
+    """
+    from repro.analysis.providers import access_class_profiles
+    from repro.prediction.features import feature_matrix
+
+    sorted_minutes = sorted_queue_times_minutes(trace)
+    suite: Dict[str, object] = {
+        "fig2a": [
+            (row.month_index, row.jobs, row.circuits, row.trials,
+             row.cumulative_trials)
+            for row in cumulative_trials_by_month(trace)
+        ],
+        "fig2b": status_breakdown(trace),
+        "fig3_sorted_minutes": sorted_minutes,
+        "fig3_report": report_from_sorted_minutes(sorted_minutes).as_dict(),
+        "fig4_ratios": queue_to_run_ratios(trace),
+        "fig8": {machine: summary.as_dict()
+                 for machine, summary in utilization_by_machine(trace).items()},
+        "fig10": {machine: summary.as_dict()
+                  for machine, summary in queue_time_by_machine(trace).items()},
+        "fig11_per_job": {
+            key: summary.as_dict()
+            for key, summary in
+            queue_time_by_batch_size(trace, bin_width=bin_width).items()
+        },
+        "fig11_per_circuit": per_circuit_queue_by_batch_size(
+            trace, bin_width=bin_width),
+        "fig12a": crossover_statistics(trace).crossover_fraction,
+        "fig13": {machine: summary.as_dict()
+                  for machine, summary in run_time_by_machine(trace).items()},
+        "fig13_per_circuit": {
+            machine: summary.as_dict()
+            for machine, summary in
+            run_time_by_machine(trace, per_circuit=True).items()
+        },
+        "fig14_bins": {
+            key: summary.as_dict()
+            for key, summary in
+            run_time_by_batch_size(trace, bin_width=bin_width).items()
+        },
+    }
+    trend = batch_runtime_trend(trace)
+    suite["fig14_trend"] = (trend.slope_minutes_per_circuit,
+                            trend.intercept_minutes, trend.correlation)
+    suite["fig15_features"] = feature_matrix(trace)
+    try:
+        suite["access_profiles"] = {
+            access: profile.as_dict()
+            for access, profile in access_class_profiles(trace).items()
+        }
+    except AnalysisError:
+        pass  # small traces may lack one access class entirely
+    return suite

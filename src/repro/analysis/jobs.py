@@ -2,12 +2,17 @@
 
 * Fig. 2a — cumulative machine trials per month over the study window.
 * Fig. 2b — breakdown of job terminal statuses (DONE / ERROR / CANCELLED).
+
+The monthly aggregation runs as integer scatter-adds over the trace's month
+column rather than a per-record walk.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List
+
+import numpy as np
 
 from repro.core.exceptions import AnalysisError
 from repro.core.types import JobStatus
@@ -29,22 +34,29 @@ def cumulative_trials_by_month(trace: TraceDataset) -> List[MonthlyTrials]:
     """Fig. 2a series: cumulative machine trials month by month."""
     if len(trace) == 0:
         raise AnalysisError("trace is empty")
-    by_month = trace.group_by_month()
-    months = sorted(by_month)
-    series: List[MonthlyTrials] = []
-    running = 0
-    for month in range(months[0], months[-1] + 1):
-        subset = by_month.get(month, TraceDataset())
-        trials = subset.total_trials()
-        running += trials
-        series.append(MonthlyTrials(
-            month_index=month,
-            jobs=len(subset),
-            circuits=subset.total_circuits(),
-            trials=trials,
-            cumulative_trials=running,
-        ))
-    return series
+    months = trace.values("month_index")
+    batch = trace.values("batch_size")
+    trials = trace.values("total_trials")
+    first = int(months.min())
+    span = int(months.max()) - first + 1
+    offsets = months - first
+    job_counts = np.zeros(span, dtype=np.int64)
+    circuit_counts = np.zeros(span, dtype=np.int64)
+    trial_counts = np.zeros(span, dtype=np.int64)
+    np.add.at(job_counts, offsets, 1)
+    np.add.at(circuit_counts, offsets, batch)
+    np.add.at(trial_counts, offsets, trials)
+    cumulative = np.cumsum(trial_counts)
+    return [
+        MonthlyTrials(
+            month_index=first + offset,
+            jobs=int(job_counts[offset]),
+            circuits=int(circuit_counts[offset]),
+            trials=int(trial_counts[offset]),
+            cumulative_trials=int(cumulative[offset]),
+        )
+        for offset in range(span)
+    ]
 
 
 def status_breakdown(trace: TraceDataset) -> Dict[str, float]:
@@ -68,7 +80,4 @@ def wasted_execution_fraction(trace: TraceDataset) -> float:
 
 def jobs_per_machine(trace: TraceDataset) -> Dict[str, int]:
     """Number of studied jobs per machine."""
-    counts: Dict[str, int] = {}
-    for record in trace:
-        counts[record.machine] = counts.get(record.machine, 0) + 1
-    return dict(sorted(counts.items()))
+    return trace.value_counts("machine")

@@ -54,17 +54,16 @@ def access_class_profiles(trace: TraceDataset) -> Dict[str, AccessClassProfile]:
     total_circuits = trace.total_circuits()
     profiles: Dict[str, AccessClassProfile] = {}
     for access in ("public", "privileged"):
-        subset = trace.filter(lambda r, a=access: r.access == a)
+        subset = trace.where(trace.mask_equal("access", access))
         if len(subset) == 0:
             continue
-        queue_minutes = [r.queue_minutes for r in subset
-                         if r.queue_minutes is not None]
-        run_minutes = [r.run_minutes for r in subset if r.run_minutes is not None]
-        ratios = [r.queue_to_run_ratio for r in subset
-                  if r.queue_to_run_ratio is not None]
-        started = [r for r in subset if r.start_time is not None]
-        crossed = sum(1 for r in started if r.crossed_calibration)
-        if not queue_minutes or not run_minutes or not ratios:
+        queue_minutes = subset.numeric_column("queue_minutes")
+        run_minutes = subset.numeric_column("run_minutes")
+        ratios = subset.numeric_column("queue_to_run_ratio")
+        started = ~np.isnan(subset.values("start_time"))
+        started_jobs = int(started.sum())
+        crossed = int((subset.values("crossed_calibration") & started).sum())
+        if not queue_minutes.size or not run_minutes.size or not ratios.size:
             raise AnalysisError(
                 f"access class {access!r} has no completed jobs to summarise"
             )
@@ -76,7 +75,7 @@ def access_class_profiles(trace: TraceDataset) -> Dict[str, AccessClassProfile]:
             queue_minutes=summarize(queue_minutes),
             run_minutes=summarize(run_minutes),
             median_queue_to_run_ratio=float(np.median(ratios)),
-            crossover_fraction=crossed / len(started) if started else 0.0,
+            crossover_fraction=crossed / started_jobs if started_jobs else 0.0,
         )
     if not profiles:
         raise AnalysisError("trace contains no recognised access classes")

@@ -14,7 +14,13 @@ telemetry the paper analyses.  It models:
 """
 
 from repro.cloud.events import Event, EventQueue
-from repro.cloud.job import CircuitSpec, Job, JobResult, circuit_spec_from_circuit
+from repro.cloud.job import (
+    CircuitBatch,
+    CircuitSpec,
+    Job,
+    JobResult,
+    circuit_spec_from_circuit,
+)
 from repro.cloud.execution_model import ExecutionTimeModel
 from repro.cloud.backlog import ExternalLoadModel, diurnal_factor
 from repro.cloud.queues import FairShareQueue, FifoQueue, QueuedEntry
@@ -26,6 +32,7 @@ from repro.cloud.service import QuantumCloudService
 __all__ = [
     "Event",
     "EventQueue",
+    "CircuitBatch",
     "CircuitSpec",
     "Job",
     "JobResult",

@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
+
+import numpy as np
 
 from repro.core.exceptions import CloudError
 from repro.core.rng import RandomSource
@@ -31,8 +33,23 @@ from repro.core.units import DAY_SECONDS, MINUTE_SECONDS
 from repro.devices.backend import Backend
 
 
-def diurnal_factor(timestamp: float) -> float:
-    """Smooth daily + weekly demand modulation (1.0 on average)."""
+#: Scalar or float64 array of timestamps (the model is vectorised over time).
+TimeLike = Union[float, np.ndarray]
+
+
+def diurnal_factor(timestamp: TimeLike) -> TimeLike:
+    """Smooth daily + weekly demand modulation (1.0 on average).
+
+    Accepts a scalar or an ndarray of timestamps; the scalar path keeps the
+    exact ``math``-library arithmetic the simulator has always used.
+    """
+    if isinstance(timestamp, np.ndarray):
+        day_phase = 2.0 * np.pi * ((timestamp % DAY_SECONDS) / DAY_SECONDS)
+        week_phase = 2.0 * np.pi * ((timestamp % (7 * DAY_SECONDS))
+                                    / (7 * DAY_SECONDS))
+        daily = 1.0 + 0.35 * np.sin(day_phase - 0.8)
+        weekly = 1.0 + 0.15 * np.sin(week_phase)
+        return np.maximum(0.25, daily * weekly)
     day_phase = 2.0 * math.pi * ((timestamp % DAY_SECONDS) / DAY_SECONDS)
     week_phase = 2.0 * math.pi * ((timestamp % (7 * DAY_SECONDS)) / (7 * DAY_SECONDS))
     daily = 1.0 + 0.35 * math.sin(day_phase - 0.8)
@@ -40,8 +57,11 @@ def diurnal_factor(timestamp: float) -> float:
     return max(0.25, daily * weekly)
 
 
-def growth_factor(timestamp: float, doubling_period: float = 420 * DAY_SECONDS) -> float:
+def growth_factor(timestamp: TimeLike,
+                  doubling_period: float = 420 * DAY_SECONDS) -> TimeLike:
     """Exponential demand growth over the study window (starts at 1.0)."""
+    if isinstance(timestamp, np.ndarray):
+        return np.exp2(np.maximum(timestamp, 0.0) / doubling_period)
     return 2.0 ** (max(timestamp, 0.0) / doubling_period)
 
 
@@ -77,8 +97,18 @@ class ExternalLoadModel:
 
     # -- pending jobs (Fig. 9) -------------------------------------------------------
 
-    def mean_pending_jobs(self, timestamp: float) -> float:
-        """Expected pending-job count at a point in time."""
+    def mean_pending_jobs(self, timestamp: TimeLike) -> TimeLike:
+        """Expected pending-job count at a point in time.
+
+        Vectorised: an ndarray of timestamps yields an ndarray of expected
+        counts (one model evaluation for a whole sampling window).
+        """
+        if isinstance(timestamp, np.ndarray):
+            return np.maximum(
+                0.2,
+                self._base_pending * diurnal_factor(timestamp)
+                * growth_factor(timestamp),
+            )
         return max(
             0.2,
             self._base_pending * diurnal_factor(timestamp) * growth_factor(timestamp),

@@ -19,7 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.cloud.job import Job
+import numpy as np
+
+from repro.cloud.job import CircuitBatch, Job
 from repro.core.exceptions import CloudError
 from repro.core.rng import RandomSource
 from repro.devices.backend import Backend
@@ -62,11 +64,26 @@ class ExecutionTimeModel:
         circuit_overhead = 0.0
         shot_time = 0.0
         shots_factor = job.shots ** self.shots_exponent
-        for spec in job.circuits:
-            width_factor = 1.0 + 0.004 * spec.width
-            depth_factor = 1.0 + 0.3 * (spec.depth / self.depth_reference)
-            circuit_overhead += backend.per_circuit_overhead_seconds * width_factor
-            shot_time += shots_factor * backend.per_shot_seconds * depth_factor
+        circuits = job.circuits
+        if isinstance(circuits, CircuitBatch):
+            width_factors = 1.0 + 0.004 * circuits.width_column()
+            depth_factors = 1.0 + 0.3 * (circuits.depth_column()
+                                         / self.depth_reference)
+            overhead_terms = backend.per_circuit_overhead_seconds * width_factors
+            shot_terms = (shots_factor * backend.per_shot_seconds) * depth_factors
+            # cumsum reproduces the sequential left-to-right addition of the
+            # spec loop bit for bit (np.sum's pairwise reduction would not),
+            # keeping simulated run times identical to the row-at-a-time path.
+            circuit_overhead = float(np.cumsum(overhead_terms)[-1])
+            shot_time = float(np.cumsum(shot_terms)[-1])
+        else:
+            for spec in circuits:
+                width_factor = 1.0 + 0.004 * spec.width
+                depth_factor = 1.0 + 0.3 * (spec.depth / self.depth_reference)
+                circuit_overhead += backend.per_circuit_overhead_seconds \
+                    * width_factor
+                shot_time += shots_factor * backend.per_shot_seconds \
+                    * depth_factor
         return ExecutionTimeBreakdown(
             base_overhead=base,
             circuit_overhead=circuit_overhead,

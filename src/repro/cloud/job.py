@@ -9,7 +9,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.core.exceptions import CloudError
 from repro.core.types import JobStatus
@@ -57,13 +59,165 @@ def circuit_spec_from_circuit(circuit, family: Optional[str] = None) -> CircuitS
     )
 
 
+class CircuitBatch:
+    """Columnar description of one job's batch of circuits.
+
+    Study jobs batch up to 900 circuits, but only the first
+    ``min(16, batch_size)`` structurally differ (per-variant metric jitter);
+    every other circuit shares the job's base metrics exactly.  Storing one
+    :class:`CircuitSpec` object per circuit is therefore pure overhead at
+    ~600k circuits per study.  A batch instead keeps the base metric row
+    plus a small ``(variants x 5)`` int64 array, materialises
+    :class:`CircuitSpec` rows lazily on indexing/iteration, and answers the
+    aggregate questions of the execution model and the trace recorder in
+    O(variants) instead of O(batch).
+    """
+
+    #: metric columns, in storage order
+    METRIC_FIELDS: Tuple[str, ...] = ("width", "depth", "num_gates",
+                                      "cx_count", "cx_depth")
+
+    __slots__ = ("name_prefix", "family", "batch_size", "base", "variants",
+                 "_width_column", "_depth_column")
+
+    def __init__(self, name_prefix: str, family: str, batch_size: int,
+                 base: Sequence[int], variants: np.ndarray):
+        if batch_size < 1:
+            raise CloudError("a job must contain at least one circuit")
+        base_row = tuple(int(v) for v in base)
+        if len(base_row) != len(self.METRIC_FIELDS):
+            raise CloudError("base metrics must have one value per column")
+        variant_rows = np.asarray(variants, dtype=np.int64)
+        if variant_rows.ndim != 2 or \
+                variant_rows.shape[1] != len(self.METRIC_FIELDS):
+            raise CloudError("variant metrics must be a (k, 5) array")
+        if not 1 <= variant_rows.shape[0] <= batch_size:
+            raise CloudError(
+                "a batch needs between 1 and batch_size metric variants")
+        widths = np.concatenate([variant_rows[:, 0], [base_row[0]]])
+        others = np.concatenate([variant_rows[:, 1:].ravel(),
+                                 list(base_row[1:])])
+        if int(widths.min()) < 1:
+            raise CloudError("circuit width must be at least 1 qubit")
+        if int(others.min()) < 0:
+            raise CloudError("circuit metrics must be non-negative")
+        self.name_prefix = name_prefix
+        self.family = family
+        self.batch_size = int(batch_size)
+        self.base = base_row
+        self.variants = variant_rows
+        self._width_column: Optional[np.ndarray] = None
+        self._depth_column: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_metrics(cls, name_prefix: str, family: str, batch_size: int,
+                     base, variants: Sequence) -> "CircuitBatch":
+        """Build a batch from metric objects exposing the five metric fields."""
+        rows = np.asarray(
+            [[getattr(m, field_name) for field_name in cls.METRIC_FIELDS]
+             for m in variants],
+            dtype=np.int64,
+        ).reshape(-1, len(cls.METRIC_FIELDS))
+        base_row = [getattr(base, field_name)
+                    for field_name in cls.METRIC_FIELDS]
+        return cls(name_prefix, family, batch_size, base_row, rows)
+
+    # -- sequence protocol ---------------------------------------------------------
+
+    @property
+    def num_variants(self) -> int:
+        return int(self.variants.shape[0])
+
+    def __len__(self) -> int:
+        return self.batch_size
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self.batch_size))]
+        i = int(index)
+        if i < 0:
+            i += self.batch_size
+        if not 0 <= i < self.batch_size:
+            raise IndexError("circuit index out of range")
+        if i < self.num_variants:
+            row = tuple(int(v) for v in self.variants[i])
+        else:
+            row = self.base
+        return CircuitSpec(
+            name=f"{self.name_prefix}{i}",
+            width=row[0],
+            depth=row[1],
+            num_gates=row[2],
+            cx_count=row[3],
+            cx_depth=row[4],
+            family=self.family,
+        )
+
+    def __iter__(self) -> Iterator[CircuitSpec]:
+        return (self[i] for i in range(self.batch_size))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CircuitBatch):
+            return NotImplemented
+        return (self.name_prefix == other.name_prefix
+                and self.family == other.family
+                and self.batch_size == other.batch_size
+                and self.base == other.base
+                and np.array_equal(self.variants, other.variants))
+
+    def __repr__(self) -> str:
+        return (f"CircuitBatch(family={self.family!r}, "
+                f"batch_size={self.batch_size}, "
+                f"variants={self.num_variants})")
+
+    # -- aggregates (exact integer arithmetic) -------------------------------------
+
+    @property
+    def max_width(self) -> int:
+        widest_variant = int(self.variants[:, 0].max())
+        if self.batch_size > self.num_variants:
+            return max(widest_variant, self.base[0])
+        return widest_variant
+
+    def totals(self) -> Tuple[int, int, int, int]:
+        """(depth, gates, cx, cx_depth) summed over the whole batch."""
+        tail = self.batch_size - self.num_variants
+        sums = self.variants[:, 1:].sum(axis=0)
+        return tuple(int(sums[j]) + self.base[j + 1] * tail
+                     for j in range(4))  # type: ignore[return-value]
+
+    # -- per-circuit metric columns (for the vectorised execution model) -----------
+
+    def width_column(self) -> np.ndarray:
+        """Per-circuit widths as a float64 column of length ``batch_size``."""
+        if self._width_column is None:
+            column = np.full(self.batch_size, float(self.base[0]))
+            column[:self.num_variants] = self.variants[:, 0]
+            self._width_column = column
+        return self._width_column
+
+    def depth_column(self) -> np.ndarray:
+        """Per-circuit depths as a float64 column of length ``batch_size``."""
+        if self._depth_column is None:
+            column = np.full(self.batch_size, float(self.base[1]))
+            column[:self.num_variants] = self.variants[:, 1]
+            self._depth_column = column
+        return self._depth_column
+
+
+#: What a job may carry as its circuits: an explicit spec list (hand-built
+#: jobs, scheduling experiments) or the compact columnar batch produced by
+#: the study synthesiser.
+CircuitsLike = Union[List[CircuitSpec], CircuitBatch]
+
+
 @dataclass
 class Job:
     """A batch of circuits submitted to one machine."""
 
     provider: str
     backend_name: str
-    circuits: List[CircuitSpec]
+    circuits: CircuitsLike
     shots: int
     submit_time: float
     compile_seconds: float = 0.0
@@ -92,18 +246,26 @@ class Job:
 
     @property
     def max_width(self) -> int:
+        if isinstance(self.circuits, CircuitBatch):
+            return self.circuits.max_width
         return max(spec.width for spec in self.circuits)
 
     @property
     def mean_depth(self) -> float:
+        if isinstance(self.circuits, CircuitBatch):
+            return self.circuits.totals()[0] / self.batch_size
         return sum(spec.depth for spec in self.circuits) / self.batch_size
 
     @property
     def total_gates(self) -> int:
+        if isinstance(self.circuits, CircuitBatch):
+            return self.circuits.totals()[1]
         return sum(spec.num_gates for spec in self.circuits)
 
     @property
     def total_cx(self) -> int:
+        if isinstance(self.circuits, CircuitBatch):
+            return self.circuits.totals()[2]
         return sum(spec.cx_count for spec in self.circuits)
 
     @property

@@ -66,12 +66,12 @@ class StatevectorSimulator:
         outcomes = rng.generator.choice(
             len(probabilities), size=shots, p=probabilities / probabilities.sum()
         )
-        counts: Dict[str, int] = {}
         width = circuit.num_qubits
-        for outcome in outcomes:
-            key = format(int(outcome), f"0{width}b")
-            counts[key] = counts.get(key, 0) + 1
-        return counts
+        values, frequencies = np.unique(outcomes, return_counts=True)
+        return {
+            format(int(value), f"0{width}b"): int(count)
+            for value, count in zip(values, frequencies)
+        }
 
 
 def _apply_gate(state: np.ndarray, matrix: np.ndarray,

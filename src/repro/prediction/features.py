@@ -7,7 +7,7 @@ operations, memory slots required, and machine size (qubits).
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -44,24 +44,35 @@ def feature_vector(record: JobRecord) -> Dict[str, float]:
     }
 
 
+#: Trace column backing each prediction feature.
+_FEATURE_COLUMNS: Dict[str, str] = {
+    "batch_size": "batch_size",
+    "shots": "shots",
+    "depth": "circuit_depth",
+    "width": "circuit_width",
+    "gate_ops": "circuit_gates",
+    "memory_slots": "memory_slots",
+    "machine_qubits": "machine_qubits",
+}
+
+
 def feature_matrix(trace: TraceDataset,
                    features: Sequence[str] = FEATURE_NAMES
                    ) -> Tuple[np.ndarray, np.ndarray]:
     """Build (X, y) where y is the job run time in minutes.
 
-    Jobs without a run time (cancelled before running) are excluded.
+    Jobs without a run time (cancelled before running) are excluded.  The
+    matrix is assembled by stacking trace columns — no per-record walk.
     """
     unknown = [f for f in features if f not in FEATURE_NAMES]
     if unknown:
         raise PredictionError(f"unknown features: {unknown}")
-    rows: List[List[float]] = []
-    targets: List[float] = []
-    for record in trace:
-        if record.run_minutes is None or record.run_minutes <= 0:
-            continue
-        vector = feature_vector(record)
-        rows.append([vector[name] for name in features])
-        targets.append(record.run_minutes)
-    if not rows:
+    run_minutes = trace.values("run_minutes")
+    valid = ~np.isnan(run_minutes) & (run_minutes > 0)
+    if not valid.any():
         raise PredictionError("trace has no completed jobs with run times")
-    return np.asarray(rows, dtype=float), np.asarray(targets, dtype=float)
+    columns = [
+        trace.values(_FEATURE_COLUMNS[name])[valid].astype(float)
+        for name in features
+    ]
+    return np.column_stack(columns), run_minutes[valid]

@@ -57,15 +57,20 @@ class QueueTimePredictor:
     # -- training -------------------------------------------------------------------
 
     def fit(self, trace: TraceDataset) -> "QueueTimePredictor":
-        for record in trace:
-            if record.queue_minutes is None:
+        minutes = trace.values("queue_minutes")
+        valid = ~np.isnan(minutes)
+        pending = trace.values("pending_ahead")
+        buckets = np.searchsorted(self.BUCKET_EDGES,
+                                  np.maximum(pending, 0), side="right") - 1
+        machines = trace.values("machine")
+        for machine, bucket, queue_minutes, ok in zip(
+                machines.tolist(), buckets.tolist(), minutes.tolist(),
+                valid.tolist()):
+            if not ok:
                 continue
-            bucket = self._bucket_for(record.pending_ahead)
-            per_machine = self._history.setdefault(record.machine, {})
-            per_machine.setdefault(bucket, []).append(record.queue_minutes)
-            self._machine_history.setdefault(record.machine, []).append(
-                record.queue_minutes
-            )
+            per_machine = self._history.setdefault(machine, {})
+            per_machine.setdefault(bucket, []).append(queue_minutes)
+            self._machine_history.setdefault(machine, []).append(queue_minutes)
         if not self._machine_history:
             raise PredictionError("trace contains no queue observations")
         return self
@@ -97,14 +102,18 @@ class QueueTimePredictor:
         """Fraction of jobs whose observed wait falls inside the interval."""
         covered = 0
         counted = 0
-        for record in trace:
-            if record.queue_minutes is None:
+        minutes = trace.values("queue_minutes")
+        valid = ~np.isnan(minutes)
+        pending = trace.values("pending_ahead")
+        machines = trace.values("machine")
+        for machine, pending_ahead, queue_minutes, ok in zip(
+                machines.tolist(), pending.tolist(), minutes.tolist(),
+                valid.tolist()):
+            if not ok or machine not in self._machine_history:
                 continue
-            if record.machine not in self._machine_history:
-                continue
-            prediction = self.predict(record.machine, record.pending_ahead)
+            prediction = self.predict(machine, pending_ahead)
             counted += 1
-            if prediction.contains(record.queue_minutes):
+            if prediction.contains(queue_minutes):
                 covered += 1
         if counted == 0:
             raise PredictionError("no predictable jobs in the trace")

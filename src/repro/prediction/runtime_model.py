@@ -33,17 +33,17 @@ def train_test_split(trace: TraceDataset, train_fraction: float = 0.7,
     """Random 70/30 split of a trace into train and test subsets."""
     if not 0 < train_fraction < 1:
         raise PredictionError("train_fraction must be in (0, 1)")
-    records = trace.records
-    if len(records) < 4:
+    size = len(trace)
+    if size < 4:
         raise PredictionError("need at least 4 records to split")
     rng = RandomSource(seed, name="train_test_split")
-    indices = list(range(len(records)))
+    indices = list(range(size))
     rng.shuffle(indices)
-    cut = max(1, int(round(train_fraction * len(records))))
-    cut = min(cut, len(records) - 1)
+    cut = max(1, int(round(train_fraction * size)))
+    cut = min(cut, size - 1)
     train_idx = set(indices[:cut])
-    train = TraceDataset(records[i] for i in sorted(train_idx))
-    test = TraceDataset(records[i] for i in sorted(set(indices) - train_idx))
+    train = trace.take(sorted(train_idx))
+    test = trace.take(sorted(set(indices) - train_idx))
     return train, test
 
 

@@ -2,10 +2,18 @@
 
 Generating the full 6000-job trace takes minutes of CPU; every benchmark
 session and CI run used to pay that cost again.  :class:`TraceCache` stores
-each generated trace as JSON under a key derived from the *content* of its
+each generated trace under a key derived from the *content* of its
 :class:`~repro.workloads.generator.TraceGeneratorConfig`, so any run with an
 equivalent config — regardless of worker or shard count, which do not affect
 the result — gets the exact bytes of the first run back.
+
+Entries are written as the versioned compressed ``.npz`` column dump of
+:meth:`~repro.workloads.trace.TraceDataset.to_npz` (deterministic bytes,
+loads as typed arrays with no row parsing).  The cache also reads
+JSON-format entries under the same key (hand-placed traces, external
+tooling); note that *stale-content* invalidation happens through the
+fingerprint itself — entries written by incompatible versions live under
+different keys and simply miss.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ import enum
 import hashlib
 import json
 import os
+import zipfile
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -22,7 +31,9 @@ from repro.workloads.generator import TraceGeneratorConfig
 from repro.workloads.trace import TraceDataset
 
 #: Bump when the generated-trace semantics change so stale caches miss.
-TRACE_SCHEMA_VERSION = 1
+#: 2: columnar data plane — batched circuit synthesis and the bucketed
+#: external-load estimator reshape machine selection slightly.
+TRACE_SCHEMA_VERSION = 2
 
 
 def _canonical(value: object) -> object:
@@ -73,40 +84,55 @@ class TraceCache:
         self.misses = 0
 
     def path_for(self, key: str) -> Path:
+        return self.root / f"trace-{key}.npz"
+
+    def legacy_path_for(self, key: str) -> Path:
+        """Where a JSON-format entry for ``key`` would live (the layout the
+        pre-columnar cache used; still read as a fallback)."""
         return self.root / f"trace-{key}.json"
+
+    def existing_path_for(self, key: str) -> Optional[Path]:
+        """The on-disk entry a hit for ``key`` would be served from, if any."""
+        for path in (self.path_for(key), self.legacy_path_for(key)):
+            if path.is_file():
+                return path
+        return None
 
     def get(self, key: str) -> Optional[TraceDataset]:
         """The cached trace for ``key``, or None on a miss.
 
-        A corrupt or unreadable entry (e.g. hand-edited, or written by an
-        incompatible version) counts as a miss and will be overwritten by
-        the regenerated trace rather than poisoning every later run.
+        The ``.npz`` column dump is tried first; a JSON-format entry under
+        the same key is read as a fallback.  A corrupt or unreadable entry
+        (e.g. hand-edited, or truncated mid-write) counts as a miss and
+        will be overwritten by the regenerated trace rather than poisoning
+        every later run.
         """
-        path = self.path_for(key)
-        if not path.is_file():
-            self.misses += 1
-            return None
-        try:
-            trace = TraceDataset.from_json(path)
-        except (ValueError, TypeError, KeyError, OSError):
-            self.misses += 1
-            return None
-        self.hits += 1
-        return trace
+        for path, loader in ((self.path_for(key), TraceDataset.from_npz),
+                             (self.legacy_path_for(key),
+                              TraceDataset.from_json)):
+            if not path.is_file():
+                continue
+            try:
+                trace = loader(path)
+            except (ValueError, TypeError, KeyError, OSError,
+                    zipfile.BadZipFile):
+                continue
+            self.hits += 1
+            return trace
+        self.misses += 1
+        return None
 
     def get_bytes(self, key: str) -> Optional[bytes]:
         """The exact cached bytes for ``key`` (None on a miss)."""
-        path = self.path_for(key)
-        if not path.is_file():
-            return None
-        return path.read_bytes()
+        path = self.existing_path_for(key)
+        return path.read_bytes() if path is not None else None
 
     def put(self, key: str, trace: TraceDataset) -> Path:
         """Store ``trace`` under ``key`` atomically; returns the cache path."""
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         scratch = path.with_suffix(f".tmp.{os.getpid()}")
-        trace.to_json(scratch)
+        trace.to_npz(scratch)
         scratch.replace(path)
         return path
 

@@ -166,7 +166,7 @@ class StudyRunner:
                     num_shards=self.num_shards,
                     cache_key=key,
                     cache_hit=True,
-                    cache_path=self.cache.path_for(key),
+                    cache_path=self.cache.existing_path_for(key),
                     timings={"total": time.perf_counter() - started},
                 )
 

@@ -12,10 +12,13 @@ Quantum cloud.  This package synthesises an equivalent dataset:
 * :mod:`repro.workloads.compile_model` — compile-time estimates calibrated
   against the real transpiler in :mod:`repro.transpiler`.
 * :mod:`repro.workloads.users` — user behaviour (machine-selection policy).
-* :mod:`repro.workloads.trace` — the :class:`JobRecord` /
-  :class:`TraceDataset` columnar trace with JSON/CSV round-trip.
+* :mod:`repro.workloads.trace` — the NumPy-columnar :class:`TraceDataset`
+  (typed per-field arrays, lazy :class:`JobRecord` row views) with
+  npz/JSON/CSV round-trip.
 * :mod:`repro.workloads.generator` — drives the cloud simulator to produce
   the full study trace.
+* :mod:`repro.workloads.rowpath` — the row-at-a-time reference data plane
+  kept for the golden-equivalence test and the data-plane benchmark.
 """
 
 from repro.workloads.distributions import (

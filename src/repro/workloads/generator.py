@@ -24,10 +24,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cloud.backlog import ExternalLoadModel
-from repro.cloud.job import CircuitSpec, Job
+from repro.cloud.job import CircuitBatch, Job
 from repro.cloud.service import QuantumCloudService
 from repro.core.exceptions import WorkloadError
 from repro.core.rng import RandomSource
@@ -130,7 +130,14 @@ def plan_submissions(config: TraceGeneratorConfig) -> List[PlannedSubmission]:
     return submissions
 
 
-def expected_pending_estimator(fleet: Dict[str, Backend]) -> PendingEstimator:
+#: Width of the memoisation buckets of :func:`expected_pending_estimator`.
+PENDING_BUCKET_SECONDS = 3600.0
+
+
+def expected_pending_estimator(
+    fleet: Dict[str, Backend],
+    bucket_seconds: float = PENDING_BUCKET_SECONDS,
+) -> PendingEstimator:
     """A service-free pending-jobs estimator (the external-load expectation).
 
     Queue-sensitive users see the *expected* backlog of each machine, a pure
@@ -138,14 +145,30 @@ def expected_pending_estimator(fleet: Dict[str, Backend]) -> PendingEstimator:
     the live-service estimate it does not depend on how many studied jobs
     happen to sit in the queue of one shard's service, so machine selection
     is identical for every shard layout.
+
+    Lookups are memoised per ``(backend, coarse time bucket)``: every job
+    probes every eligible machine at its submission time, and in the busy
+    late months many submissions land in the same hour, so quantising the
+    probe to the bucket start stops machine-selection probing from
+    recomputing the same external-load expectation thousands of times.  The
+    bucketed estimate stays a pure function of the timestamp, so shard
+    layouts still agree exactly.
     """
     models = {
         name: ExternalLoadModel(backend=backend)
         for name, backend in fleet.items()
     }
+    cache: Dict[Tuple[str, int], float] = {}
 
     def estimate(backend: Backend, timestamp: float) -> float:
-        return models[backend.name].mean_pending_jobs(timestamp)
+        bucket = int(timestamp // bucket_seconds)
+        key = (backend.name, bucket)
+        value = cache.get(key)
+        if value is None:
+            value = models[backend.name].mean_pending_jobs(
+                bucket * bucket_seconds)
+            cache[key] = value
+        return value
 
     return estimate
 
@@ -167,6 +190,31 @@ class JobSynthesizer:
         self.fleet = fleet
         self._root = RandomSource(config.seed, name="trace_generator")
         self._pending = pending_estimator or expected_pending_estimator(fleet)
+
+    def _build_circuits(self, rng: RandomSource, family: str, width: int,
+                        batch_size: int, base_metrics) -> CircuitBatch:
+        """Materialise the job's circuits as a compact columnar batch.
+
+        Only the first min(16, batch) circuits carry jittered metrics; the
+        rest of the batch shares ``base_metrics`` exactly, so the batch
+        stores just those variants columnar instead of one spec object per
+        circuit.  The jitter child streams are derived only for the jittered
+        variants (deriving is a pure hash and draws nothing from ``rng``, so
+        this changes no random stream).  The row-path reference synthesiser
+        overrides only this hook.
+        """
+        variants = [
+            base_metrics.jittered(rng.child("circuit", circuit_index),
+                                  relative=0.08)
+            for circuit_index in range(min(batch_size, 16))
+        ]
+        return CircuitBatch.from_metrics(
+            name_prefix=f"{family}_{width}_",
+            family=family,
+            batch_size=batch_size,
+            base=base_metrics,
+            variants=variants,
+        )
 
     def _eligible_backends(self, month: int, width: int,
                            privileged: bool) -> List[Backend]:
@@ -217,20 +265,8 @@ class JobSynthesizer:
         shots = min(distributions.shots.sample(rng), backend.max_shots)
 
         base_metrics = compiled_metrics(family, max(width, 1), backend, rng=rng)
-        circuits: List[CircuitSpec] = []
-        for circuit_index in range(batch_size):
-            jitter_rng = rng.child("circuit", circuit_index % 16)
-            metrics = base_metrics if circuit_index >= 16 else \
-                base_metrics.jittered(jitter_rng, relative=0.08)
-            circuits.append(CircuitSpec(
-                name=f"{family}_{width}_{circuit_index}",
-                width=metrics.width,
-                depth=metrics.depth,
-                num_gates=metrics.num_gates,
-                cx_count=metrics.cx_count,
-                cx_depth=metrics.cx_depth,
-                family=family,
-            ))
+        circuits = self._build_circuits(rng, family, width, batch_size,
+                                        base_metrics)
 
         compile_seconds = config.compile_model.job_seconds(
             base_metrics, batch_size, backend.num_qubits, rng=rng
@@ -262,12 +298,21 @@ def record_for(job: Job, fleet: Dict[str, Backend]) -> JobRecord:
         crossed = backend.calibration_model.crosses_calibration(
             job.submit_time, job.start_time
         )
-    mean_depth = int(round(sum(c.depth for c in job.circuits) / job.batch_size))
-    mean_gates = int(round(sum(c.num_gates for c in job.circuits) / job.batch_size))
-    mean_cx = int(round(sum(c.cx_count for c in job.circuits) / job.batch_size))
-    mean_cx_depth = int(round(
-        sum(c.cx_depth for c in job.circuits) / job.batch_size
-    ))
+    batch_size = job.batch_size
+    if isinstance(job.circuits, CircuitBatch):
+        # O(variants) aggregate instead of a 900-iteration spec walk; the
+        # integer totals are exact, so the means match the loop bit for bit.
+        total_depth, total_gates, total_cx, total_cx_depth = \
+            job.circuits.totals()
+    else:
+        total_depth = sum(c.depth for c in job.circuits)
+        total_gates = sum(c.num_gates for c in job.circuits)
+        total_cx = sum(c.cx_count for c in job.circuits)
+        total_cx_depth = sum(c.cx_depth for c in job.circuits)
+    mean_depth = int(round(total_depth / batch_size))
+    mean_gates = int(round(total_gates / batch_size))
+    mean_cx = int(round(total_cx / batch_size))
+    mean_cx_depth = int(round(total_cx_depth / batch_size))
     return JobRecord(
         job_id=job.job_id,
         provider=job.provider,

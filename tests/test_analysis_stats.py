@@ -5,6 +5,7 @@ import pytest
 
 from repro.analysis.report import FigureSeries, render_series, render_table
 from repro.analysis.stats import (
+    _sorted_percentile,
     coefficient_of_variation,
     cumulative_fraction_below,
     histogram,
@@ -50,6 +51,31 @@ class TestSummaries:
         counts, edges = histogram([1, 2, 2, 3], bins=3, value_range=(1, 4))
         assert counts.sum() == 4
         assert len(edges) == 4
+
+    def test_summarize_accepts_nan_sentinel_arrays(self):
+        summary = summarize(np.asarray([1.0, np.nan, 3.0]))
+        assert summary.count == 2
+        assert summary.mean == pytest.approx(2.0)
+
+    def test_sorted_percentile_matches_numpy_exactly(self):
+        """The small-sample fast path must be bit-identical to np.percentile."""
+        rng = np.random.default_rng(17)
+        for size in (1, 2, 3, 7, 40, 241, 4096, 5000):
+            sample = rng.normal(size=size) * 37.5
+            ordered = np.sort(sample)
+            for q in (0.0, 25.0, 33.3, 50.0, 75.0, 90.0, 99.9, 100.0):
+                assert _sorted_percentile(ordered, q) == \
+                    float(np.percentile(sample, q))
+
+    def test_summarize_percentiles_match_numpy(self):
+        rng = np.random.default_rng(3)
+        for size in (5, 100, 5000):  # spans both summarize code paths
+            sample = rng.exponential(size=size)
+            summary = summarize(sample)
+            assert summary.p25 == float(np.percentile(sample, 25))
+            assert summary.median == float(np.percentile(sample, 50))
+            assert summary.p75 == float(np.percentile(sample, 75))
+            assert summary.p90 == float(np.percentile(sample, 90))
 
 
 class TestCorrelationAndFits:
