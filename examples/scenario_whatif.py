@@ -1,0 +1,57 @@
+"""What-if studies over the cloud simulation with the scenario engine.
+
+The paper's recommendations (fidelity/queue trade-offs, calibration-aware
+scheduling, machine selection) are counterfactual claims — this example
+evaluates a few of them by re-running the fleet under perturbed conditions
+and comparing the headline metrics against the baseline study:
+
+* what if demand surges 60%?
+* what if the busiest early machine goes down for five months?
+* what if calibration drifts 3x faster?
+* what if every user adopts the balanced selection objective (V-E.3)?
+
+Run with:  python examples/scenario_whatif.py
+           REPRO_BENCH_JOBS=2000 python examples/scenario_whatif.py
+"""
+
+import os
+
+from repro.analysis.compare import compare_suite
+from repro.core.env import env_int
+from repro.scenarios import ScenarioEngine, resolve_scenarios
+from repro.workloads.generator import TraceGeneratorConfig
+
+SCENARIOS = ("baseline", "demand-surge", "machine-outage",
+             "calibration-drift", "policy-swap")
+
+
+def main() -> None:
+    config = TraceGeneratorConfig(
+        total_jobs=env_int("REPRO_BENCH_JOBS", 600),
+        months=env_int("REPRO_BENCH_MONTHS", 8),
+        seed=env_int("REPRO_BENCH_SEED", 7),
+    )
+    engine = ScenarioEngine(
+        config,
+        cache=os.environ.get("REPRO_CACHE_DIR", ".repro-cache"),
+        progress=lambda message: print(f"  [engine] {message}"),
+    )
+    suite = engine.run(resolve_scenarios(SCENARIOS))
+
+    print()
+    for run in suite:
+        hit = " (cache hit)" if run.cache_hit else ""
+        print(f"{run.name}: {len(run.trace)} jobs, "
+              f"fingerprint {run.fingerprint}{hit}")
+
+    report = compare_suite(suite)
+    print()
+    print(report.render_markdown())
+    print()
+    print("Scenario catalog:")
+    for run in suite:
+        print(f"  {run.name}: {run.scenario.describe()}")
+
+
+if __name__ == "__main__":
+    main()

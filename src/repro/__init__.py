@@ -12,6 +12,9 @@ are re-exported here:
 * fidelity: :func:`~repro.fidelity.estimate_success_probability`.
 * cloud: :class:`~repro.cloud.QuantumCloudService`, :class:`~repro.cloud.Job`.
 * workloads: :func:`~repro.workloads.generate_study_trace`.
+* scenarios: :class:`~repro.scenarios.Scenario`,
+  :func:`~repro.scenarios.builtin_scenarios`,
+  :func:`~repro.scenarios.run_scenarios` — declarative what-if studies.
 * analysis / prediction / scheduling: the study's analyses and the
   recommendation implementations.
 """
@@ -24,8 +27,9 @@ from repro.cloud import CircuitSpec, Job, QuantumCloudService, circuit_spec_from
 from repro.workloads import TraceDataset, TraceGenerator, TraceGeneratorConfig, generate_study_trace
 from repro.prediction import RuntimePredictionStudy, QueueTimePredictor
 from repro.scheduling import MachineSelector, SelectionObjective
+from repro.scenarios import Scenario, builtin_scenarios, run_scenarios
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "QuantumCircuit",
@@ -50,5 +54,8 @@ __all__ = [
     "QueueTimePredictor",
     "MachineSelector",
     "SelectionObjective",
+    "Scenario",
+    "builtin_scenarios",
+    "run_scenarios",
     "__version__",
 ]

@@ -11,11 +11,18 @@ sharded study runner and the analysis layer:
   all reproduced figures.
 * ``repro bench`` — measure the runner's multi-worker speedup and write the
   ``BENCH_runner.json`` artifact consumed by CI.
+* ``repro run-scenarios`` — execute a suite of declarative what-if scenarios
+  (built-in catalog or a TOML/JSON spec) through the sharded runner with
+  fingerprint-keyed cache reuse.
+* ``repro compare-scenarios`` — run a suite and emit the per-scenario delta
+  table (queue percentiles, utilisation, fidelity, status mix) against the
+  baseline, as markdown and/or a JSON artifact.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
 import sys
@@ -24,9 +31,16 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis import reproduce_all
+from repro.analysis.compare import compare_suite
 from repro.core.env import env_int
 from repro.core.exceptions import ReproError
 from repro.runner import StudyResult, default_workers, run_study
+from repro.scenarios import (
+    ScenarioEngine,
+    builtin_scenarios,
+    load_suite,
+    resolve_scenarios,
+)
 from repro.workloads.generator import TraceGeneratorConfig
 from repro.workloads.trace import TraceDataset
 
@@ -184,6 +198,136 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- scenario subcommands -----------------------------------------------------------
+
+
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--spec",
+        help="scenario suite spec file (.toml or .json); default: the "
+             "built-in catalog")
+    parser.add_argument(
+        "--scenarios",
+        help="comma-separated scenario names to run (default: all)")
+    parser.add_argument(
+        "--list", action="store_true", dest="list_scenarios",
+        help="list the available scenarios and exit")
+
+
+def _resolve_suite(args: argparse.Namespace):
+    """(base config, scenarios, catalog) for the scenario subcommands.
+
+    A spec file's ``[study]`` table sets the baseline, but knobs given
+    explicitly on the command line (or through the ``REPRO_BENCH_*``
+    environment) win over it.
+    """
+    base = TraceGeneratorConfig(
+        total_jobs=args.jobs, months=args.months, seed=args.seed)
+    if args.spec:
+        spec = load_suite(args.spec)
+        catalog = spec.catalog()
+        cli_set = {
+            name for name, value, default in (
+                ("total_jobs", args.jobs, 6000),
+                ("months", args.months, 28),
+                ("seed", args.seed, 7),
+            ) if value != default
+        }
+        overrides = {key: value
+                     for key, value in spec.study_overrides.items()
+                     if key not in cli_set}
+        if overrides:
+            base = dataclasses.replace(base, **overrides)
+    else:
+        catalog = builtin_scenarios()
+    names = None
+    if args.scenarios:
+        names = tuple(name.strip() for name in args.scenarios.split(",")
+                      if name.strip())
+    return base, resolve_scenarios(names, catalog), catalog
+
+
+def _scenario_cache_dir(args: argparse.Namespace) -> Optional[str]:
+    """Scenario runs default to an on-disk cache (reuse is the point)."""
+    if args.no_cache:
+        return None
+    return args.cache_dir or ".repro-cache"
+
+
+def _list_scenarios(catalog) -> int:
+    for name in sorted(catalog):
+        print(f"{name}: {catalog[name].describe()}")
+    return 0
+
+
+def _run_suite(args: argparse.Namespace):
+    base, scenarios, _ = _resolve_suite(args)
+    engine = ScenarioEngine(
+        base,
+        workers=args.workers,
+        num_shards=args.shards,
+        cache=_scenario_cache_dir(args),
+        progress=_progress(args.quiet),
+    )
+    return engine.run(scenarios, use_cache=not args.no_cache)
+
+
+def cmd_run_scenarios(args: argparse.Namespace) -> int:
+    if args.list_scenarios:
+        return _list_scenarios(_resolve_suite(args)[2])
+    suite = _run_suite(args)
+    print(json.dumps(suite.summary(), indent=2))
+    if args.output_dir:
+        directory = Path(args.output_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        for run in suite:
+            path = directory / f"{run.name}.npz"
+            run.trace.save(path)
+            print(f"scenario {run.name} trace written to {path}")
+    return 0
+
+
+def cmd_compare_scenarios(args: argparse.Namespace) -> int:
+    if args.list_scenarios:
+        return _list_scenarios(_resolve_suite(args)[2])
+    suite = _run_suite(args)
+    report = compare_suite(suite)
+    markdown = report.render_markdown()
+    if args.report:
+        baseline = report.baseline_name
+        lines = [
+            "# Scenario comparison",
+            "",
+            f"Per-scenario deltas against the `{baseline}` scenario "
+            f"({len(suite)} scenarios, "
+            f"{suite.summary()['cache_hits']} served from cache).",
+            "",
+            markdown,
+            "",
+            "## Scenarios",
+            "",
+        ]
+        lines.extend(f"- **{run.name}** — {run.scenario.describe()}"
+                     for run in suite)
+        Path(args.report).write_text("\n".join(lines) + "\n")
+        print(f"markdown report written to {args.report}")
+    if args.output:
+        base = suite.base_config
+        payload = {
+            "benchmark": "scenario_comparison",
+            "jobs": base.total_jobs,
+            "months": base.months,
+            "seed": base.seed,
+            "suite": suite.summary(),
+            "comparison": report.as_dict(),
+        }
+        Path(args.output).write_text(json.dumps(payload, indent=2))
+        print(f"comparison data written to {args.output}")
+    if not args.quiet or not (args.output or args.report):
+        print(markdown)
+    return 0
+
+
 # -- parser -------------------------------------------------------------------------
 
 
@@ -239,6 +383,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="BENCH_runner.json",
         help="artifact path (default: %(default)s)")
     bench_parser.set_defaults(handler=cmd_bench)
+
+    run_scenarios_parser = subparsers.add_parser(
+        "run-scenarios",
+        help="execute declarative what-if scenarios through the runner")
+    _add_generation_arguments(run_scenarios_parser)
+    _add_scenario_arguments(run_scenarios_parser)
+    run_scenarios_parser.add_argument(
+        "--output-dir",
+        help="write each scenario's trace as <name>.npz into this directory")
+    run_scenarios_parser.set_defaults(handler=cmd_run_scenarios)
+
+    compare_parser = subparsers.add_parser(
+        "compare-scenarios",
+        help="run scenarios and emit per-scenario deltas vs the baseline")
+    _add_generation_arguments(compare_parser)
+    _add_scenario_arguments(compare_parser)
+    compare_parser.add_argument(
+        "--output",
+        help="write the comparison (plus run timings) as JSON to this path")
+    compare_parser.add_argument(
+        "--report", help="write a markdown scenario report to this path")
+    compare_parser.set_defaults(handler=cmd_compare_scenarios)
 
     return parser
 

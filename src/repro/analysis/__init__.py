@@ -13,6 +13,8 @@ Each module maps onto a section of the paper's evaluation:
 * :mod:`repro.analysis.calibration` — calibration-crossover analysis (Fig. 12).
 * :mod:`repro.analysis.report` — plain-text figure/series rendering used by
   the benchmark harness.
+* :mod:`repro.analysis.compare` — comparative what-if analysis: headline
+  metrics and per-scenario deltas against the baseline study.
 """
 
 from repro.analysis.stats import (
@@ -54,6 +56,15 @@ from repro.analysis.calibration import (
     crossover_statistics,
     layout_drift_between_epochs,
 )
+from repro.analysis.compare import (
+    ComparisonReport,
+    ScenarioComparison,
+    ScenarioMetrics,
+    compare_suite,
+    compare_traces,
+    fidelity_proxy,
+    headline_metrics,
+)
 from repro.analysis.figures import ReproductionReport, reproduce_all
 from repro.analysis.providers import (
     AccessClassProfile,
@@ -92,6 +103,13 @@ __all__ = [
     "layout_drift_between_epochs",
     "ReproductionReport",
     "reproduce_all",
+    "ComparisonReport",
+    "ScenarioComparison",
+    "ScenarioMetrics",
+    "compare_suite",
+    "compare_traces",
+    "fidelity_proxy",
+    "headline_metrics",
     "AccessClassProfile",
     "access_class_profiles",
     "public_to_privileged_queue_ratio",

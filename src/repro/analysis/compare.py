@@ -1,0 +1,327 @@
+"""Comparative what-if analysis: per-scenario deltas vs the baseline study.
+
+The scenario engine produces one trace per scenario; this module reduces
+each trace (plus its scenario fleet) to the paper's headline metrics —
+queue-time percentiles, machine utilisation, a fidelity distribution and the
+terminal-status mix — and reports every scenario as deltas against the
+baseline, as JSON-serialisable data or a markdown table.
+
+Fidelity is a *trace-level proxy* of the Estimated Success Probability: per
+job, the machine-average CX and readout error rates of the calibration in
+effect when the job started (drift applied, so calibration-regime scenarios
+move it) raised to the job's CX count and width, times a decoherence factor
+for the CX-depth critical path.  It preserves the orderings the paper's
+Fig. 7 demonstrates without re-transpiling every job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import AnalysisError
+from repro.core.types import JobStatus
+from repro.core.units import HOUR_SECONDS
+from repro.devices.backend import Backend
+from repro.workloads.trace import TraceDataset
+
+#: (metric, markdown label) pairs of the headline columns in rendered tables.
+HEADLINE_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("jobs", "jobs"),
+    ("queue_minutes_median", "queue p50 (min)"),
+    ("queue_minutes_p90", "queue p90 (min)"),
+    ("utilization_mean", "utilisation"),
+    ("fidelity_median", "fidelity p50"),
+    ("done_fraction", "done frac"),
+)
+
+
+def fidelity_proxy(trace: TraceDataset,
+                   fleet: Mapping[str, Backend]) -> np.ndarray:
+    """Per-job estimated-success proxy (NaN for jobs that never started).
+
+    Vectorised per machine: calibration lookups are bucketed to the hour of
+    the job's start time, so one drifted snapshot serves every job that
+    started in that hour.
+    """
+    size = len(trace)
+    esp = np.full(size, np.nan)
+    if size == 0:
+        return esp
+    start = trace.values("start_time")
+    cx = trace.values("circuit_cx").astype(float)
+    cx_depth = trace.values("circuit_cx_depth").astype(float)
+    width = trace.values("circuit_width").astype(float)
+    for machine in trace.machines():
+        backend = fleet.get(machine)
+        if backend is None:
+            continue
+        indices = np.flatnonzero(trace.mask_equal("machine", machine))
+        started = indices[~np.isnan(start[indices])]
+        if started.size == 0:
+            continue
+        hours = (start[started] // HOUR_SECONDS).astype(np.int64)
+        for hour in np.unique(hours):
+            snapshot = backend.calibration_at(
+                (float(hour) + 0.5) * HOUR_SECONDS)
+            cx_error = snapshot.average_cx_error()
+            readout_error = snapshot.average_readout_error()
+            t_effective_us = min(snapshot.average_t1_us(),
+                                 snapshot.average_t2_us())
+            if snapshot.gates:
+                cx_duration_us = float(np.mean(
+                    [g.duration_ns for g in snapshot.gates.values()])) / 1000.0
+            else:
+                cx_duration_us = 0.0
+            rows = started[hours == hour]
+            duration_us = cx_depth[rows] * cx_duration_us
+            decoherence = (np.exp(-duration_us / t_effective_us)
+                           if t_effective_us > 0 else 0.0)
+            esp[rows] = ((1.0 - cx_error) ** cx[rows]
+                         * (1.0 - readout_error) ** width[rows]
+                         * decoherence)
+    return esp
+
+
+@dataclass(frozen=True)
+class ScenarioMetrics:
+    """The headline metrics of one scenario trace."""
+
+    jobs: int
+    total_trials: int
+    done_fraction: float
+    error_fraction: float
+    cancelled_fraction: float
+    queue_minutes_mean: float
+    queue_minutes_p25: float
+    queue_minutes_median: float
+    queue_minutes_p75: float
+    queue_minutes_p90: float
+    utilization_mean: float
+    utilization_p90: float
+    fidelity_mean: float
+    fidelity_median: float
+    fidelity_p10: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "jobs": float(self.jobs),
+            "total_trials": float(self.total_trials),
+            "done_fraction": self.done_fraction,
+            "error_fraction": self.error_fraction,
+            "cancelled_fraction": self.cancelled_fraction,
+            "queue_minutes_mean": self.queue_minutes_mean,
+            "queue_minutes_p25": self.queue_minutes_p25,
+            "queue_minutes_median": self.queue_minutes_median,
+            "queue_minutes_p75": self.queue_minutes_p75,
+            "queue_minutes_p90": self.queue_minutes_p90,
+            "utilization_mean": self.utilization_mean,
+            "utilization_p90": self.utilization_p90,
+            "fidelity_mean": self.fidelity_mean,
+            "fidelity_median": self.fidelity_median,
+            "fidelity_p10": self.fidelity_p10,
+        }
+
+
+def _fraction(counts: Dict[str, int], status: JobStatus, total: int) -> float:
+    if total == 0:
+        return float("nan")
+    return counts.get(status.value, 0) / total
+
+
+def headline_metrics(trace: TraceDataset,
+                     fleet: Mapping[str, Backend]) -> ScenarioMetrics:
+    """Reduce one scenario trace to the paper's headline metrics."""
+    jobs = len(trace)
+    if jobs == 0:
+        raise AnalysisError("cannot compute scenario metrics of an empty trace")
+    counts = trace.status_counts()
+    queue = trace.numeric_column("queue_minutes")
+    if queue.size:
+        q_mean = float(queue.mean())
+        q25, q50, q75, q90 = (
+            float(v) for v in np.percentile(queue, (25, 50, 75, 90)))
+    else:
+        q_mean = q25 = q50 = q75 = q90 = float("nan")
+    utilization = np.asarray(trace.values("utilization"), dtype=float)
+    esp = fidelity_proxy(trace, fleet)
+    esp = esp[~np.isnan(esp)]
+    if esp.size:
+        f_mean = float(esp.mean())
+        f10, f50 = (float(v) for v in np.percentile(esp, (10, 50)))
+    else:
+        f_mean = f10 = f50 = float("nan")
+    return ScenarioMetrics(
+        jobs=jobs,
+        total_trials=trace.total_trials(),
+        done_fraction=_fraction(counts, JobStatus.DONE, jobs),
+        error_fraction=_fraction(counts, JobStatus.ERROR, jobs),
+        cancelled_fraction=_fraction(counts, JobStatus.CANCELLED, jobs),
+        queue_minutes_mean=q_mean,
+        queue_minutes_p25=q25,
+        queue_minutes_median=q50,
+        queue_minutes_p75=q75,
+        queue_minutes_p90=q90,
+        utilization_mean=float(utilization.mean()),
+        utilization_p90=float(np.percentile(utilization, 90)),
+        fidelity_mean=f_mean,
+        fidelity_median=f50,
+        fidelity_p10=f10,
+    )
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric of one scenario, against its baseline value."""
+
+    value: float
+    baseline: float
+    delta: float
+    percent: Optional[float]
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        return {
+            "value": self.value,
+            "baseline": self.baseline,
+            "delta": self.delta,
+            "percent": self.percent,
+        }
+
+
+def _delta(value: float, baseline: float) -> MetricDelta:
+    delta = value - baseline
+    percent: Optional[float] = None
+    if baseline == baseline and baseline != 0:
+        percent = 100.0 * delta / baseline
+    return MetricDelta(value=value, baseline=baseline, delta=delta,
+                       percent=percent)
+
+
+@dataclass
+class ScenarioComparison:
+    """One scenario's metrics as deltas against the baseline."""
+
+    name: str
+    description: str
+    metrics: ScenarioMetrics
+    deltas: Dict[str, MetricDelta]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.name,
+            "description": self.description,
+            "metrics": self.metrics.as_dict(),
+            "deltas": {metric: delta.as_dict()
+                       for metric, delta in self.deltas.items()},
+        }
+
+
+@dataclass
+class ComparisonReport:
+    """The full comparative study: baseline metrics + per-scenario deltas."""
+
+    baseline_name: str
+    baseline_metrics: ScenarioMetrics
+    comparisons: List[ScenarioComparison] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "baseline": self.baseline_name,
+            "baseline_metrics": self.baseline_metrics.as_dict(),
+            "scenarios": [c.as_dict() for c in self.comparisons],
+        }
+
+    def render_markdown(self) -> str:
+        """The per-scenario delta table (values + signed % vs baseline)."""
+        header = ["scenario"]
+        for _, label in HEADLINE_COLUMNS:
+            header.extend([label, "Δ%"])
+        lines = [
+            "| " + " | ".join(header) + " |",
+            "|" + "---|" * len(header),
+        ]
+        baseline = self.baseline_metrics.as_dict()
+        baseline_row = [self.baseline_name]
+        for metric, _ in HEADLINE_COLUMNS:
+            baseline_row.extend([_format_value(baseline[metric]), "—"])
+        lines.append("| " + " | ".join(baseline_row) + " |")
+        for comparison in self.comparisons:
+            row = [comparison.name]
+            for metric, _ in HEADLINE_COLUMNS:
+                delta = comparison.deltas[metric]
+                row.append(_format_value(delta.value))
+                row.append(_format_percent(delta.percent))
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+
+def _format_value(value: float) -> str:
+    if value != value:
+        return "n/a"
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def _format_percent(percent: Optional[float]) -> str:
+    if percent is None or percent != percent:
+        return "n/a"
+    return f"{percent:+.1f}%"
+
+
+def compare_traces(
+    baseline_name: str,
+    runs: Mapping[str, Tuple[TraceDataset, Mapping[str, Backend]]],
+    descriptions: Optional[Mapping[str, str]] = None,
+) -> ComparisonReport:
+    """Compare scenario traces against the named baseline.
+
+    ``runs`` maps scenario name to ``(trace, fleet)`` — the fleet must be
+    the *scenario's* fleet so calibration/backlog perturbations are
+    reflected in the fidelity proxy.
+    """
+    if baseline_name not in runs:
+        raise AnalysisError(
+            f"baseline scenario {baseline_name!r} is not among the runs "
+            f"{sorted(runs)}")
+    descriptions = descriptions or {}
+    baseline_trace, baseline_fleet = runs[baseline_name]
+    baseline_metrics = headline_metrics(baseline_trace, baseline_fleet)
+    baseline_dict = baseline_metrics.as_dict()
+    report = ComparisonReport(baseline_name=baseline_name,
+                              baseline_metrics=baseline_metrics)
+    for name, (trace, fleet) in runs.items():
+        if name == baseline_name:
+            continue
+        metrics = headline_metrics(trace, fleet)
+        values = metrics.as_dict()
+        report.comparisons.append(ScenarioComparison(
+            name=name,
+            description=str(descriptions.get(name, "")),
+            metrics=metrics,
+            deltas={metric: _delta(values[metric], baseline_dict[metric])
+                    for metric in values},
+        ))
+    return report
+
+
+def compare_suite(suite) -> ComparisonReport:
+    """Compare a :class:`~repro.scenarios.engine.ScenarioSuiteResult`.
+
+    The first baseline-named run (a scenario with no perturbations) anchors
+    the deltas; if none exists the suite's first run is used.
+    """
+    runs = list(suite)
+    if not runs:
+        raise AnalysisError("the scenario suite is empty")
+    baseline_run = next((run for run in runs if run.scenario.is_baseline),
+                        runs[0])
+    return compare_traces(
+        baseline_run.name,
+        {run.name: (run.trace, run.build_fleet()) for run in runs},
+        descriptions={run.name: run.scenario.description for run in runs},
+    )

@@ -27,7 +27,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.core.exceptions import CloudError
-from repro.core.rng import RandomSource
+from repro.core.rng import BufferedDraws, RandomSource
 from repro.core.types import AccessLevel
 from repro.core.units import DAY_SECONDS, MINUTE_SECONDS
 from repro.devices.backend import Backend
@@ -35,6 +35,9 @@ from repro.devices.backend import Backend
 
 #: Scalar or float64 array of timestamps (the model is vectorised over time).
 TimeLike = Union[float, np.ndarray]
+
+#: A scalar draw source: a full random stream or block-buffered draws.
+DrawSource = Union[RandomSource, BufferedDraws]
 
 
 def diurnal_factor(timestamp: TimeLike) -> TimeLike:
@@ -91,8 +94,16 @@ class ExternalLoadModel:
         if self.backend.is_simulator:
             access_boost = 0.02
         size_penalty = 1.0 + 0.004 * self.backend.num_qubits
+        # Scenario hook: a regime shift multiplies the machine's external
+        # demand (2x backlog_scale => the rest of the world queues twice the
+        # work on this machine).  Neutral (absent or 1.0) leaves the
+        # baseline model bit-identical.
+        regime_scale = float(self.backend.metadata.get("backlog_scale", 1.0))
+        if regime_scale <= 0:
+            raise CloudError("backlog_scale must be positive")
         self._base_pending = (
             self.reference_pending_jobs * weight * access_boost / size_penalty
+            * regime_scale
         )
 
     # -- pending jobs (Fig. 9) -------------------------------------------------------
@@ -115,7 +126,7 @@ class ExternalLoadModel:
         )
 
     def sample_pending_jobs(self, timestamp: float,
-                            rng: Optional[RandomSource] = None) -> int:
+                            rng: Optional[DrawSource] = None) -> int:
         """Sample an instantaneous pending-job count."""
         rng = rng or self._rng
         mean = self.mean_pending_jobs(timestamp)
@@ -129,7 +140,7 @@ class ExternalLoadModel:
         self,
         timestamp: float,
         access: AccessLevel = AccessLevel.PUBLIC,
-        rng: Optional[RandomSource] = None,
+        rng: Optional[DrawSource] = None,
     ) -> float:
         """Sample the external work (seconds) ahead of a new submission."""
         rng = rng or self._rng

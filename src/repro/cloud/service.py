@@ -22,7 +22,7 @@ from repro.cloud.job import Job, JobResult
 from repro.cloud.provider import DEFAULT_PROVIDERS, Provider
 from repro.cloud.queues import FairShareQueue
 from repro.core.exceptions import CloudError, DeviceError
-from repro.core.rng import RandomSource
+from repro.core.rng import BufferedDraws, RandomSource
 from repro.core.types import JobStatus
 from repro.devices.backend import Backend
 
@@ -35,6 +35,10 @@ class _MachineState:
     queue: FairShareQueue
     load_model: ExternalLoadModel
     rng: RandomSource
+    #: block-buffered draws feeding the backlog sampling (the hot path of the
+    #: event loop): the lognormal factors and idle checks are pre-drawn in
+    #: vectorised blocks per machine instead of one scalar call per event.
+    backlog_draws: BufferedDraws = None  # type: ignore[assignment]
     busy_until: float = 0.0
     jobs_completed: int = 0
     busy_seconds: float = 0.0
@@ -81,6 +85,7 @@ class QuantumCloudService:
             # independent of the rest of the fleet, so a simulation sharded
             # across sub-fleet services reproduces the single-service run
             # machine for machine.
+            machine_rng = self._rng.spawn(name)
             self._machines[name] = _MachineState(
                 backend=backend,
                 queue=FairShareQueue(shares=shares),
@@ -88,7 +93,8 @@ class QuantumCloudService:
                     backend=backend,
                     seed=RandomSource(seed, "load").child(name).seed or 0,
                 ),
-                rng=self._rng.spawn(name),
+                rng=machine_rng,
+                backlog_draws=BufferedDraws(machine_rng.child("backlog")),
             )
         self._completed: List[Job] = []
         self.crossover_detector = CalibrationCrossoverDetector(self.fleet)
@@ -136,7 +142,8 @@ class QuantumCloudService:
         self.events.run_until(job.submit_time)
         job.mark_queued(job.submit_time)
         job.pending_ahead = (
-            state.load_model.sample_pending_jobs(job.submit_time, state.rng)
+            state.load_model.sample_pending_jobs(job.submit_time,
+                                                 state.backlog_draws)
             + len(state.queue)
         )
         state.queue.push(job, job.submit_time)
@@ -196,7 +203,7 @@ class QuantumCloudService:
         job = state.queue.pop(now)
         provider = self.provider_for(job.provider)
         backlog = state.load_model.sample_backlog_seconds(
-            now, access=provider.access, rng=state.rng
+            now, access=provider.access, rng=state.backlog_draws
         )
         start_time = max(now, state.busy_until) + backlog
 

@@ -30,6 +30,21 @@ class WorkloadError(ReproError):
     """Raised by workload/trace generation utilities."""
 
 
+class TraceSchemaError(WorkloadError, ValueError):
+    """Raised when a persisted trace was written under an incompatible schema.
+
+    Subclasses ``ValueError`` for backward compatibility with callers that
+    treated schema mismatches as generic load failures; the trace cache
+    catches this type *specifically* so a mismatch is reported with the
+    expected/found versions and the offending path instead of being
+    silently regenerated.
+    """
+
+
+class ScenarioError(ReproError):
+    """Raised by the scenario engine (invalid specs or perturbations)."""
+
+
 class AnalysisError(ReproError):
     """Raised by the trace-analysis layer."""
 

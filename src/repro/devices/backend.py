@@ -10,7 +10,7 @@ circuit).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.exceptions import DeviceError
 from repro.core.types import AccessLevel, MachineGeneration
@@ -43,6 +43,9 @@ class Backend:
     per_shot_seconds: float = 2.2e-4
     online_since_month: int = 0
     retired_after_month: Optional[int] = None
+    #: study months in which the machine is temporarily out of service
+    #: (scenario outage windows); jobs are not routed to it in those months.
+    offline_months: Tuple[int, ...] = ()
     metadata: Dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self):
@@ -76,7 +79,7 @@ class Backend:
             return False
         if self.retired_after_month is not None and month_index > self.retired_after_month:
             return False
-        return True
+        return month_index not in self.offline_months
 
     def validate_job_shape(self, batch_size: int, shots: int) -> None:
         """Raise if a job exceeds the backend's operational limits."""

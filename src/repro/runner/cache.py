@@ -27,13 +27,11 @@ import zipfile
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.core.exceptions import TraceSchemaError
 from repro.workloads.generator import TraceGeneratorConfig
-from repro.workloads.trace import TraceDataset
+from repro.workloads.trace import TRACE_SCHEMA_VERSION, TraceDataset
 
-#: Bump when the generated-trace semantics change so stale caches miss.
-#: 2: columnar data plane — batched circuit synthesis and the bucketed
-#: external-load estimator reshape machine selection slightly.
-TRACE_SCHEMA_VERSION = 2
+__all__ = ["TRACE_SCHEMA_VERSION", "TraceCache", "config_fingerprint"]
 
 
 def _canonical(value: object) -> object:
@@ -98,25 +96,47 @@ class TraceCache:
                 return path
         return None
 
-    def get(self, key: str) -> Optional[TraceDataset]:
+    def get(self, key: str, lazy: bool = False) -> Optional[TraceDataset]:
         """The cached trace for ``key``, or None on a miss.
 
         The ``.npz`` column dump is tried first; a JSON-format entry under
         the same key is read as a fallback.  A corrupt or unreadable entry
         (e.g. hand-edited, or truncated mid-write) counts as a miss and
         will be overwritten by the regenerated trace rather than poisoning
-        every later run.
+        every later run.  A *schema-version* mismatch, however, raises
+        :class:`~repro.core.exceptions.TraceSchemaError` with the expected
+        and found versions and the cache path — an entry written under an
+        incompatible layout sitting at the exact key this config hashes to
+        is a configuration problem to surface, not one to silently re-pay
+        minutes of regeneration for on every run.
+
+        ``lazy=True`` defers per-column decompression of ``.npz`` entries to
+        first access (see :meth:`TraceDataset.from_npz`).
         """
-        for path, loader in ((self.path_for(key), TraceDataset.from_npz),
-                             (self.legacy_path_for(key),
-                              TraceDataset.from_json)):
+        for path, loader in (
+                (self.path_for(key),
+                 lambda p: TraceDataset.from_npz(p, lazy=lazy)),
+                (self.legacy_path_for(key), TraceDataset.from_json)):
             if not path.is_file():
                 continue
             try:
                 trace = loader(path)
+            except TraceSchemaError as exc:
+                raise TraceSchemaError(
+                    f"cache entry {path} has an incompatible trace schema: "
+                    f"{exc}; delete the entry (or point --cache-dir at a "
+                    f"fresh directory) to regenerate it") from exc
             except (ValueError, TypeError, KeyError, OSError,
                     zipfile.BadZipFile):
                 continue
+            found = trace.metadata.get("trace_schema")
+            if found is not None and found != TRACE_SCHEMA_VERSION:
+                raise TraceSchemaError(
+                    f"cache entry {path} holds a trace generated under "
+                    f"TRACE_SCHEMA_VERSION={found!r} but this version "
+                    f"expects {TRACE_SCHEMA_VERSION}; delete the entry (or "
+                    f"point --cache-dir at a fresh directory) to "
+                    f"regenerate it")
             self.hits += 1
             return trace
         self.misses += 1

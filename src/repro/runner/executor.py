@@ -44,7 +44,11 @@ from repro.workloads.generator import (
     plan_submissions,
     record_for,
 )
-from repro.workloads.trace import JobRecord, TraceDataset
+from repro.workloads.trace import (
+    TRACE_SCHEMA_VERSION,
+    JobRecord,
+    TraceDataset,
+)
 
 ProgressCallback = Callable[[str], None]
 
@@ -76,7 +80,8 @@ def _simulate_group_with(config: TraceGeneratorConfig,
                          group: MachineGroup,
                          jobs: Sequence[Job]) -> List[JobRecord]:
     sub_fleet = {name: fleet[name] for name in group.machines}
-    service = QuantumCloudService(sub_fleet, seed=config.seed)
+    service = QuantumCloudService(sub_fleet, seed=config.seed,
+                                  failure_model=config.build_failure_model())
     ordered = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
     for job in ordered:
         service.submit(job)
@@ -138,6 +143,7 @@ class StudyRunner:
         num_shards: Optional[int] = None,
         cache: Optional[Union[TraceCache, str, Path]] = None,
         progress: Optional[ProgressCallback] = None,
+        lazy_cache: bool = False,
     ):
         self.config = config or TraceGeneratorConfig()
         self.workers = max(1, int(workers if workers is not None
@@ -147,6 +153,9 @@ class StudyRunner:
         if cache is not None and not isinstance(cache, TraceCache):
             cache = TraceCache(cache)
         self.cache = cache
+        #: serve cache hits as lazily loaded column datasets (cheap when the
+        #: consumer — e.g. a scenario comparison — reads a few columns)
+        self.lazy_cache = bool(lazy_cache)
         self._progress = progress or (lambda message: None)
 
     # -- execution ---------------------------------------------------------------------
@@ -156,7 +165,7 @@ class StudyRunner:
         started = time.perf_counter()
         key = config_fingerprint(self.config)
         if use_cache and self.cache is not None:
-            cached = self.cache.get(key)
+            cached = self.cache.get(key, lazy=self.lazy_cache)
             if cached is not None:
                 self._progress(f"cache hit for config {key}")
                 return StudyResult(
@@ -247,6 +256,7 @@ class StudyRunner:
             "seed": self.config.seed,
             "total_jobs": len(records),
             "months": self.config.months,
+            "trace_schema": TRACE_SCHEMA_VERSION,
         })
         cache_path = None
         if use_cache and self.cache is not None:

@@ -1,0 +1,66 @@
+"""Declarative what-if scenarios over the cloud simulation.
+
+The paper's recommendations — fidelity/queue trade-offs, calibration-aware
+scheduling, machine selection — are counterfactual claims: they can only be
+evaluated by re-running the fleet under perturbed conditions.  This package
+turns the sharded study runner into a comparative-experimentation platform:
+
+* :mod:`repro.scenarios.perturbations` — composable deviations from the
+  baseline (demand surges, outages, fleet changes, calibration drift,
+  backlog regime shifts, failure rates, policy swaps).
+* :mod:`repro.scenarios.scenario` — named, seedable scenarios and the
+  built-in catalog (:func:`builtin_scenarios`).
+* :mod:`repro.scenarios.spec` — TOML/JSON scenario-suite spec files.
+* :mod:`repro.scenarios.engine` — expansion + execution through the sharded
+  runner with fingerprint-keyed cache reuse and deduplication.
+
+Comparative analysis of the resulting traces lives in
+:mod:`repro.analysis.compare`; ``python -m repro run-scenarios`` /
+``compare-scenarios`` is the command-line entry point.
+"""
+
+from repro.scenarios.engine import (
+    ScenarioEngine,
+    ScenarioRun,
+    ScenarioSuiteResult,
+    run_scenarios,
+)
+from repro.scenarios.perturbations import (
+    BacklogShift,
+    CalibrationDrift,
+    DemandSurge,
+    FailureRates,
+    FleetChange,
+    MachineOutage,
+    Perturbation,
+    PolicySwap,
+    perturbation_from_dict,
+)
+from repro.scenarios.scenario import (
+    Scenario,
+    builtin_scenarios,
+    resolve_scenarios,
+)
+from repro.scenarios.spec import ScenarioSuiteSpec, load_suite, parse_suite
+
+__all__ = [
+    "BacklogShift",
+    "CalibrationDrift",
+    "DemandSurge",
+    "FailureRates",
+    "FleetChange",
+    "MachineOutage",
+    "Perturbation",
+    "PolicySwap",
+    "Scenario",
+    "ScenarioEngine",
+    "ScenarioRun",
+    "ScenarioSuiteResult",
+    "ScenarioSuiteSpec",
+    "builtin_scenarios",
+    "load_suite",
+    "parse_suite",
+    "perturbation_from_dict",
+    "resolve_scenarios",
+    "run_scenarios",
+]

@@ -1,0 +1,201 @@
+"""Executing scenario suites through the sharded study runner.
+
+:class:`ScenarioEngine` expands each scenario against the baseline config,
+fingerprints the expanded config (the *scenario fingerprint* — also the
+trace-cache key), deduplicates scenarios that expand to the same study, and
+drives each distinct study through :class:`~repro.runner.executor.StudyRunner`.
+Every scenario run therefore shards across the full worker pool, and any
+scenario whose expanded config was already generated — by a previous suite,
+by a plain ``run-study``, or by an identical sibling scenario — is served
+from the trace cache instead of being re-simulated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.exceptions import ScenarioError
+from repro.devices.backend import Backend
+from repro.runner.cache import TraceCache, config_fingerprint
+from repro.runner.executor import (
+    ProgressCallback,
+    StudyResult,
+    StudyRunner,
+)
+from repro.scenarios.scenario import Scenario
+from repro.workloads.generator import TraceGeneratorConfig
+from repro.workloads.trace import TraceDataset
+
+
+@dataclass
+class ScenarioRun:
+    """One executed scenario: its expansion and the study it produced."""
+
+    scenario: Scenario
+    config: TraceGeneratorConfig
+    fingerprint: str
+    result: StudyResult
+    #: name of the sibling scenario this one shared a fingerprint with
+    #: (None when the scenario ran — or hit the cache — on its own)
+    deduplicated_from: Optional[str] = None
+
+    @property
+    def name(self) -> str:
+        return self.scenario.name
+
+    @property
+    def trace(self) -> TraceDataset:
+        return self.result.trace
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.result.cache_hit or self.deduplicated_from is not None
+
+    def build_fleet(self) -> Dict[str, Backend]:
+        """The scenario's fleet (outages/drift/backlog knobs applied)."""
+        return self.config.build_fleet()
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "scenario": self.name,
+            "fingerprint": self.fingerprint,
+            "jobs": len(self.trace),
+            "cache_hit": self.cache_hit,
+            **({"deduplicated_from": self.deduplicated_from}
+               if self.deduplicated_from else {}),
+            "seconds": round(self.result.total_seconds, 3),
+        }
+
+
+@dataclass
+class ScenarioSuiteResult:
+    """All scenario runs of one suite, in execution order."""
+
+    runs: List[ScenarioRun] = field(default_factory=list)
+    base_config: Optional[TraceGeneratorConfig] = None
+    total_seconds: float = 0.0
+
+    def __iter__(self):
+        return iter(self.runs)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def names(self) -> List[str]:
+        return [run.name for run in self.runs]
+
+    def run_for(self, name: str) -> ScenarioRun:
+        for run in self.runs:
+            if run.name == name:
+                return run
+        raise ScenarioError(
+            f"no scenario {name!r} in this suite; ran: {self.names()}")
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "scenarios": [run.summary() for run in self.runs],
+            "total_seconds": round(self.total_seconds, 3),
+            "cache_hits": sum(1 for run in self.runs if run.cache_hit),
+        }
+
+
+class ScenarioEngine:
+    """Expands and executes declarative scenarios over the cloud simulation."""
+
+    def __init__(
+        self,
+        base_config: Optional[TraceGeneratorConfig] = None,
+        workers: Optional[int] = None,
+        num_shards: Optional[int] = None,
+        cache: Optional[Union[TraceCache, str, Path]] = None,
+        progress: Optional[ProgressCallback] = None,
+        lazy_cache: bool = True,
+    ):
+        self.base_config = base_config or TraceGeneratorConfig()
+        self.workers = workers
+        self.num_shards = num_shards
+        if cache is not None and not isinstance(cache, TraceCache):
+            cache = TraceCache(cache)
+        self.cache = cache
+        self.lazy_cache = lazy_cache
+        self._progress = progress or (lambda message: None)
+
+    def expand(self, scenario: Scenario) -> TraceGeneratorConfig:
+        """The concrete study config a scenario runs as."""
+        return scenario.apply_to(self.base_config)
+
+    def fingerprint(self, scenario: Scenario) -> str:
+        """The scenario's trace-cache key (its content fingerprint)."""
+        return config_fingerprint(self.expand(scenario))
+
+    def run(self, scenarios: Sequence[Scenario],
+            use_cache: bool = True) -> ScenarioSuiteResult:
+        """Execute every scenario; identical expansions run once."""
+        if not scenarios:
+            raise ScenarioError("no scenarios to run")
+        names = [scenario.name for scenario in scenarios]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise ScenarioError(
+                f"duplicate scenario names {sorted(duplicates)}")
+        started = time.perf_counter()
+        suite = ScenarioSuiteResult(base_config=self.base_config)
+        executed: Dict[str, Tuple[str, StudyResult]] = {}
+        for scenario in scenarios:
+            config = self.expand(scenario)
+            key = config_fingerprint(config)
+            previous = executed.get(key)
+            if previous is not None:
+                first_name, result = previous
+                self._progress(
+                    f"scenario {scenario.name!r} expands to the same study "
+                    f"as {first_name!r}; sharing its trace")
+                suite.runs.append(ScenarioRun(
+                    scenario=scenario, config=config, fingerprint=key,
+                    result=result, deduplicated_from=first_name))
+                continue
+            self._progress(
+                f"running scenario {scenario.name!r} ({scenario.describe()})")
+            runner = StudyRunner(
+                config,
+                workers=self.workers,
+                num_shards=self.num_shards,
+                cache=self.cache,
+                progress=self._progress,
+                lazy_cache=self.lazy_cache,
+            )
+            result = runner.run(use_cache=use_cache)
+            self._progress(
+                f"scenario {scenario.name!r}: {len(result.trace)} jobs in "
+                f"{result.total_seconds:.1f}s"
+                + (" (cache hit)" if result.cache_hit else ""))
+            executed[key] = (scenario.name, result)
+            suite.runs.append(ScenarioRun(
+                scenario=scenario, config=config, fingerprint=key,
+                result=result))
+        suite.total_seconds = time.perf_counter() - started
+        return suite
+
+
+def run_scenarios(
+    scenarios: Sequence[Scenario],
+    base_config: Optional[TraceGeneratorConfig] = None,
+    *,
+    workers: Optional[int] = None,
+    num_shards: Optional[int] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[ProgressCallback] = None,
+    use_cache: bool = True,
+) -> ScenarioSuiteResult:
+    """One-call entry point: run a scenario suite through the runner."""
+    engine = ScenarioEngine(
+        base_config,
+        workers=workers,
+        num_shards=num_shards,
+        cache=cache_dir,
+        progress=progress,
+    )
+    return engine.run(scenarios, use_cache=use_cache)

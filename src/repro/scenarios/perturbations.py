@@ -1,0 +1,346 @@
+"""Composable what-if perturbations.
+
+Each perturbation is a small declarative object describing one deviation
+from the baseline study — a demand surge, a machine outage, a calibration
+regime, a policy swap.  Applying a perturbation folds it into the
+:class:`~repro.workloads.generator.ScenarioKnobs` of a
+:class:`~repro.workloads.generator.TraceGeneratorConfig`; perturbations
+compose because each one only touches its own knobs.
+
+Perturbations can be built in Python or parsed from spec dictionaries
+(:func:`perturbation_from_dict`, used by the TOML/JSON spec loader).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.exceptions import ScenarioError
+from repro.devices.catalog import MACHINE_NAMES, MACHINE_SPECS
+from repro.scheduling.policies import SelectionObjective
+from repro.workloads.generator import ScenarioKnobs, TraceGeneratorConfig
+from repro.workloads.users import MachineSelectionPolicy
+
+#: Mapping from scheduling-layer objectives to the trace-level user policy
+#: that implements the same trade-off in the synthesis loop.
+OBJECTIVE_POLICIES: Dict[str, str] = {
+    SelectionObjective.FIDELITY.value: MachineSelectionPolicy.BEST_FIDELITY.value,
+    SelectionObjective.QUEUE.value: MachineSelectionPolicy.LEAST_QUEUE.value,
+    SelectionObjective.BALANCED.value: MachineSelectionPolicy.BALANCED.value,
+}
+
+
+def _knobs_of(config: TraceGeneratorConfig) -> ScenarioKnobs:
+    return config.scenario if config.scenario is not None else ScenarioKnobs()
+
+
+def _with_knobs(config: TraceGeneratorConfig,
+                knobs: ScenarioKnobs) -> TraceGeneratorConfig:
+    return replace(config, scenario=None if knobs.is_neutral() else knobs)
+
+
+def _check_machine(name: str) -> str:
+    if name not in MACHINE_SPECS:
+        raise ScenarioError(
+            f"unknown machine {name!r}; known machines: {MACHINE_NAMES}")
+    return name
+
+
+@dataclass(frozen=True)
+class Perturbation:
+    """Base class: one composable deviation from the baseline study."""
+
+    #: spec-file identifier of the perturbation (overridden per subclass)
+    kind = "perturbation"
+
+    def apply(self, config: TraceGeneratorConfig) -> TraceGeneratorConfig:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Perturbation":
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known - {"kind"}
+        if unknown:
+            raise ScenarioError(
+                f"unknown {cls.kind!r} fields {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}")
+        try:
+            return cls(**{k: v for k, v in payload.items() if k != "kind"})
+        except TypeError as exc:
+            raise ScenarioError(f"invalid {cls.kind!r} spec: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class DemandSurge(Perturbation):
+    """Scale the arrival rate — uniformly or over a month window.
+
+    ``scale > 1`` is a surge, ``scale < 1`` a lull.  With ``ramp=True`` the
+    multiplier grows linearly from 1.0 at the window start to ``scale`` at
+    the window end (a demand wave building up instead of a step).
+    """
+
+    kind = "demand_surge"
+
+    scale: float = 1.0
+    start_month: Optional[int] = None
+    end_month: Optional[int] = None
+    ramp: bool = False
+
+    def apply(self, config: TraceGeneratorConfig) -> TraceGeneratorConfig:
+        if self.scale <= 0:
+            raise ScenarioError("demand scale must be positive")
+        if (self.start_month is not None and self.end_month is not None
+                and self.start_month > self.end_month):
+            raise ScenarioError(
+                f"demand window [{self.start_month}, {self.end_month}] "
+                f"is empty")
+        months = config.months
+        knobs = _knobs_of(config)
+        overlay = list(knobs.monthly_demand[:months])
+        overlay += [1.0] * (months - len(overlay))
+        # Clamp the window into the study so reduced-scale runs of the
+        # built-in catalog stay meaningful (the surge hits the tail).
+        first = 0 if self.start_month is None \
+            else min(max(0, int(self.start_month)), months - 1)
+        last = months - 1 if self.end_month is None \
+            else min(months - 1, max(int(self.end_month), first))
+        for month in range(first, last + 1):
+            factor = self.scale
+            if self.ramp and last > first:
+                # Linear build-up reaching the full scale at the window end;
+                # a window clamped to one month applies the full scale.
+                factor = 1.0 + (self.scale - 1.0) * (month - first) \
+                    / (last - first)
+            overlay[month] *= factor
+        return _with_knobs(config, replace(
+            knobs, monthly_demand=tuple(overlay)))
+
+    def describe(self) -> str:
+        window = ""
+        if self.start_month is not None or self.end_month is not None:
+            window = f" in months [{self.start_month or 0}, " \
+                     f"{'end' if self.end_month is None else self.end_month}]"
+        shape = "ramped" if self.ramp else "uniform"
+        return f"{shape} {self.scale:g}x arrival-rate scaling{window}"
+
+
+@dataclass(frozen=True)
+class MachineOutage(Perturbation):
+    """Take one machine out of service for an inclusive month window."""
+
+    kind = "machine_outage"
+
+    machine: str = ""
+    first_month: int = 0
+    last_month: int = 0
+
+    def apply(self, config: TraceGeneratorConfig) -> TraceGeneratorConfig:
+        _check_machine(self.machine)
+        if self.first_month > self.last_month:
+            raise ScenarioError(
+                f"outage window [{self.first_month}, {self.last_month}] "
+                f"for {self.machine!r} is empty")
+        # Clamp into the study window (as DemandSurge does) so reduced-scale
+        # runs of full-scale scenario definitions still exercise the outage.
+        first = min(max(0, int(self.first_month)), config.months - 1)
+        last = min(int(self.last_month), config.months - 1)
+        knobs = _knobs_of(config)
+        outages = knobs.machine_outages + ((self.machine, first, last),)
+        return _with_knobs(config, replace(knobs, machine_outages=outages))
+
+    def describe(self) -> str:
+        return (f"{self.machine} out of service months "
+                f"{self.first_month}-{self.last_month}")
+
+
+@dataclass(frozen=True)
+class FleetChange(Perturbation):
+    """Remove machines for the whole study and/or move their online month."""
+
+    kind = "fleet_change"
+
+    remove: Tuple[str, ...] = ()
+    bring_online: Tuple[Tuple[str, int], ...] = ()
+
+    def apply(self, config: TraceGeneratorConfig) -> TraceGeneratorConfig:
+        for name in self.remove:
+            _check_machine(name)
+        for name, _ in self.bring_online:
+            _check_machine(name)
+        knobs = _knobs_of(config)
+        return _with_knobs(config, replace(
+            knobs,
+            machines_removed=knobs.machines_removed
+            + tuple(self.remove),
+            machine_online_overrides=knobs.machine_online_overrides
+            + tuple((name, int(month)) for name, month in self.bring_online),
+        ))
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FleetChange":
+        payload = dict(payload)
+        if "remove" in payload:
+            payload["remove"] = tuple(payload["remove"])
+        if "bring_online" in payload:
+            payload["bring_online"] = tuple(
+                (str(name), int(month))
+                for name, month in payload["bring_online"])
+        return super().from_dict(payload)  # type: ignore[return-value]
+
+    def describe(self) -> str:
+        parts = []
+        if self.remove:
+            parts.append(f"remove {', '.join(self.remove)}")
+        if self.bring_online:
+            parts.append(", ".join(f"{name} online from month {month}"
+                                   for name, month in self.bring_online))
+        return "; ".join(parts) or "no fleet change"
+
+
+@dataclass(frozen=True)
+class CalibrationDrift(Perturbation):
+    """Scale how fast calibration degrades between recalibrations."""
+
+    kind = "calibration_drift"
+
+    scale: float = 1.0
+
+    def apply(self, config: TraceGeneratorConfig) -> TraceGeneratorConfig:
+        if self.scale < 0:
+            raise ScenarioError("calibration drift scale must be >= 0")
+        knobs = _knobs_of(config)
+        return _with_knobs(config, replace(
+            knobs,
+            calibration_drift_scale=knobs.calibration_drift_scale * self.scale,
+        ))
+
+    def describe(self) -> str:
+        return f"{self.scale:g}x calibration drift rates"
+
+
+@dataclass(frozen=True)
+class BacklogShift(Perturbation):
+    """Shift the external-demand regime (everyone else's jobs)."""
+
+    kind = "backlog_shift"
+
+    scale: float = 1.0
+    machines: Tuple[str, ...] = ()
+
+    def apply(self, config: TraceGeneratorConfig) -> TraceGeneratorConfig:
+        if self.scale <= 0:
+            raise ScenarioError("backlog scale must be positive")
+        knobs = _knobs_of(config)
+        if not self.machines:
+            return _with_knobs(config, replace(
+                knobs, backlog_scale=knobs.backlog_scale * self.scale))
+        per_machine = dict(knobs.machine_backlog_scales)
+        for name in self.machines:
+            _check_machine(name)
+            per_machine[name] = per_machine.get(name, 1.0) * self.scale
+        return _with_knobs(config, replace(
+            knobs,
+            machine_backlog_scales=tuple(sorted(per_machine.items())),
+        ))
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "BacklogShift":
+        payload = dict(payload)
+        if "machines" in payload:
+            payload["machines"] = tuple(payload["machines"])
+        return super().from_dict(payload)  # type: ignore[return-value]
+
+    def describe(self) -> str:
+        scope = "fleet-wide" if not self.machines \
+            else f"on {', '.join(self.machines)}"
+        return f"{self.scale:g}x external backlog {scope}"
+
+
+@dataclass(frozen=True)
+class FailureRates(Perturbation):
+    """Override the terminal-status failure probabilities."""
+
+    kind = "failure_rates"
+
+    error_probability: Optional[float] = None
+    cancel_probability: Optional[float] = None
+
+    def apply(self, config: TraceGeneratorConfig) -> TraceGeneratorConfig:
+        for probability in (self.error_probability, self.cancel_probability):
+            if probability is not None and not 0 <= probability < 1:
+                raise ScenarioError("failure probabilities must be in [0, 1)")
+        knobs = _knobs_of(config)
+        return _with_knobs(config, replace(
+            knobs,
+            error_probability=(knobs.error_probability
+                               if self.error_probability is None
+                               else self.error_probability),
+            cancel_probability=(knobs.cancel_probability
+                                if self.cancel_probability is None
+                                else self.cancel_probability),
+        ))
+
+    def describe(self) -> str:
+        parts = []
+        if self.error_probability is not None:
+            parts.append(f"error rate {self.error_probability:g}")
+        if self.cancel_probability is not None:
+            parts.append(f"cancel rate {self.cancel_probability:g}")
+        return ", ".join(parts) or "default failure rates"
+
+
+@dataclass(frozen=True)
+class PolicySwap(Perturbation):
+    """Force one machine-selection behaviour onto every user.
+
+    Accepts either a :class:`~repro.scheduling.policies.SelectionObjective`
+    value (``fidelity`` / ``queue`` / ``balanced`` — the paper's
+    recommendation V-E.3 trade-off) or a
+    :class:`~repro.workloads.users.MachineSelectionPolicy` value directly.
+    """
+
+    kind = "policy_swap"
+
+    policy: str = SelectionObjective.BALANCED.value
+
+    def resolved_policy(self) -> str:
+        policy = OBJECTIVE_POLICIES.get(self.policy, self.policy)
+        valid = {p.value for p in MachineSelectionPolicy}
+        if policy not in valid:
+            raise ScenarioError(
+                f"unknown selection policy {self.policy!r}; choose a "
+                f"SelectionObjective value {sorted(OBJECTIVE_POLICIES)} or "
+                f"a user policy {sorted(valid)}")
+        return policy
+
+    def apply(self, config: TraceGeneratorConfig) -> TraceGeneratorConfig:
+        knobs = _knobs_of(config)
+        return _with_knobs(config, replace(
+            knobs, forced_policy=self.resolved_policy()))
+
+    def describe(self) -> str:
+        return f"all users select machines by {self.resolved_policy()!r}"
+
+
+#: Registry used by the spec loader: kind -> constructor.
+PERTURBATION_KINDS: Dict[str, Callable[[Dict[str, object]], Perturbation]] = {
+    cls.kind: cls.from_dict
+    for cls in (DemandSurge, MachineOutage, FleetChange, CalibrationDrift,
+                BacklogShift, FailureRates, PolicySwap)
+}
+
+
+def perturbation_from_dict(payload: Dict[str, object]) -> Perturbation:
+    """Build a perturbation from a spec dictionary (``kind`` selects it)."""
+    kind = payload.get("kind")
+    try:
+        builder = PERTURBATION_KINDS[str(kind)]
+    except KeyError:
+        raise ScenarioError(
+            f"unknown perturbation kind {kind!r}; known kinds: "
+            f"{sorted(PERTURBATION_KINDS)}") from None
+    return builder(payload)

@@ -1,0 +1,154 @@
+"""Named scenarios and the built-in scenario catalog.
+
+A :class:`Scenario` is a named, seedable, ordered composition of
+perturbations.  Expanding it against a baseline
+:class:`~repro.workloads.generator.TraceGeneratorConfig` produces the
+concrete config the sharded runner executes; the expansion is pure, so the
+same scenario against the same baseline always lands on the same trace-cache
+fingerprint.
+
+:func:`builtin_scenarios` is the catalog of what-if studies the paper's
+recommendations call for: demand surges and lulls, machine outages and fleet
+expansion, calibration-drift regimes, backlog crunches, failure waves and
+machine-selection policy swaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.core.exceptions import ScenarioError
+from repro.scenarios.perturbations import (
+    BacklogShift,
+    CalibrationDrift,
+    DemandSurge,
+    FailureRates,
+    FleetChange,
+    MachineOutage,
+    Perturbation,
+    PolicySwap,
+)
+from repro.workloads.generator import TraceGeneratorConfig
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named what-if study: perturbations on top of the baseline config."""
+
+    name: str
+    description: str = ""
+    perturbations: Tuple[Perturbation, ...] = ()
+    #: optional root-seed override (a seedable re-roll of the same scenario)
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ScenarioError("a scenario needs a non-empty name")
+
+    @property
+    def is_baseline(self) -> bool:
+        return not self.perturbations and self.seed is None
+
+    def apply_to(self, config: TraceGeneratorConfig) -> TraceGeneratorConfig:
+        """Expand the scenario into a concrete study config."""
+        expanded = config
+        if self.seed is not None:
+            expanded = replace(expanded, seed=int(self.seed))
+        for perturbation in self.perturbations:
+            expanded = perturbation.apply(expanded)
+        return expanded
+
+    def describe(self) -> str:
+        if not self.perturbations:
+            return self.description or "the unperturbed baseline study"
+        details = "; ".join(p.describe() for p in self.perturbations)
+        if self.description:
+            return f"{self.description} ({details})"
+        return details
+
+
+def builtin_scenarios() -> Dict[str, Scenario]:
+    """The built-in what-if catalog, keyed by scenario name.
+
+    Month numbers reference the 28-month study window (month 0 = January
+    2019); reduced-scale runs clip windows that fall outside the configured
+    number of months.
+    """
+    scenarios = [
+        Scenario(
+            "baseline",
+            description="the unperturbed study (reference for every delta)",
+        ),
+        Scenario(
+            "demand-surge",
+            description="a sustained 60% arrival surge over the second half",
+            perturbations=(DemandSurge(scale=1.6, start_month=14),),
+        ),
+        Scenario(
+            "demand-lull",
+            description="demand drops to 70% fleet-wide",
+            perturbations=(DemandSurge(scale=0.7),),
+        ),
+        Scenario(
+            "machine-outage",
+            description="ibmqx2 (the busiest early 5-qubit machine) goes "
+                        "down for five months",
+            perturbations=(MachineOutage("ibmqx2", first_month=2,
+                                         last_month=6),),
+        ),
+        Scenario(
+            "fleet-expansion",
+            description="the late large machines come online a year early",
+            perturbations=(FleetChange(bring_online=(
+                ("ibmq_manhattan", 8), ("ibmq_toronto", 6),
+                ("ibmq_santiago", 6))),),
+        ),
+        Scenario(
+            "calibration-drift",
+            description="calibration degrades 3x faster between "
+                        "recalibrations",
+            perturbations=(CalibrationDrift(scale=3.0),),
+        ),
+        Scenario(
+            "backlog-crunch",
+            description="the rest of the world queues 2.5x the work",
+            perturbations=(BacklogShift(scale=2.5),),
+        ),
+        Scenario(
+            "failure-wave",
+            description="error and cancellation rates triple",
+            perturbations=(FailureRates(error_probability=0.105,
+                                        cancel_probability=0.054),),
+        ),
+        Scenario(
+            "policy-swap",
+            description="every user adopts the balanced fidelity/queue "
+                        "selection objective (recommendation V-E.3)",
+            perturbations=(PolicySwap(policy="balanced"),),
+        ),
+        Scenario(
+            "queue-chasers",
+            description="every user chases the shortest expected queue",
+            perturbations=(PolicySwap(policy="queue"),),
+        ),
+    ]
+    return {scenario.name: scenario for scenario in scenarios}
+
+
+def resolve_scenarios(names: Optional[Tuple[str, ...]] = None,
+                      catalog: Optional[Dict[str, Scenario]] = None,
+                      ) -> Tuple[Scenario, ...]:
+    """Select scenarios by name (all of the catalog when ``names`` is None)."""
+    catalog = catalog if catalog is not None else builtin_scenarios()
+    if names is None:
+        return tuple(catalog.values())
+    selected = []
+    for name in names:
+        try:
+            selected.append(catalog[name])
+        except KeyError:
+            raise ScenarioError(
+                f"unknown scenario {name!r}; available: "
+                f"{sorted(catalog)}") from None
+    return tuple(selected)

@@ -1,0 +1,158 @@
+"""Loading scenario suites from TOML/JSON spec files.
+
+A spec file declares an optional ``[study]`` table overriding the baseline
+config knobs, plus a list of scenarios, each with a list of perturbations
+(``kind`` selects the perturbation type; the remaining keys are its fields).
+
+TOML::
+
+    [study]
+    total_jobs = 1200
+    months = 12
+    seed = 7
+
+    [[scenarios]]
+    name = "surge"
+    description = "50% more demand in the last third"
+
+    [[scenarios.perturbations]]
+    kind = "demand_surge"
+    scale = 1.5
+    start_month = 8
+
+JSON carries the same structure as an object with ``study`` and
+``scenarios`` keys.  TOML parsing uses the standard-library ``tomllib``
+(Python 3.11+) with a ``tomli`` fallback; on interpreters with neither, TOML
+specs raise a clear error and JSON specs keep working.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.exceptions import ScenarioError
+from repro.scenarios.perturbations import perturbation_from_dict
+from repro.scenarios.scenario import Scenario
+from repro.workloads.generator import TraceGeneratorConfig
+
+#: ``[study]`` keys that map straight onto TraceGeneratorConfig fields.
+_STUDY_FIELDS = ("total_jobs", "months", "growth_ratio", "seed",
+                 "include_simulator")
+
+
+@dataclass
+class ScenarioSuiteSpec:
+    """A parsed spec file: baseline overrides plus the scenario list."""
+
+    scenarios: List[Scenario] = field(default_factory=list)
+    study_overrides: Dict[str, object] = field(default_factory=dict)
+    source: Optional[Path] = None
+
+    def base_config(self, default: Optional[TraceGeneratorConfig] = None
+                    ) -> TraceGeneratorConfig:
+        """The baseline config, applying the spec's ``[study]`` overrides."""
+        config = default if default is not None else TraceGeneratorConfig()
+        if not self.study_overrides:
+            return config
+        return replace(config, **self.study_overrides)
+
+    def catalog(self) -> Dict[str, Scenario]:
+        return {scenario.name: scenario for scenario in self.scenarios}
+
+
+def _load_toml(path: Path) -> Dict[str, object]:
+    try:
+        import tomllib  # Python 3.11+
+    except ImportError:  # pragma: no cover - depends on interpreter
+        try:
+            import tomli as tomllib  # type: ignore[no-redef]
+        except ImportError:
+            raise ScenarioError(
+                f"cannot read TOML spec {path}: this interpreter has "
+                f"neither tomllib (Python 3.11+) nor tomli; rewrite the "
+                f"spec as JSON instead") from None
+    with open(path, "rb") as handle:
+        try:
+            return tomllib.load(handle)
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioError(f"invalid TOML in {path}: {exc}") from exc
+
+
+def _parse_scenario(payload: Dict[str, object], path: Path) -> Scenario:
+    if not isinstance(payload, dict):
+        raise ScenarioError(f"scenario entries in {path} must be tables")
+    name = payload.get("name")
+    if not name or not isinstance(name, str):
+        raise ScenarioError(f"every scenario in {path} needs a 'name'")
+    known = {f.name for f in fields(Scenario)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ScenarioError(
+            f"scenario {name!r} in {path} has unknown keys "
+            f"{sorted(unknown)}")
+    perturbations = payload.get("perturbations", [])
+    if not isinstance(perturbations, list):
+        raise ScenarioError(
+            f"scenario {name!r} in {path}: 'perturbations' must be a list")
+    seed = payload.get("seed")
+    return Scenario(
+        name=name,
+        description=str(payload.get("description", "")),
+        perturbations=tuple(perturbation_from_dict(entry)
+                            for entry in perturbations),
+        seed=None if seed is None else int(seed),  # type: ignore[arg-type]
+    )
+
+
+def parse_suite(payload: Dict[str, object],
+                source: Optional[Path] = None) -> ScenarioSuiteSpec:
+    """Build a suite spec from an already-parsed TOML/JSON document."""
+    path = source or Path("<spec>")
+    if not isinstance(payload, dict):
+        raise ScenarioError(f"spec {path} must be a table/object at top level")
+    unknown = set(payload) - {"study", "scenarios"}
+    if unknown:
+        raise ScenarioError(
+            f"spec {path} has unknown top-level keys {sorted(unknown)}")
+    study = payload.get("study", {})
+    if not isinstance(study, dict):
+        raise ScenarioError(f"[study] in {path} must be a table")
+    bad = set(study) - set(_STUDY_FIELDS)
+    if bad:
+        raise ScenarioError(
+            f"[study] in {path} has unknown keys {sorted(bad)}; "
+            f"supported: {list(_STUDY_FIELDS)}")
+    entries = payload.get("scenarios", [])
+    if not isinstance(entries, list) or not entries:
+        raise ScenarioError(f"spec {path} declares no scenarios")
+    scenarios = [_parse_scenario(entry, path) for entry in entries]
+    names = [scenario.name for scenario in scenarios]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise ScenarioError(
+            f"spec {path} has duplicate scenario names {sorted(duplicates)}")
+    return ScenarioSuiteSpec(scenarios=scenarios,
+                             study_overrides=dict(study), source=source)
+
+
+def load_suite(path: Union[str, Path]) -> ScenarioSuiteSpec:
+    """Load a scenario suite spec from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    if not path.is_file():
+        raise ScenarioError(f"scenario spec {path} does not exist")
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        payload = _load_toml(path)
+    elif suffix == ".json":
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"invalid JSON in {path}: {exc}") from exc
+    else:
+        raise ScenarioError(
+            f"unsupported spec format {suffix!r} for {path}; "
+            f"use .toml or .json")
+    return parse_suite(payload, source=path)

@@ -22,23 +22,29 @@ analysis layer and the per-figure benches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cloud.backlog import ExternalLoadModel
 from repro.cloud.job import CircuitBatch, Job
-from repro.cloud.service import QuantumCloudService
+from repro.cloud.service import FailureModel, QuantumCloudService
 from repro.core.exceptions import WorkloadError
 from repro.core.rng import RandomSource
 from repro.core.units import DAY_SECONDS
 from repro.devices.backend import Backend
+from repro.devices.calibration import DriftModel
 from repro.devices.catalog import STUDY_MONTHS, fleet_in_study
 from repro.workloads.circuit_metrics import compiled_metrics
 from repro.workloads.compile_model import CompileTimeModel
 from repro.workloads.distributions import WorkloadDistributions
-from repro.workloads.trace import JobRecord, TraceDataset
+from repro.workloads.trace import (
+    TRACE_SCHEMA_VERSION,
+    JobRecord,
+    TraceDataset,
+)
 from repro.workloads.users import (
+    MachineSelectionPolicy,
     UserProfile,
     default_user_population,
     pick_user,
@@ -50,6 +56,124 @@ MONTH_SECONDS = 30.4 * DAY_SECONDS
 #: An estimator of the pending-job count on a backend at a timestamp,
 #: used by queue-sensitive machine-selection policies.
 PendingEstimator = Callable[[Backend, float], float]
+
+
+@dataclass(frozen=True)
+class ScenarioKnobs:
+    """Declarative what-if perturbations applied on top of the baseline study.
+
+    Every default is neutral: a config whose knobs are all defaults (or whose
+    ``scenario`` field is ``None``) produces the baseline trace bit for bit.
+    The knobs are plain data — tuples, floats, strings — so the trace-cache
+    fingerprint covers them automatically and two scenarios that expand to
+    the same knobs share one cache entry.
+
+    The scenario layer (:mod:`repro.scenarios`) builds these from composable
+    perturbation objects; they can also be set directly.
+    """
+
+    #: uniform multiplier on every month's arrival rate (demand surge/lull)
+    demand_scale: float = 1.0
+    #: per-month arrival-rate multipliers (index = month; missing months = 1.0)
+    monthly_demand: Tuple[float, ...] = ()
+    #: temporary outage windows: (machine, first_month, last_month) inclusive
+    machine_outages: Tuple[Tuple[str, int, int], ...] = ()
+    #: machines removed from the fleet for the whole study
+    machines_removed: Tuple[str, ...] = ()
+    #: fleet timeline changes: (machine, online_since_month) overrides
+    machine_online_overrides: Tuple[Tuple[str, int], ...] = ()
+    #: multiplier on calibration drift rates (error growth / coherence decay)
+    calibration_drift_scale: float = 1.0
+    #: fleet-wide multiplier on the external-backlog regime
+    backlog_scale: float = 1.0
+    #: per-machine backlog multipliers, composed with ``backlog_scale``
+    machine_backlog_scales: Tuple[Tuple[str, float], ...] = ()
+    #: terminal-status failure rates (None = the simulator's defaults)
+    error_probability: Optional[float] = None
+    cancel_probability: Optional[float] = None
+    #: machine-selection policy forced onto every user (policy swap);
+    #: a :class:`~repro.workloads.users.MachineSelectionPolicy` value
+    forced_policy: Optional[str] = None
+
+    def __post_init__(self):
+        if self.demand_scale <= 0:
+            raise WorkloadError("demand_scale must be positive")
+        if any(m < 0 for m in self.monthly_demand):
+            raise WorkloadError("monthly demand multipliers must be >= 0")
+        if self.calibration_drift_scale < 0:
+            raise WorkloadError("calibration_drift_scale must be >= 0")
+        if self.backlog_scale <= 0:
+            raise WorkloadError("backlog_scale must be positive")
+        if any(s <= 0 for _, s in self.machine_backlog_scales):
+            raise WorkloadError("machine backlog scales must be positive")
+        for probability in (self.error_probability, self.cancel_probability):
+            if probability is not None and not 0 <= probability < 1:
+                raise WorkloadError("failure probabilities must be in [0, 1)")
+        for machine, first, last in self.machine_outages:
+            if first > last:
+                raise WorkloadError(
+                    f"outage window for {machine!r} has first month {first} "
+                    f"after last month {last}")
+        if self.forced_policy is not None:
+            valid = {p.value for p in MachineSelectionPolicy}
+            if self.forced_policy not in valid:
+                raise WorkloadError(
+                    f"unknown forced policy {self.forced_policy!r}; "
+                    f"choose one of {sorted(valid)}")
+
+    def is_neutral(self) -> bool:
+        """True if the knobs leave the baseline study untouched."""
+        reference = ScenarioKnobs()
+        if self.monthly_demand and all(value == 1.0
+                                       for value in self.monthly_demand):
+            # An all-ones overlay is demand-shaping that shapes nothing.
+            reference = replace(reference, monthly_demand=self.monthly_demand)
+        return self == reference
+
+    def demand_multipliers(self, months: int) -> Optional[List[float]]:
+        """Per-month arrival-rate multipliers, or None when neutral."""
+        if self.demand_scale == 1.0 and not self.monthly_demand:
+            return None
+        overlay = list(self.monthly_demand[:months])
+        overlay += [1.0] * (months - len(overlay))
+        multipliers = [self.demand_scale * value for value in overlay]
+        if all(value == 1.0 for value in multipliers):
+            return None
+        return multipliers
+
+    def apply_to_fleet(self, fleet: Dict[str, Backend]) -> Dict[str, Backend]:
+        """Apply the fleet-shaped perturbations to a freshly built fleet."""
+        for name in self.machines_removed:
+            fleet.pop(name, None)
+        for name, month in self.machine_online_overrides:
+            backend = fleet.get(name)
+            if backend is not None:
+                backend.online_since_month = int(month)
+        for name, first, last in self.machine_outages:
+            backend = fleet.get(name)
+            if backend is not None:
+                months = set(backend.offline_months)
+                months.update(range(int(first), int(last) + 1))
+                backend.offline_months = tuple(sorted(months))
+        if self.calibration_drift_scale != 1.0:
+            scale = self.calibration_drift_scale
+            for backend in fleet.values():
+                drift = backend.calibration_model.drift
+                backend.calibration_model.drift = DriftModel(
+                    error_growth_per_hour=drift.error_growth_per_hour * scale,
+                    coherence_decay_per_hour=(
+                        drift.coherence_decay_per_hour * scale),
+                )
+        per_machine = dict(self.machine_backlog_scales)
+        if self.backlog_scale != 1.0 or per_machine:
+            for name, backend in fleet.items():
+                scale = self.backlog_scale * per_machine.get(name, 1.0)
+                if scale != 1.0:
+                    backend.metadata["backlog_scale"] = scale
+        if not fleet:
+            raise WorkloadError(
+                "scenario perturbations removed every machine from the fleet")
+        return fleet
 
 
 @dataclass
@@ -65,6 +189,8 @@ class TraceGeneratorConfig:
     compile_model: CompileTimeModel = field(default_factory=CompileTimeModel)
     users: Sequence[UserProfile] = field(default_factory=default_user_population)
     include_simulator: bool = True
+    #: declarative what-if perturbations (None = the baseline study)
+    scenario: Optional[ScenarioKnobs] = None
 
     def __post_init__(self):
         if self.total_jobs < 1:
@@ -75,20 +201,54 @@ class TraceGeneratorConfig:
             raise WorkloadError("growth_ratio must be positive")
 
     def jobs_per_month(self) -> List[int]:
-        """Exponentially growing monthly job counts summing to ``total_jobs``."""
+        """Exponentially growing monthly job counts.
+
+        The baseline counts sum to ``total_jobs``; scenario demand shaping
+        multiplies each month's arrival rate relative to that baseline (a
+        surge therefore raises the total while a lull lowers it).
+        """
         rate = self.growth_ratio ** (1.0 / max(self.months - 1, 1))
         weights = [rate ** month for month in range(self.months)]
         total_weight = sum(weights)
-        counts = [int(round(self.total_jobs * w / total_weight)) for w in weights]
+        counts = [int(round(self.total_jobs * w / total_weight))
+                  for w in weights]
         # Fix rounding drift on the busiest month.
         drift = self.total_jobs - sum(counts)
         counts[-1] += drift
-        return [max(0, c) for c in counts]
+        counts = [max(0, c) for c in counts]
+        multipliers = (None if self.scenario is None
+                       else self.scenario.demand_multipliers(self.months))
+        if multipliers is None:
+            return counts
+        # Multipliers scale the *baseline counts* (not the raw weights), so
+        # months a scenario leaves at 1.0 keep the exact baseline schedule
+        # and per-scenario deltas are attributable to the perturbation.
+        return [max(0, int(round(count * multiplier)))
+                for count, multiplier in zip(counts, multipliers)]
 
     def build_fleet(self) -> Dict[str, Backend]:
         """The study fleet this configuration simulates."""
-        return fleet_in_study(seed=self.seed,
-                              include_simulator=self.include_simulator)
+        fleet = fleet_in_study(seed=self.seed,
+                               include_simulator=self.include_simulator)
+        if self.scenario is not None:
+            fleet = self.scenario.apply_to_fleet(fleet)
+        return fleet
+
+    def build_failure_model(self) -> Optional[FailureModel]:
+        """The scenario's failure model (None = the simulator's default)."""
+        knobs = self.scenario
+        if knobs is None or (knobs.error_probability is None
+                             and knobs.cancel_probability is None):
+            return None
+        defaults = FailureModel()
+        return FailureModel(
+            error_probability=(defaults.error_probability
+                               if knobs.error_probability is None
+                               else knobs.error_probability),
+            cancel_probability=(defaults.cancel_probability
+                                if knobs.cancel_probability is None
+                                else knobs.cancel_probability),
+        )
 
 
 @dataclass(frozen=True)
@@ -238,6 +398,12 @@ class JobSynthesizer:
         distributions = config.distributions
 
         user = pick_user(config.users, rng)
+        if config.scenario is not None and config.scenario.forced_policy:
+            # Policy swap: the user population (and its random draws) is
+            # unchanged so scenarios stay comparable job for job; only the
+            # selection behaviour is overridden.
+            user = replace(user, policy=MachineSelectionPolicy(
+                config.scenario.forced_policy))
         privileged = rng.random() < user.privileged_probability
         provider = "academic-hub" if privileged else "open"
 
@@ -357,7 +523,9 @@ class TraceGenerator:
                  service: Optional[QuantumCloudService] = None):
         self.config = config or TraceGeneratorConfig()
         self.fleet = fleet or self.config.build_fleet()
-        self.service = service or QuantumCloudService(self.fleet, seed=self.config.seed)
+        self.service = service or QuantumCloudService(
+            self.fleet, seed=self.config.seed,
+            failure_model=self.config.build_failure_model())
         self.synthesizer = JobSynthesizer(
             self.config, self.fleet, pending_estimator=self._live_pending_estimate
         )
@@ -384,6 +552,7 @@ class TraceGenerator:
             "seed": config.seed,
             "total_jobs": len(records),
             "months": config.months,
+            "trace_schema": TRACE_SCHEMA_VERSION,
         })
         return dataset
 

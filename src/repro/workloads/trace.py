@@ -42,8 +42,18 @@ from typing import (
 
 import numpy as np
 
-from repro.core.exceptions import WorkloadError
+from repro.core.exceptions import TraceSchemaError, WorkloadError
 from repro.core.types import JobStatus
+
+#: Version of the *generated-trace semantics*: bump when the generator or
+#: simulator changes the content of equivalent-config traces so stale cache
+#: entries (and cross-version comparisons) are detected explicitly.
+#: 2: columnar data plane — batched circuit synthesis and the bucketed
+#: external-load estimator reshape machine selection slightly.
+#: 3: scenario engine — the simulator's backlog sampling draws from a
+#: dedicated block-buffered per-machine stream instead of the machine's
+#: general stream, which re-times every queue/backlog draw.
+TRACE_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -185,6 +195,69 @@ def _encode_categorical(values: Sequence[str]) -> Tuple[np.ndarray, Tuple[str, .
     return codes, vocab
 
 
+def _read_member_array(archive: zipfile.ZipFile, member: str) -> np.ndarray:
+    with archive.open(member + ".npy") as handle:
+        return np.lib.format.read_array(io.BytesIO(handle.read()),
+                                        allow_pickle=False)
+
+
+def _parse_npz_header(text: str, path: Path) -> Dict[str, object]:
+    header = json.loads(text)
+    found = header.get("schema")
+    if found != NPZ_SCHEMA_VERSION:
+        raise TraceSchemaError(
+            f"trace npz {path} was written with column-layout schema "
+            f"{found!r} but this version reads schema {NPZ_SCHEMA_VERSION}; "
+            f"regenerate the trace (or delete the file) to proceed")
+    return header
+
+
+class _LazyNpzColumns(dict):
+    """Column mapping that decompresses one ``.npz`` member per first access.
+
+    Behaves like the eager ``{name: ndarray}`` dict the dataset stores, but a
+    column is only read (and DEFLATE-decompressed) from the archive the first
+    time something touches it, so analyses over a few columns never pay for
+    the rest of the trace.  Whole-dataset operations (subsetting, group-by,
+    re-saving) iterate ``items()`` and therefore force-load everything.
+    """
+
+    def __init__(self, path: Path, names: Sequence[str]):
+        super().__init__()
+        self._path = Path(path)
+        self._names = tuple(names)
+
+    def __missing__(self, name: str) -> np.ndarray:
+        if name not in self._names:
+            raise KeyError(name)
+        with zipfile.ZipFile(self._path) as archive:
+            array = _read_member_array(archive, f"col__{name}")
+        dict.__setitem__(self, name, array)
+        return array
+
+    def loaded(self) -> Tuple[str, ...]:
+        """Names of the columns decompressed so far."""
+        return tuple(dict.keys(self))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._names
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def keys(self) -> Tuple[str, ...]:  # type: ignore[override]
+        return self._names
+
+    def items(self):  # type: ignore[override]
+        return [(name, self[name]) for name in self._names]
+
+    def values(self):  # type: ignore[override]
+        return [self[name] for name in self._names]
+
+
 class TraceDataset:
     """An ordered, columnar collection of :class:`JobRecord` rows."""
 
@@ -195,6 +268,7 @@ class TraceDataset:
         self._columns = columns
         self._vocabs = vocabs
         self._derived: Dict[str, np.ndarray] = {}
+        self._row_count: Optional[int] = None
 
     # -- construction ------------------------------------------------------------------
 
@@ -237,12 +311,19 @@ class TraceDataset:
         dataset._columns = columns
         dataset._vocabs = dict(vocabs)
         dataset._derived = {}
+        dataset._row_count = None
         return dataset
 
     # -- container protocol ------------------------------------------------------------
 
     def __len__(self) -> int:
-        return int(self._columns["job_id"].shape[0])
+        # Cached so lazily loaded datasets do not decompress a column just
+        # to learn the row count (the npz header carries it).
+        count = self._row_count
+        if count is None:
+            count = int(self._columns["month_index"].shape[0])
+            self._row_count = count
+        return count
 
     def __iter__(self) -> Iterator[JobRecord]:
         if len(self) == 0:
@@ -317,6 +398,7 @@ class TraceDataset:
             ])
             self._vocabs[name] = merged
         self._derived.clear()
+        self._row_count = None
 
     # -- vectorised column access ------------------------------------------------------
 
@@ -601,6 +683,7 @@ class TraceDataset:
             arrays[f"vocab__{name}"] = _string_array(vocab)
         header = json.dumps({
             "schema": NPZ_SCHEMA_VERSION,
+            "rows": len(self),
             "metadata": self.metadata,
         })
         arrays["__meta__"] = _string_array([header])
@@ -617,17 +700,25 @@ class TraceDataset:
                 archive.writestr(info, buffer.getvalue())
 
     @classmethod
-    def from_npz(cls, path: Union[str, Path]) -> "TraceDataset":
+    def from_npz(cls, path: Union[str, Path],
+                 lazy: bool = False) -> "TraceDataset":
         """Load a trace written by :meth:`to_npz`.
 
-        Raises ``ValueError`` on schema mismatches and ``KeyError`` on
-        missing members, both of which the trace cache treats as a miss.
+        With ``lazy=True`` only the header and the categorical vocabularies
+        are decompressed up front; each column is decompressed on first
+        access, so comparisons that touch a handful of columns never pay for
+        the whole trace.
+
+        Raises :class:`~repro.core.exceptions.TraceSchemaError` (a
+        ``ValueError`` subclass) when the column-layout schema does not
+        match, naming the expected and found versions and the path, and
+        ``KeyError`` on missing members.
         """
+        path = Path(path)
+        if lazy:
+            return cls._from_npz_lazy(path)
         with np.load(path, allow_pickle=False) as data:
-            header = json.loads(str(data["__meta__"][0]))
-            if header.get("schema") != NPZ_SCHEMA_VERSION:
-                raise ValueError(
-                    f"unsupported trace npz schema {header.get('schema')!r}")
+            header = _parse_npz_header(str(data["__meta__"][0]), path)
             columns: Dict[str, np.ndarray] = {}
             vocabs: Dict[str, Tuple[str, ...]] = {}
             for name in (_INT_COLUMNS + _FLOAT_COLUMNS
@@ -638,15 +729,45 @@ class TraceDataset:
                 columns[name] = data[f"col__{name}"]
                 vocabs[name] = tuple(data[f"vocab__{name}"].tolist())
             metadata = header.get("metadata", {})
-        return cls._from_columns(columns, vocabs, metadata)
+        dataset = cls._from_columns(columns, vocabs, metadata)
+        if isinstance(header.get("rows"), int):
+            dataset._row_count = int(header["rows"])
+        return dataset
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "TraceDataset":
-        """Load a trace from .npz, .csv or .json (by file suffix)."""
+    def _from_npz_lazy(cls, path: Path) -> "TraceDataset":
+        names = (_INT_COLUMNS + _FLOAT_COLUMNS + _OPTIONAL_FLOAT_COLUMNS
+                 + _BOOL_COLUMNS + _CATEGORICAL_COLUMNS + _STRING_COLUMNS)
+        vocabs: Dict[str, Tuple[str, ...]] = {}
+        with zipfile.ZipFile(path) as archive:
+            header = _parse_npz_header(
+                str(_read_member_array(archive, "__meta__")[0]), path)
+            for name in _CATEGORICAL_COLUMNS:
+                vocabs[name] = tuple(
+                    _read_member_array(archive, f"vocab__{name}").tolist())
+            members = set(archive.namelist())
+        missing = [name for name in names if f"col__{name}.npy" not in members]
+        if missing:
+            raise KeyError(
+                f"trace npz {path} is missing columns {missing}")
+        dataset = cls._from_columns(_LazyNpzColumns(path, names), vocabs,
+                                    header.get("metadata", {}))
+        if isinstance(header.get("rows"), int):
+            dataset._row_count = int(header["rows"])
+        return dataset
+
+    @classmethod
+    def load(cls, path: Union[str, Path],
+             lazy: bool = False) -> "TraceDataset":
+        """Load a trace from .npz, .csv or .json (by file suffix).
+
+        ``lazy`` requests per-column on-demand loading and only applies to
+        the ``.npz`` format (text formats are parsed whole regardless).
+        """
         path = Path(path)
         suffix = path.suffix.lower()
         if suffix == ".npz":
-            return cls.from_npz(path)
+            return cls.from_npz(path, lazy=lazy)
         if suffix == ".csv":
             return cls.from_csv(path)
         return cls.from_json(path)

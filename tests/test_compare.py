@@ -1,0 +1,109 @@
+"""Tests for comparative scenario analysis (repro.analysis.compare)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import (
+    compare_suite,
+    compare_traces,
+    fidelity_proxy,
+    headline_metrics,
+)
+from repro.core.exceptions import AnalysisError
+from repro.scenarios import ScenarioEngine, resolve_scenarios
+from repro.workloads.generator import TraceGeneratorConfig
+from repro.workloads.trace import TraceDataset
+
+CONFIG = dict(total_jobs=70, months=4, seed=13)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    engine = ScenarioEngine(TraceGeneratorConfig(**CONFIG), workers=1)
+    names = ("baseline", "demand-surge", "calibration-drift", "policy-swap")
+    return engine.run(resolve_scenarios(names), use_cache=False)
+
+
+@pytest.fixture(scope="module")
+def report(suite):
+    return compare_suite(suite)
+
+
+class TestHeadlineMetrics:
+    def test_metrics_are_populated(self, suite):
+        run = suite.run_for("baseline")
+        metrics = headline_metrics(run.trace, run.build_fleet())
+        assert metrics.jobs == len(run.trace)
+        assert metrics.queue_minutes_median > 0
+        assert metrics.queue_minutes_p90 >= metrics.queue_minutes_median
+        assert 0 < metrics.utilization_mean <= 1
+        assert 0 < metrics.fidelity_median <= 1
+        assert 0.5 < metrics.done_fraction <= 1
+        total = (metrics.done_fraction + metrics.error_fraction
+                 + metrics.cancelled_fraction)
+        assert total == pytest.approx(1.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(AnalysisError):
+            headline_metrics(TraceDataset(), {})
+
+    def test_fidelity_proxy_shape_and_range(self, suite):
+        run = suite.run_for("baseline")
+        esp = fidelity_proxy(run.trace, run.build_fleet())
+        assert esp.shape == (len(run.trace),)
+        finite = esp[~np.isnan(esp)]
+        assert finite.size > 0
+        assert np.all((finite > 0) & (finite <= 1))
+
+    def test_cancelled_jobs_have_no_fidelity(self, suite):
+        run = suite.run_for("baseline")
+        esp = fidelity_proxy(run.trace, run.build_fleet())
+        start = run.trace.values("start_time")
+        assert np.all(np.isnan(esp[np.isnan(start)]))
+
+
+class TestComparison:
+    def test_baseline_is_anchored_and_excluded(self, report):
+        assert report.baseline_name == "baseline"
+        assert "baseline" not in [c.name for c in report.comparisons]
+        assert len(report.comparisons) == 3
+
+    def test_calibration_drift_lowers_fidelity(self, report):
+        drift = next(c for c in report.comparisons
+                     if c.name == "calibration-drift")
+        assert drift.deltas["fidelity_median"].delta < 0
+        # Drift does not touch demand: the job count is unchanged.
+        assert drift.deltas["jobs"].delta == 0
+
+    def test_surge_adds_jobs(self, report):
+        surge = next(c for c in report.comparisons
+                     if c.name == "demand-surge")
+        assert surge.deltas["jobs"].delta > 0
+
+    def test_as_dict_is_json_shaped(self, report):
+        import json
+
+        payload = report.as_dict()
+        text = json.dumps(payload)
+        assert "baseline_metrics" in payload
+        assert json.loads(text)["baseline"] == "baseline"
+
+    def test_markdown_table_lists_every_scenario(self, report):
+        markdown = report.render_markdown()
+        lines = markdown.splitlines()
+        assert lines[0].startswith("| scenario |")
+        for name in ("baseline", "demand-surge", "calibration-drift",
+                     "policy-swap"):
+            assert any(line.startswith(f"| {name} |") for line in lines)
+
+    def test_compare_traces_requires_the_baseline(self, suite):
+        run = suite.run_for("baseline")
+        with pytest.raises(AnalysisError):
+            compare_traces("missing",
+                           {"baseline": (run.trace, run.build_fleet())})
+
+    def test_compare_suite_falls_back_to_first_run(self, suite):
+        trimmed = type(suite)(runs=[suite.run_for("demand-surge"),
+                                    suite.run_for("policy-swap")])
+        report = compare_suite(trimmed)
+        assert report.baseline_name == "demand-surge"
