@@ -9,20 +9,41 @@ and comparing the headline metrics against the baseline study:
 * what if the busiest early machine goes down for five months?
 * what if calibration drifts 3x faster?
 * what if every user adopts the balanced selection objective (V-E.3)?
+* how do queue times scale as the external backlog doubles? (a sweep)
+
+Every scenario — including each grid point of the sweep and each seed
+replicate — is scheduled on **one shared worker pool**, so small studies
+interleave instead of serialising behind per-scenario pools.  Replicates
+re-roll the root seed and the comparison aggregates them into mean ± 95%
+CI per headline metric.
 
 Run with:  python examples/scenario_whatif.py
            REPRO_BENCH_JOBS=2000 python examples/scenario_whatif.py
+           REPRO_REPLICATES=3 python examples/scenario_whatif.py
 """
 
 import os
 
 from repro.analysis.compare import compare_suite
 from repro.core.env import env_int
-from repro.scenarios import ScenarioEngine, resolve_scenarios
+from repro.scenarios import (
+    BacklogShift,
+    Scenario,
+    ScenarioEngine,
+    SweepValues,
+    replicate_scenarios,
+    resolve_scenarios,
+)
 from repro.workloads.generator import TraceGeneratorConfig
 
 SCENARIOS = ("baseline", "demand-surge", "machine-outage",
              "calibration-drift", "policy-swap")
+
+BACKLOG_SWEEP = Scenario(
+    "backlog-pressure",
+    description="external backlog pressure grid",
+    perturbations=(BacklogShift(scale=SweepValues(2.0, 4.0)),),
+)
 
 
 def main() -> None:
@@ -31,12 +52,17 @@ def main() -> None:
         months=env_int("REPRO_BENCH_MONTHS", 8),
         seed=env_int("REPRO_BENCH_SEED", 7),
     )
+    scenarios = [*resolve_scenarios(SCENARIOS), BACKLOG_SWEEP]
+    replicates = env_int("REPRO_REPLICATES", 2)
+    scenarios = replicate_scenarios(scenarios, replicates,
+                                    base_seed=config.seed)
+
     engine = ScenarioEngine(
         config,
         cache=os.environ.get("REPRO_CACHE_DIR", ".repro-cache"),
         progress=lambda message: print(f"  [engine] {message}"),
     )
-    suite = engine.run(resolve_scenarios(SCENARIOS))
+    suite = engine.run(scenarios)
 
     print()
     for run in suite:
@@ -46,11 +72,18 @@ def main() -> None:
 
     report = compare_suite(suite)
     print()
+    print(f"Headline metrics are mean ±95% CI over {replicates} seed "
+          f"replicates; replicate rows aggregate under their base scenario.")
+    print()
     print(report.render_markdown())
     print()
     print("Scenario catalog:")
+    seen = set()
     for run in suite:
-        print(f"  {run.name}: {run.scenario.describe()}")
+        base = run.scenario.replicate_of or run.name
+        if base not in seen:
+            seen.add(base)
+            print(f"  {base}: {run.scenario.describe()}")
 
 
 if __name__ == "__main__":

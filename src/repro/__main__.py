@@ -12,11 +12,12 @@ sharded study runner and the analysis layer:
 * ``repro bench`` — measure the runner's multi-worker speedup and write the
   ``BENCH_runner.json`` artifact consumed by CI.
 * ``repro run-scenarios`` — execute a suite of declarative what-if scenarios
-  (built-in catalog or a TOML/JSON spec) through the sharded runner with
-  fingerprint-keyed cache reuse.
+  (built-in catalog or a TOML/JSON spec) as one interleaved work queue on a
+  shared worker pool, with fingerprint-keyed cache reuse; ``--sweep``
+  expands parameter grids and ``--replicates`` adds seed re-rolls.
 * ``repro compare-scenarios`` — run a suite and emit the per-scenario delta
   table (queue percentiles, utilisation, fidelity, status mix) against the
-  baseline, as markdown and/or a JSON artifact.
+  baseline — mean ± 95% CI when replicated — as markdown and/or JSON.
 """
 
 from __future__ import annotations
@@ -38,8 +39,11 @@ from repro.runner import StudyResult, default_workers, run_study
 from repro.scenarios import (
     ScenarioEngine,
     builtin_scenarios,
+    expand_sweeps,
     load_suite,
+    replicate_scenarios,
     resolve_scenarios,
+    sweep_from_flags,
 )
 from repro.workloads.generator import TraceGeneratorConfig
 from repro.workloads.trace import TraceDataset
@@ -212,6 +216,22 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--list", action="store_true", dest="list_scenarios",
         help="list the available scenarios and exit")
+    parser.add_argument(
+        "--sweep", action="append", metavar="KIND.FIELD=V1,V2,...",
+        help="add a parameter-grid scenario sweeping one perturbation "
+             "field over comma-separated values (e.g. "
+             "backlog_shift.scale=1,2,4,8); repeat the flag to form the "
+             "cartesian grid across several axes")
+    parser.add_argument(
+        "--replicates", type=int, default=1,
+        help="run every scenario as this many seed re-rolls and report "
+             "each headline metric as mean ± 95%% CI over the replicates "
+             "(default: %(default)s)")
+    parser.add_argument(
+        "--sequential", action="store_true",
+        help="run scenarios one after another, each on its own worker "
+             "pool (default: the whole suite interleaves on one shared "
+             "pool)")
 
 
 def _resolve_suite(args: argparse.Namespace):
@@ -244,7 +264,16 @@ def _resolve_suite(args: argparse.Namespace):
     if args.scenarios:
         names = tuple(name.strip() for name in args.scenarios.split(",")
                       if name.strip())
-    return base, resolve_scenarios(names, catalog), catalog
+    scenarios = list(resolve_scenarios(names, catalog))
+    if getattr(args, "sweep", None):
+        scenarios.append(sweep_from_flags(args.sweep))
+    scenarios = expand_sweeps(scenarios)
+    replicates = int(getattr(args, "replicates", 1))
+    if replicates != 1:
+        # Delegate validation too: replicate_scenarios rejects counts < 1.
+        scenarios = replicate_scenarios(scenarios, replicates,
+                                        base_seed=base.seed)
+    return base, tuple(scenarios), catalog
 
 
 def _scenario_cache_dir(args: argparse.Namespace) -> Optional[str]:
@@ -268,6 +297,7 @@ def _run_suite(args: argparse.Namespace):
         num_shards=args.shards,
         cache=_scenario_cache_dir(args),
         progress=_progress(args.quiet),
+        suite_scheduling=not args.sequential,
     )
     return engine.run(scenarios, use_cache=not args.no_cache)
 
@@ -293,6 +323,9 @@ def cmd_compare_scenarios(args: argparse.Namespace) -> int:
     suite = _run_suite(args)
     report = compare_suite(suite)
     markdown = report.render_markdown()
+    replicate_counts = {report.baseline_replicates}
+    replicate_counts.update(c.replicates for c in report.comparisons)
+    replicated = max(replicate_counts) > 1
     if args.report:
         baseline = report.baseline_name
         lines = [
@@ -300,7 +333,10 @@ def cmd_compare_scenarios(args: argparse.Namespace) -> int:
             "",
             f"Per-scenario deltas against the `{baseline}` scenario "
             f"({len(suite)} scenarios, "
-            f"{suite.summary()['cache_hits']} served from cache).",
+            f"{suite.summary()['cache_hits']} served from cache)."
+            + (f" Headline values are mean ±95% CI over "
+               f"{max(replicate_counts)} seed replicates."
+               if replicated else ""),
             "",
             markdown,
             "",
@@ -318,6 +354,7 @@ def cmd_compare_scenarios(args: argparse.Namespace) -> int:
             "jobs": base.total_jobs,
             "months": base.months,
             "seed": base.seed,
+            "replicates": max(replicate_counts),
             "suite": suite.summary(),
             "comparison": report.as_dict(),
         }

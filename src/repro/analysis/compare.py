@@ -6,6 +6,13 @@ queue-time percentiles, machine utilisation, a fidelity distribution and the
 terminal-status mix — and reports every scenario as deltas against the
 baseline, as JSON-serialisable data or a markdown table.
 
+Seed replicates (scenarios whose :attr:`~repro.scenarios.scenario.Scenario.
+replicate_of` points at a base scenario — :func:`~repro.scenarios.scenario.
+replicate_scenarios` generates them) are aggregated, not listed: each
+replicate group collapses to one comparison row holding the per-metric mean
+and a Student-t 95% confidence interval, so what-if deltas come with
+statistical error bars instead of resting on a single seed.
+
 Fidelity is a *trace-level proxy* of the Estimated Success Probability: per
 job, the machine-average CX and readout error rates of the calibration in
 effect when the job started (drift applied, so calibration-regime scenarios
@@ -16,8 +23,9 @@ Fig. 7 demonstrates without re-transpiling every job.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -199,23 +207,117 @@ def _delta(value: float, baseline: float) -> MetricDelta:
                        percent=percent)
 
 
+#: Two-sided Student-t critical values at 95% confidence for df = 1..30;
+#: larger samples fall back to the normal-approximation 1.96.  Hardcoded so
+#: the CI aggregation needs numpy only (no scipy in the image).
+_T_CRITICAL_95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+)
+
+
+def _t_critical(degrees_of_freedom: int) -> float:
+    if degrees_of_freedom < 1:
+        return float("nan")
+    if degrees_of_freedom <= len(_T_CRITICAL_95):
+        return _T_CRITICAL_95[degrees_of_freedom - 1]
+    return 1.96
+
+
+@dataclass(frozen=True)
+class MetricInterval:
+    """Mean ± 95% confidence half-width of one metric over seed replicates."""
+
+    mean: float
+    half_width: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "mean": self.mean,
+            "half_width": self.half_width,
+            "low": self.low,
+            "high": self.high,
+            "n": float(self.n),
+        }
+
+
+def replicate_interval(values: Sequence[float]) -> MetricInterval:
+    """The mean ± Student-t 95% CI of one metric's replicate values.
+
+    Non-finite replicate values (a metric that was undefined in one
+    re-roll) are dropped; with fewer than two finite values the half-width
+    is NaN — a single seed carries no variance information.
+    """
+    finite = np.asarray(
+        [v for v in values if v == v and not math.isinf(v)], dtype=float)
+    n = int(finite.size)
+    if n == 0:
+        return MetricInterval(mean=float("nan"), half_width=float("nan"), n=0)
+    mean = float(finite.mean())
+    if n == 1:
+        return MetricInterval(mean=mean, half_width=float("nan"), n=1)
+    std = float(finite.std(ddof=1))
+    half_width = _t_critical(n - 1) * std / math.sqrt(n)
+    return MetricInterval(mean=mean, half_width=half_width, n=n)
+
+
+def aggregate_replicates(
+    metrics_list: Sequence[ScenarioMetrics],
+) -> Tuple[ScenarioMetrics, Dict[str, MetricInterval]]:
+    """Collapse per-replicate metrics into (mean metrics, per-metric CI)."""
+    if not metrics_list:
+        raise AnalysisError("cannot aggregate an empty replicate group")
+    dicts = [metrics.as_dict() for metrics in metrics_list]
+    intervals = {
+        metric: replicate_interval([d[metric] for d in dicts])
+        for metric in dicts[0]
+    }
+    means = {metric: interval.mean
+             for metric, interval in intervals.items()}
+    return ScenarioMetrics(**means), intervals
+
+
 @dataclass
 class ScenarioComparison:
-    """One scenario's metrics as deltas against the baseline."""
+    """One scenario's metrics as deltas against the baseline.
+
+    When the scenario ran as several seed replicates, ``metrics`` holds the
+    replicate means, ``intervals`` the per-metric 95% CI, and ``replicates``
+    the group size; a single-seed scenario has no intervals.
+    """
 
     name: str
     description: str
     metrics: ScenarioMetrics
     deltas: Dict[str, MetricDelta]
+    intervals: Optional[Dict[str, MetricInterval]] = None
+    replicates: int = 1
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "scenario": self.name,
             "description": self.description,
             "metrics": self.metrics.as_dict(),
             "deltas": {metric: delta.as_dict()
                        for metric, delta in self.deltas.items()},
         }
+        if self.intervals is not None:
+            payload["replicates"] = self.replicates
+            payload["intervals"] = {
+                metric: interval.as_dict()
+                for metric, interval in self.intervals.items()
+            }
+        return payload
 
 
 @dataclass
@@ -225,16 +327,29 @@ class ComparisonReport:
     baseline_name: str
     baseline_metrics: ScenarioMetrics
     comparisons: List[ScenarioComparison] = field(default_factory=list)
+    baseline_intervals: Optional[Dict[str, MetricInterval]] = None
+    baseline_replicates: int = 1
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "baseline": self.baseline_name,
             "baseline_metrics": self.baseline_metrics.as_dict(),
             "scenarios": [c.as_dict() for c in self.comparisons],
         }
+        if self.baseline_intervals is not None:
+            payload["baseline_replicates"] = self.baseline_replicates
+            payload["baseline_intervals"] = {
+                metric: interval.as_dict()
+                for metric, interval in self.baseline_intervals.items()
+            }
+        return payload
 
     def render_markdown(self) -> str:
-        """The per-scenario delta table (values + signed % vs baseline)."""
+        """The per-scenario delta table (values + signed % vs baseline).
+
+        Replicated rows render every headline value as ``mean ±hw`` (the
+        95% CI half-width over the seed re-rolls).
+        """
         header = ["scenario"]
         for _, label in HEADLINE_COLUMNS:
             header.extend([label, "Δ%"])
@@ -245,13 +360,20 @@ class ComparisonReport:
         baseline = self.baseline_metrics.as_dict()
         baseline_row = [self.baseline_name]
         for metric, _ in HEADLINE_COLUMNS:
-            baseline_row.extend([_format_value(baseline[metric]), "—"])
+            baseline_row.extend([
+                _format_with_interval(
+                    baseline[metric],
+                    (self.baseline_intervals or {}).get(metric)),
+                "—",
+            ])
         lines.append("| " + " | ".join(baseline_row) + " |")
         for comparison in self.comparisons:
             row = [comparison.name]
             for metric, _ in HEADLINE_COLUMNS:
                 delta = comparison.deltas[metric]
-                row.append(_format_value(delta.value))
+                row.append(_format_with_interval(
+                    delta.value,
+                    (comparison.intervals or {}).get(metric)))
                 row.append(_format_percent(delta.percent))
             lines.append("| " + " | ".join(row) + " |")
         return "\n".join(lines)
@@ -260,11 +382,25 @@ class ComparisonReport:
 def _format_value(value: float) -> str:
     if value != value:
         return "n/a"
+    # Guard non-finite values before the int() comparison: int(inf) raises
+    # OverflowError, and a surge/outage scenario can legitimately push a
+    # ratio metric to ±inf.
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
     if value == int(value) and abs(value) < 1e6:
         return str(int(value))
     if abs(value) >= 100:
         return f"{value:.0f}"
     return f"{value:.3g}"
+
+
+def _format_with_interval(value: float,
+                          interval: Optional[MetricInterval]) -> str:
+    text = _format_value(value)
+    if (interval is not None and interval.n > 1
+            and interval.half_width == interval.half_width):
+        text += f" ±{_format_value(interval.half_width)}"
+    return text
 
 
 def _format_percent(percent: Optional[float]) -> str:
@@ -312,16 +448,56 @@ def compare_traces(
 def compare_suite(suite) -> ComparisonReport:
     """Compare a :class:`~repro.scenarios.engine.ScenarioSuiteResult`.
 
-    The first baseline-named run (a scenario with no perturbations) anchors
-    the deltas; if none exists the suite's first run is used.
+    Seed replicates (runs whose scenario carries ``replicate_of``) are
+    grouped under their base scenario and aggregated into mean ± 95% CI
+    per headline metric; deltas are taken between group means.  The first
+    baseline group (one containing a scenario with no perturbations)
+    anchors the deltas; if none exists the suite's first group is used.
     """
     runs = list(suite)
     if not runs:
         raise AnalysisError("the scenario suite is empty")
-    baseline_run = next((run for run in runs if run.scenario.is_baseline),
-                        runs[0])
-    return compare_traces(
-        baseline_run.name,
-        {run.name: (run.trace, run.build_fleet()) for run in runs},
-        descriptions={run.name: run.scenario.description for run in runs},
+    groups: Dict[str, List] = {}
+    for run in runs:
+        base = run.scenario.replicate_of or run.name
+        groups.setdefault(base, []).append(run)
+
+    baseline_name = next(
+        (name for name, members in groups.items()
+         if any(member.scenario.is_baseline for member in members)),
+        next(iter(groups)))
+
+    aggregated: Dict[str, Tuple[ScenarioMetrics,
+                                Optional[Dict[str, MetricInterval]], int]] = {}
+    for name, members in groups.items():
+        metrics_list = [headline_metrics(member.trace, member.build_fleet())
+                        for member in members]
+        if len(metrics_list) == 1:
+            aggregated[name] = (metrics_list[0], None, 1)
+        else:
+            mean_metrics, intervals = aggregate_replicates(metrics_list)
+            aggregated[name] = (mean_metrics, intervals, len(metrics_list))
+
+    baseline_metrics, baseline_intervals, baseline_n = aggregated[baseline_name]
+    baseline_dict = baseline_metrics.as_dict()
+    report = ComparisonReport(
+        baseline_name=baseline_name,
+        baseline_metrics=baseline_metrics,
+        baseline_intervals=baseline_intervals,
+        baseline_replicates=baseline_n,
     )
+    for name, members in groups.items():
+        if name == baseline_name:
+            continue
+        metrics, intervals, replicates = aggregated[name]
+        values = metrics.as_dict()
+        report.comparisons.append(ScenarioComparison(
+            name=name,
+            description=members[0].scenario.description,
+            metrics=metrics,
+            deltas={metric: _delta(values[metric], baseline_dict[metric])
+                    for metric in values},
+            intervals=intervals,
+            replicates=replicates,
+        ))
+    return report

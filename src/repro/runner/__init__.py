@@ -5,15 +5,21 @@ an embarrassingly parallel workload:
 
 * :mod:`repro.runner.sharding` — deterministic partitioning of the
   submission plan (synthesis shards) and of the fleet (simulation groups).
+* :mod:`repro.runner.pool` — :class:`SharedWorkerPool`, the persistent
+  pool/session object every study schedules onto, with per-study worker
+  state keyed by config fingerprint.
 * :mod:`repro.runner.executor` — :class:`StudyRunner`, which executes both
-  stages across ``multiprocessing`` workers and merges the result with
-  stable ordering; :func:`run_study` is the one-call entry point.
+  stages on a (shared or transient) pool and merges the result with stable
+  ordering; :func:`run_study` is the one-call entry point and
+  :func:`run_suite` schedules many distinct studies as one interleaved
+  queue over a single pool.
 * :mod:`repro.runner.cache` — the on-disk :class:`TraceCache` keyed by a
   content fingerprint of the generator config.
 
 The merged trace is a pure function of the
-:class:`~repro.workloads.generator.TraceGeneratorConfig`: worker count and
-shard count only change how fast it is produced, never its bytes.
+:class:`~repro.workloads.generator.TraceGeneratorConfig`: worker count,
+shard count and which studies share the pool only change how fast it is
+produced, never its bytes.
 """
 
 from repro.runner.cache import TraceCache, config_fingerprint
@@ -22,7 +28,9 @@ from repro.runner.executor import (
     StudyRunner,
     default_workers,
     run_study,
+    run_suite,
 )
+from repro.runner.pool import SharedWorkerPool
 from repro.runner.sharding import (
     MachineGroup,
     ShardSpec,
@@ -33,6 +41,7 @@ from repro.runner.sharding import (
 __all__ = [
     "MachineGroup",
     "ShardSpec",
+    "SharedWorkerPool",
     "StudyResult",
     "StudyRunner",
     "TraceCache",
@@ -41,4 +50,5 @@ __all__ = [
     "plan_machine_groups",
     "plan_shards",
     "run_study",
+    "run_suite",
 ]

@@ -22,7 +22,7 @@ import dataclasses
 import enum
 import hashlib
 import json
-import os
+import uuid
 import zipfile
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -148,12 +148,21 @@ class TraceCache:
         return path.read_bytes() if path is not None else None
 
     def put(self, key: str, trace: TraceDataset) -> Path:
-        """Store ``trace`` under ``key`` atomically; returns the cache path."""
+        """Store ``trace`` under ``key`` atomically; returns the cache path.
+
+        The dump goes to a uniquely named scratch file first (a uuid suffix,
+        so concurrent writers — or a recycled pid — can never collide) and
+        is renamed into place only once fully written; if the dump raises,
+        the scratch file is removed instead of accumulating as litter.
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
-        scratch = path.with_suffix(f".tmp.{os.getpid()}")
-        trace.to_npz(scratch)
-        scratch.replace(path)
+        scratch = path.with_suffix(f".tmp.{uuid.uuid4().hex}")
+        try:
+            trace.to_npz(scratch)
+            scratch.replace(path)
+        finally:
+            scratch.unlink(missing_ok=True)
         return path
 
     def stats(self) -> Dict[str, int]:

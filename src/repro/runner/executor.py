@@ -1,4 +1,4 @@
-"""The parallel sharded study runner.
+"""The parallel sharded study runner and the suite scheduler.
 
 :class:`StudyRunner` turns one
 :class:`~repro.workloads.generator.TraceGeneratorConfig` into a merged
@@ -14,24 +14,31 @@ processes, in two embarrassingly parallel stages:
    sub-fleet.  The service draws from per-machine spawned streams, so the
    merged per-machine dynamics equal the single-service run exactly.
 
-The merged records are sorted by ``(submit_time, job_id)``, making the whole
-pipeline a pure function of the config: same seed in, byte-identical trace
-out, no matter how the work was partitioned.  Results are memoised on disk
-through :class:`~repro.runner.cache.TraceCache`.
+:func:`run_suite` generalises the same pipeline to *many* studies on one
+:class:`~repro.runner.pool.SharedWorkerPool`: every study's synthesis shards
+are queued up front and its simulation groups chase them as soon as its own
+synthesis drains, so shards and machine groups of different studies
+interleave on the shared workers instead of serialising behind per-study
+pool barriers.  Per-study worker state is keyed by config fingerprint (see
+:mod:`repro.runner.pool`), which keeps each study a pure function of its
+config: same seed in, byte-identical trace out, no matter how the work was
+partitioned or which studies ran alongside.
+
+The merged records are sorted by ``(submit_time, job_id)`` and results are
+memoised on disk through :class:`~repro.runner.cache.TraceCache`.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cloud.job import Job
-from repro.cloud.service import QuantumCloudService
+from repro.core.exceptions import WorkloadError
 from repro.runner.cache import TraceCache, config_fingerprint
+from repro.runner.pool import SharedWorkerPool, default_workers
 from repro.runner.sharding import (
     MachineGroup,
     ShardSpec,
@@ -39,63 +46,24 @@ from repro.runner.sharding import (
     plan_shards,
 )
 from repro.workloads.generator import (
-    JobSynthesizer,
     TraceGeneratorConfig,
     plan_submissions,
-    record_for,
 )
 from repro.workloads.trace import (
     TRACE_SCHEMA_VERSION,
-    JobRecord,
     TraceDataset,
 )
 
 ProgressCallback = Callable[[str], None]
 
-# Per-process worker state, populated once by the pool initializer so that
-# the fleet and synthesizer are built a single time per worker rather than
-# once per shard.
-_WORKER: Dict[str, object] = {}
-
-
-def _init_worker(config: TraceGeneratorConfig) -> None:
-    fleet = config.build_fleet()
-    _WORKER["config"] = config
-    _WORKER["fleet"] = fleet
-    _WORKER["synthesizer"] = JobSynthesizer(config, fleet)
-
-
-def _synthesise_shard_with(synthesizer: JobSynthesizer,
-                           shard: ShardSpec) -> List[Job]:
-    jobs: List[Job] = []
-    for planned in shard.submissions:
-        job = synthesizer.synthesise(planned)
-        if job is not None:
-            jobs.append(job)
-    return jobs
-
-
-def _simulate_group_with(config: TraceGeneratorConfig,
-                         fleet: Dict[str, object],
-                         group: MachineGroup,
-                         jobs: Sequence[Job]) -> List[JobRecord]:
-    sub_fleet = {name: fleet[name] for name in group.machines}
-    service = QuantumCloudService(sub_fleet, seed=config.seed,
-                                  failure_model=config.build_failure_model())
-    ordered = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
-    for job in ordered:
-        service.submit(job)
-    service.drain()
-    return [record_for(job, fleet) for job in ordered]
-
-
-def _pool_synthesise(shard: ShardSpec) -> List[Job]:
-    return _synthesise_shard_with(_WORKER["synthesizer"], shard)
-
-
-def _pool_simulate(payload: Tuple[MachineGroup, List[Job]]) -> List[JobRecord]:
-    group, jobs = payload
-    return _simulate_group_with(_WORKER["config"], _WORKER["fleet"], group, jobs)
+__all__ = [
+    "ProgressCallback",
+    "StudyResult",
+    "StudyRunner",
+    "default_workers",
+    "run_study",
+    "run_suite",
+]
 
 
 @dataclass
@@ -128,13 +96,178 @@ class StudyResult:
         }
 
 
-def default_workers() -> int:
-    """Worker-count default: every core, capped to keep small hosts usable."""
-    return max(1, min(os.cpu_count() or 1, 16))
+@dataclass
+class _PendingStudy:
+    """Book-keeping of one cache-missed study flowing through the pool."""
+
+    key: str
+    config: TraceGeneratorConfig
+    shards: List[ShardSpec]
+    started: float
+    plan_seconds: float
+    synth_handles: List[object] = field(default_factory=list)
+    sim_handles: List[object] = field(default_factory=list)
+    groups: List[MachineGroup] = field(default_factory=list)
+    synthesis_seconds: float = 0.0
+    simulation_seconds: float = 0.0
+
+
+def run_suite(
+    studies: Sequence[Tuple[str, TraceGeneratorConfig]],
+    pool: Optional[SharedWorkerPool] = None,
+    *,
+    num_shards: Optional[int] = None,
+    cache: Optional[Union[TraceCache, str, Path]] = None,
+    use_cache: bool = True,
+    lazy_cache: bool = False,
+    progress: Optional[ProgressCallback] = None,
+) -> Dict[str, StudyResult]:
+    """Run many distinct studies as one interleaved queue on a shared pool.
+
+    ``studies`` is an ordered sequence of ``(fingerprint, config)`` pairs
+    with distinct fingerprints (deduplicate identical expansions first —
+    the scenario engine does).  Cache hits are served immediately; every
+    miss has its synthesis shards queued up front, and its simulation
+    groups are queued the moment its own synthesis completes, so the pool
+    is never idle behind a per-study phase barrier.  Returns a dict keyed
+    by fingerprint, in ``studies`` order.
+
+    With ``pool=None`` a transient pool of :func:`default_workers` workers
+    is created for the call (terminated, not joined, if a task fails).
+    Suite timings are wall-clock *wait* times per phase — they overlap
+    across studies, unlike the exclusive per-phase timings of a solo run.
+    """
+    keys = [key for key, _ in studies]
+    if len(set(keys)) != len(keys):
+        raise WorkloadError(
+            "run_suite requires distinct study fingerprints; deduplicate "
+            "identical configs before scheduling them")
+    progress = progress or (lambda message: None)
+    if cache is not None and not isinstance(cache, TraceCache):
+        cache = TraceCache(cache)
+    if pool is None:
+        with SharedWorkerPool(default_workers()) as transient:
+            return run_suite(
+                studies, transient, num_shards=num_shards, cache=cache,
+                use_cache=use_cache, lazy_cache=lazy_cache, progress=progress)
+
+    shards_per_study = max(1, int(num_shards if num_shards is not None
+                                  else pool.workers))
+    epoch = pool.next_epoch()
+    results: Dict[str, StudyResult] = {}
+    pending: List[_PendingStudy] = []
+
+    # Phase 1 — serve cache hits, queue every miss's synthesis shards.
+    for key, config in studies:
+        started = time.perf_counter()
+        if use_cache and cache is not None:
+            cached = cache.get(key, lazy=lazy_cache)
+            if cached is not None:
+                progress(f"cache hit for config {key}")
+                results[key] = StudyResult(
+                    trace=cached,
+                    config=config,
+                    workers=pool.workers,
+                    num_shards=shards_per_study,
+                    cache_key=key,
+                    cache_hit=True,
+                    cache_path=cache.existing_path_for(key),
+                    timings={"total": time.perf_counter() - started},
+                )
+                continue
+        plan_started = time.perf_counter()
+        submissions = plan_submissions(config)
+        shards = plan_shards(config, submissions, shards_per_study)
+        study = _PendingStudy(
+            key=key, config=config, shards=shards, started=started,
+            plan_seconds=time.perf_counter() - plan_started)
+        study.synth_handles = [
+            pool.submit_synthesis(epoch, key, config, shard)
+            for shard in shards
+        ]
+        pending.append(study)
+        progress(
+            f"queued {len(submissions)} submissions across {len(shards)} "
+            f"shards for study {key} ({pool.workers} workers)"
+        )
+
+    # Phase 2 — as each study's synthesis drains, queue its simulations.
+    for study in pending:
+        wait_started = time.perf_counter()
+        per_shard_jobs = [handle.get() for handle in study.synth_handles]
+        study.synthesis_seconds = time.perf_counter() - wait_started
+        jobs = [job for shard_jobs in per_shard_jobs for job in shard_jobs]
+        progress(f"synthesised {len(jobs)} jobs for study {study.key} in "
+                 f"{study.synthesis_seconds:.1f}s")
+
+        job_counts: Dict[str, int] = {}
+        jobs_by_machine: Dict[str, List[Job]] = {}
+        for job in jobs:
+            job_counts[job.backend_name] = job_counts.get(job.backend_name, 0) + 1
+            jobs_by_machine.setdefault(job.backend_name, []).append(job)
+        study.groups = plan_machine_groups(job_counts, pool.workers)
+        study.sim_handles = [
+            pool.submit_simulation(
+                epoch, study.key, study.config, group,
+                [job for name in group.machines
+                 for job in jobs_by_machine[name]])
+            for group in study.groups
+        ]
+
+    # Phase 3 — collect, merge and cache each study in order.
+    for study in pending:
+        wait_started = time.perf_counter()
+        per_group_records = [handle.get() for handle in study.sim_handles]
+        study.simulation_seconds = time.perf_counter() - wait_started
+        progress(f"simulated {len(study.groups)} machine groups for study "
+                 f"{study.key} in {study.simulation_seconds:.1f}s")
+
+        merge_started = time.perf_counter()
+        records = [r for group_records in per_group_records
+                   for r in group_records]
+        records.sort(key=lambda r: (r.submit_time, r.job_id))
+        trace = TraceDataset(records, metadata={
+            "seed": study.config.seed,
+            "total_jobs": len(records),
+            "months": study.config.months,
+            "trace_schema": TRACE_SCHEMA_VERSION,
+        })
+        cache_path = None
+        if use_cache and cache is not None:
+            cache_path = cache.put(study.key, trace)
+        merge_seconds = time.perf_counter() - merge_started
+
+        results[study.key] = StudyResult(
+            trace=trace,
+            config=study.config,
+            workers=pool.workers,
+            num_shards=shards_per_study,
+            cache_key=study.key,
+            cache_hit=False,
+            cache_path=cache_path,
+            timings={
+                "plan": study.plan_seconds,
+                "synthesis": study.synthesis_seconds,
+                "simulation": study.simulation_seconds,
+                "merge": merge_seconds,
+                "total": time.perf_counter() - study.started,
+            },
+            shard_sizes=[len(shard) for shard in study.shards],
+            group_sizes=[group.expected_jobs for group in study.groups],
+        )
+
+    return {key: results[key] for key, _ in studies}
 
 
 class StudyRunner:
-    """Runs one study config to a merged trace across worker processes."""
+    """Runs one study config to a merged trace across worker processes.
+
+    Pass ``pool`` to schedule onto a long-lived
+    :class:`~repro.runner.pool.SharedWorkerPool` (the suite session);
+    without one, a transient pool of ``workers`` processes is created per
+    :meth:`run` and terminated — not joined — if a worker task raises, so a
+    failed map can never hang the run.
+    """
 
     def __init__(
         self,
@@ -144,10 +277,12 @@ class StudyRunner:
         cache: Optional[Union[TraceCache, str, Path]] = None,
         progress: Optional[ProgressCallback] = None,
         lazy_cache: bool = False,
+        pool: Optional[SharedWorkerPool] = None,
     ):
         self.config = config or TraceGeneratorConfig()
-        self.workers = max(1, int(workers if workers is not None
-                                  else default_workers()))
+        self.pool = pool
+        default = pool.workers if pool is not None else default_workers()
+        self.workers = max(1, int(workers if workers is not None else default))
         self.num_shards = max(1, int(num_shards if num_shards is not None
                                      else self.workers))
         if cache is not None and not isinstance(cache, TraceCache):
@@ -162,125 +297,28 @@ class StudyRunner:
 
     def run(self, use_cache: bool = True) -> StudyResult:
         """Produce the merged study trace (from cache when possible)."""
-        started = time.perf_counter()
         key = config_fingerprint(self.config)
-        if use_cache and self.cache is not None:
-            cached = self.cache.get(key, lazy=self.lazy_cache)
-            if cached is not None:
-                self._progress(f"cache hit for config {key}")
-                return StudyResult(
-                    trace=cached,
-                    config=self.config,
-                    workers=self.workers,
-                    num_shards=self.num_shards,
-                    cache_key=key,
-                    cache_hit=True,
-                    cache_path=self.cache.existing_path_for(key),
-                    timings={"total": time.perf_counter() - started},
-                )
-
-        plan_started = time.perf_counter()
-        submissions = plan_submissions(self.config)
-        shards = plan_shards(self.config, submissions, self.num_shards)
-        plan_seconds = time.perf_counter() - plan_started
-        self._progress(
-            f"planned {len(submissions)} submissions across "
-            f"{len(shards)} shards ({self.workers} workers)"
-        )
-
-        pool = None
-        fleet = None
+        pool = self.pool
+        owned = pool is None
+        if owned:
+            pool = SharedWorkerPool(self.workers)
         try:
-            if self.workers > 1:
-                context = multiprocessing.get_context(
-                    "fork" if "fork" in multiprocessing.get_all_start_methods()
-                    else "spawn"
-                )
-                pool = context.Pool(
-                    processes=self.workers,
-                    initializer=_init_worker,
-                    initargs=(self.config,),
-                )
-            else:
-                fleet = self.config.build_fleet()
-
-            synthesis_started = time.perf_counter()
-            if pool is not None:
-                per_shard_jobs = pool.map(_pool_synthesise, shards)
-            else:
-                synthesizer = JobSynthesizer(self.config, fleet)
-                per_shard_jobs = [
-                    _synthesise_shard_with(synthesizer, shard)
-                    for shard in shards
-                ]
-            synthesis_seconds = time.perf_counter() - synthesis_started
-            jobs = [job for shard_jobs in per_shard_jobs for job in shard_jobs]
-            self._progress(
-                f"synthesised {len(jobs)} jobs in {synthesis_seconds:.1f}s"
+            results = run_suite(
+                [(key, self.config)], pool,
+                num_shards=self.num_shards,
+                cache=self.cache,
+                use_cache=use_cache,
+                lazy_cache=self.lazy_cache,
+                progress=self._progress,
             )
-
-            job_counts: Dict[str, int] = {}
-            jobs_by_machine: Dict[str, List[Job]] = {}
-            for job in jobs:
-                job_counts[job.backend_name] = job_counts.get(job.backend_name, 0) + 1
-                jobs_by_machine.setdefault(job.backend_name, []).append(job)
-            groups = plan_machine_groups(job_counts, self.workers)
-            payloads = [
-                (group, [job for name in group.machines
-                         for job in jobs_by_machine[name]])
-                for group in groups
-            ]
-
-            simulation_started = time.perf_counter()
-            if pool is not None:
-                per_group_records = pool.map(_pool_simulate, payloads)
-            else:
-                per_group_records = [
-                    _simulate_group_with(self.config, fleet, group, group_jobs)
-                    for group, group_jobs in payloads
-                ]
-            simulation_seconds = time.perf_counter() - simulation_started
-            self._progress(
-                f"simulated {len(groups)} machine groups in "
-                f"{simulation_seconds:.1f}s"
-            )
-        finally:
-            if pool is not None:
+        except BaseException:
+            if owned:
+                pool.terminate()
+            raise
+        else:
+            if owned:
                 pool.close()
-                pool.join()
-
-        merge_started = time.perf_counter()
-        records = [r for group_records in per_group_records for r in group_records]
-        records.sort(key=lambda r: (r.submit_time, r.job_id))
-        trace = TraceDataset(records, metadata={
-            "seed": self.config.seed,
-            "total_jobs": len(records),
-            "months": self.config.months,
-            "trace_schema": TRACE_SCHEMA_VERSION,
-        })
-        cache_path = None
-        if use_cache and self.cache is not None:
-            cache_path = self.cache.put(key, trace)
-        merge_seconds = time.perf_counter() - merge_started
-
-        return StudyResult(
-            trace=trace,
-            config=self.config,
-            workers=self.workers,
-            num_shards=self.num_shards,
-            cache_key=key,
-            cache_hit=False,
-            cache_path=cache_path,
-            timings={
-                "plan": plan_seconds,
-                "synthesis": synthesis_seconds,
-                "simulation": simulation_seconds,
-                "merge": merge_seconds,
-                "total": time.perf_counter() - started,
-            },
-            shard_sizes=[len(shard) for shard in shards],
-            group_sizes=[group.expected_jobs for group in groups],
-        )
+        return results[key]
 
 
 def run_study(
@@ -294,11 +332,16 @@ def run_study(
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressCallback] = None,
     use_cache: bool = True,
+    lazy_cache: bool = False,
+    pool: Optional[SharedWorkerPool] = None,
 ) -> StudyResult:
     """One-call entry point: run a study config through the sharded runner.
 
     Either pass an explicit ``config`` or the common scalar knobs
-    (``total_jobs`` / ``months`` / ``seed``).
+    (``total_jobs`` / ``months`` / ``seed``).  ``lazy_cache`` defaults to
+    False here (a plain study usually consumes the whole trace); the
+    scenario entry points default it to True because comparisons read a
+    handful of columns — the flag is threaded through either way.
     """
     if config is None:
         kwargs: Dict[str, object] = {"total_jobs": total_jobs, "seed": seed}
@@ -311,5 +354,7 @@ def run_study(
         num_shards=num_shards,
         cache=cache_dir,
         progress=progress,
+        lazy_cache=lazy_cache,
+        pool=pool,
     )
     return runner.run(use_cache=use_cache)

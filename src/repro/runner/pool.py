@@ -1,0 +1,211 @@
+"""The shared worker pool behind suite-level scheduling.
+
+:class:`SharedWorkerPool` is the persistent pool/session object the study
+runner and the scenario engine schedule onto.  Instead of spinning a fresh
+``multiprocessing`` pool up (and tearing it down) per study — which is what
+the pre-suite runner did and what made a ten-scenario catalog pay ten pool
+start-ups with every small scenario serialised behind the previous one — a
+single pool outlives any number of studies and executes their synthesis
+shards and machine-group simulations as one interleaved work queue.
+
+Determinism is preserved by construction:
+
+* every task is a pure function of ``(config, shard)`` or
+  ``(config, group, jobs)`` — job randomness is keyed by global job index
+  and simulation randomness by machine, so *which* worker runs a task (and
+  in what order) cannot change its result;
+* per-worker state (the fleet and the job synthesizer of one study) is keyed
+  by the study's config fingerprint, so tasks of different scenarios never
+  share mutable state even when they interleave on one worker;
+* state generations are keyed by an *epoch* that the suite scheduler bumps
+  per run, so re-running a study on a long-lived pool starts from freshly
+  built fleets exactly like a transient per-study pool would.
+
+With ``workers == 1`` the pool degrades to inline execution in the calling
+process — no subprocesses, same bytes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.job import Job
+from repro.cloud.service import QuantumCloudService
+from repro.core.exceptions import WorkloadError
+from repro.runner.sharding import MachineGroup, ShardSpec
+from repro.workloads.generator import (
+    JobSynthesizer,
+    TraceGeneratorConfig,
+    record_for,
+)
+from repro.workloads.trace import JobRecord
+
+
+def default_workers() -> int:
+    """Worker-count default: every core, capped to keep small hosts usable."""
+    return max(1, min(os.cpu_count() or 1, 16))
+
+
+# -- worker-side state ---------------------------------------------------------------
+
+#: Per-process study state, keyed by ``(epoch, config fingerprint)``.  A
+#: worker builds the fleet (and, lazily, the synthesizer) of a study the
+#: first time it receives one of its tasks and reuses it for every later
+#: task of the same study in the same epoch.
+_STATE: Dict[Tuple[int, str], Dict[str, object]] = {}
+
+#: Process-wide epoch source.  Epochs must be unique across *every* pool
+#: instance of the process, not per instance: inline (workers == 1) tasks
+#: run in the calling process, and forked workers inherit the parent's
+#: ``_STATE``, so a per-instance counter restarting at 1 would let a later
+#: run silently reuse — and never evict — a previous run's fleets.
+_EPOCHS = itertools.count(1)
+
+
+def _state_for(epoch: int, key: str,
+               config: TraceGeneratorConfig) -> Dict[str, object]:
+    state = _STATE.get((epoch, key))
+    if state is None:
+        # A new epoch invalidates every older generation: fleets mutated by
+        # a previous run's simulations must never leak into this one.
+        for stale in [k for k in _STATE if k[0] != epoch]:
+            del _STATE[stale]
+        state = {"fleet": config.build_fleet(), "synthesizer": None}
+        _STATE[(epoch, key)] = state
+    return state
+
+
+def _synthesise_task(payload: Tuple[int, str, TraceGeneratorConfig,
+                                    ShardSpec]) -> List[Job]:
+    epoch, key, config, shard = payload
+    state = _state_for(epoch, key, config)
+    synthesizer = state["synthesizer"]
+    if synthesizer is None:
+        synthesizer = JobSynthesizer(config, state["fleet"])
+        state["synthesizer"] = synthesizer
+    jobs: List[Job] = []
+    for planned in shard.submissions:
+        job = synthesizer.synthesise(planned)
+        if job is not None:
+            jobs.append(job)
+    return jobs
+
+
+def _simulate_task(payload: Tuple[int, str, TraceGeneratorConfig,
+                                  MachineGroup, Sequence[Job]]
+                   ) -> List[JobRecord]:
+    epoch, key, config, group, jobs = payload
+    state = _state_for(epoch, key, config)
+    fleet = state["fleet"]
+    sub_fleet = {name: fleet[name] for name in group.machines}
+    service = QuantumCloudService(sub_fleet, seed=config.seed,
+                                  failure_model=config.build_failure_model())
+    ordered = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+    for job in ordered:
+        service.submit(job)
+    service.drain()
+    return [record_for(job, fleet) for job in ordered]
+
+
+class _ImmediateResult:
+    """Inline stand-in for ``AsyncResult`` when the pool has one worker."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value):
+        self._value = value
+
+    def get(self, timeout=None):
+        return self._value
+
+
+class SharedWorkerPool:
+    """A reusable pool of study workers, shared across studies and suites.
+
+    The pool is lazy (processes start on the first parallel submission) and
+    long-lived: hand one instance to several :class:`StudyRunner`s or
+    scenario-engine runs and they all schedule onto the same workers.  Use
+    it as a context manager — on a clean exit outstanding work is drained
+    and the workers released; on an exception they are terminated so a
+    failed task can never hang the caller on join.
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = max(1, int(workers if workers is not None
+                                  else default_workers()))
+        self._pool = None
+        self._closed = False
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.workers > 1
+
+    def next_epoch(self) -> int:
+        """Open a fresh worker-state generation (one per suite/study run).
+
+        Epochs are unique process-wide, so starting a new run invalidates
+        the cached per-study state of every earlier run — including state
+        built inline by other pool instances or inherited through fork.
+        """
+        return next(_EPOCHS)
+
+    def _ensure_pool(self):
+        if self._closed:
+            raise WorkloadError("this worker pool has been shut down")
+        if self._pool is None:
+            context = multiprocessing.get_context(
+                "fork" if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+            self._pool = context.Pool(processes=self.workers)
+        return self._pool
+
+    def _submit(self, task, payload):
+        if not self.is_parallel:
+            return _ImmediateResult(task(payload))
+        return self._ensure_pool().apply_async(task, (payload,))
+
+    def submit_synthesis(self, epoch: int, key: str,
+                         config: TraceGeneratorConfig, shard: ShardSpec):
+        """Queue one synthesis shard; returns a handle with ``.get()``."""
+        return self._submit(_synthesise_task, (epoch, key, config, shard))
+
+    def submit_simulation(self, epoch: int, key: str,
+                          config: TraceGeneratorConfig, group: MachineGroup,
+                          jobs: Sequence[Job]):
+        """Queue one machine-group simulation; returns a ``.get()`` handle."""
+        return self._submit(_simulate_task, (epoch, key, config, group, jobs))
+
+    def close(self) -> None:
+        """Drain outstanding work and release the workers (clean path)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Kill the workers immediately (failure path: a task raised).
+
+        ``close()`` would wait for every queued task to finish — after an
+        exception that can hang the caller behind work whose results nobody
+        will collect, so error paths must terminate instead.
+        """
+        self._closed = True
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SharedWorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()
+        return False

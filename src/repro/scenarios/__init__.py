@@ -8,11 +8,16 @@ turns the sharded study runner into a comparative-experimentation platform:
 * :mod:`repro.scenarios.perturbations` — composable deviations from the
   baseline (demand surges, outages, fleet changes, calibration drift,
   backlog regime shifts, failure rates, policy swaps).
-* :mod:`repro.scenarios.scenario` — named, seedable scenarios and the
-  built-in catalog (:func:`builtin_scenarios`).
-* :mod:`repro.scenarios.spec` — TOML/JSON scenario-suite spec files.
-* :mod:`repro.scenarios.engine` — expansion + execution through the sharded
-  runner with fingerprint-keyed cache reuse and deduplication.
+* :mod:`repro.scenarios.scenario` — named, seedable scenarios, the built-in
+  catalog (:func:`builtin_scenarios`) and seed replicates
+  (:func:`replicate_scenarios`, aggregated into mean ± CI downstream).
+* :mod:`repro.scenarios.sweep` — parameter grids over perturbation fields,
+  expanded into named scenario variants (:func:`expand_sweeps`).
+* :mod:`repro.scenarios.spec` — TOML/JSON scenario-suite spec files
+  (including ``{sweep = [...]}`` axis declarations).
+* :mod:`repro.scenarios.engine` — expansion + execution of the whole suite
+  on one shared worker pool with fingerprint-keyed cache reuse and
+  deduplication.
 
 Comparative analysis of the resulting traces lives in
 :mod:`repro.analysis.compare`; ``python -m repro run-scenarios`` /
@@ -34,14 +39,24 @@ from repro.scenarios.perturbations import (
     MachineOutage,
     Perturbation,
     PolicySwap,
+    SweepValues,
     perturbation_from_dict,
 )
 from repro.scenarios.scenario import (
     Scenario,
     builtin_scenarios,
+    replicate_scenarios,
+    replicate_seed,
     resolve_scenarios,
 )
 from repro.scenarios.spec import ScenarioSuiteSpec, load_suite, parse_suite
+from repro.scenarios.sweep import (
+    expand_sweep,
+    expand_sweeps,
+    parse_sweep_flag,
+    sweep_axes,
+    sweep_from_flags,
+)
 
 __all__ = [
     "BacklogShift",
@@ -57,10 +72,18 @@ __all__ = [
     "ScenarioRun",
     "ScenarioSuiteResult",
     "ScenarioSuiteSpec",
+    "SweepValues",
     "builtin_scenarios",
+    "expand_sweep",
+    "expand_sweeps",
     "load_suite",
     "parse_suite",
+    "parse_sweep_flag",
     "perturbation_from_dict",
+    "replicate_scenarios",
+    "replicate_seed",
     "resolve_scenarios",
     "run_scenarios",
+    "sweep_axes",
+    "sweep_from_flags",
 ]

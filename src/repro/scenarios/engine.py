@@ -1,13 +1,23 @@
 """Executing scenario suites through the sharded study runner.
 
-:class:`ScenarioEngine` expands each scenario against the baseline config,
+:class:`ScenarioEngine` expands each scenario against the baseline config
+(sweep templates first expand into their concrete grid variants),
 fingerprints the expanded config (the *scenario fingerprint* — also the
 trace-cache key), deduplicates scenarios that expand to the same study, and
-drives each distinct study through :class:`~repro.runner.executor.StudyRunner`.
-Every scenario run therefore shards across the full worker pool, and any
-scenario whose expanded config was already generated — by a previous suite,
-by a plain ``run-study``, or by an identical sibling scenario — is served
-from the trace cache instead of being re-simulated.
+schedules every distinct study onto **one shared worker pool** through
+:func:`~repro.runner.executor.run_suite`: synthesis shards and machine-group
+simulations of different scenarios interleave on the same workers instead of
+each scenario paying its own pool start-up and serialising behind the
+previous one.  Per-scenario worker state is keyed by config fingerprint, so
+the interleaving cannot change a single byte — a suite run is byte-identical
+to running each scenario through its own sequential runner (tested).
+
+Any scenario whose expanded config was already generated — by a previous
+suite, by a plain ``run-study``, or by an identical sibling scenario — is
+served from the trace cache instead of being re-simulated.  Pass
+``suite_scheduling=False`` to fall back to the per-scenario sequential
+engine (one transient pool per scenario), which is what the suite
+benchmark compares against.
 """
 
 from __future__ import annotations
@@ -24,8 +34,11 @@ from repro.runner.executor import (
     ProgressCallback,
     StudyResult,
     StudyRunner,
+    run_suite,
 )
+from repro.runner.pool import SharedWorkerPool
 from repro.scenarios.scenario import Scenario
+from repro.scenarios.sweep import expand_sweeps
 from repro.workloads.generator import TraceGeneratorConfig
 from repro.workloads.trace import TraceDataset
 
@@ -66,6 +79,8 @@ class ScenarioRun:
             "cache_hit": self.cache_hit,
             **({"deduplicated_from": self.deduplicated_from}
                if self.deduplicated_from else {}),
+            **({"replicate_of": self.scenario.replicate_of}
+               if self.scenario.replicate_of else {}),
             "seconds": round(self.result.total_seconds, 3),
         }
 
@@ -103,7 +118,15 @@ class ScenarioSuiteResult:
 
 
 class ScenarioEngine:
-    """Expands and executes declarative scenarios over the cloud simulation."""
+    """Expands and executes declarative scenarios over the cloud simulation.
+
+    ``lazy_cache`` defaults to True (comparisons read a handful of columns,
+    so cache hits decompress lazily); the plain study runner defaults it to
+    False.  Pass a :class:`~repro.runner.pool.SharedWorkerPool` as ``pool``
+    to keep one set of workers alive across several ``run()`` calls —
+    without one, each suite run creates a transient pool (terminated, not
+    joined, if a worker task fails).
+    """
 
     def __init__(
         self,
@@ -113,6 +136,8 @@ class ScenarioEngine:
         cache: Optional[Union[TraceCache, str, Path]] = None,
         progress: Optional[ProgressCallback] = None,
         lazy_cache: bool = True,
+        pool: Optional[SharedWorkerPool] = None,
+        suite_scheduling: bool = True,
     ):
         self.base_config = base_config or TraceGeneratorConfig()
         self.workers = workers
@@ -121,6 +146,8 @@ class ScenarioEngine:
             cache = TraceCache(cache)
         self.cache = cache
         self.lazy_cache = lazy_cache
+        self.pool = pool
+        self.suite_scheduling = suite_scheduling
         self._progress = progress or (lambda message: None)
 
     def expand(self, scenario: Scenario) -> TraceGeneratorConfig:
@@ -131,22 +158,91 @@ class ScenarioEngine:
         """The scenario's trace-cache key (its content fingerprint)."""
         return config_fingerprint(self.expand(scenario))
 
-    def run(self, scenarios: Sequence[Scenario],
-            use_cache: bool = True) -> ScenarioSuiteResult:
-        """Execute every scenario; identical expansions run once."""
+    def _expansions(self, scenarios: Sequence[Scenario]
+                    ) -> List[Tuple[Scenario, TraceGeneratorConfig, str]]:
+        """Sweep-expand, validate names, and fingerprint every scenario."""
         if not scenarios:
             raise ScenarioError("no scenarios to run")
+        scenarios = expand_sweeps(scenarios)
         names = [scenario.name for scenario in scenarios]
         duplicates = {name for name in names if names.count(name) > 1}
         if duplicates:
             raise ScenarioError(
                 f"duplicate scenario names {sorted(duplicates)}")
+        return [(scenario, config, config_fingerprint(config))
+                for scenario in scenarios
+                for config in (self.expand(scenario),)]
+
+    def run(self, scenarios: Sequence[Scenario],
+            use_cache: bool = True) -> ScenarioSuiteResult:
+        """Execute every scenario; identical expansions run once.
+
+        Sweep templates are expanded into their grid variants first, so the
+        returned suite holds one run per concrete variant.
+        """
         started = time.perf_counter()
+        expansions = self._expansions(scenarios)
         suite = ScenarioSuiteResult(base_config=self.base_config)
+        if self.suite_scheduling:
+            self._run_shared(expansions, suite, use_cache)
+        else:
+            self._run_sequential(expansions, suite, use_cache)
+        suite.total_seconds = time.perf_counter() - started
+        return suite
+
+    # -- the one-pool suite scheduler --------------------------------------------------
+
+    def _run_shared(self, expansions, suite: ScenarioSuiteResult,
+                    use_cache: bool) -> None:
+        distinct: Dict[str, TraceGeneratorConfig] = {}
+        first_names: Dict[str, str] = {}
+        for scenario, config, key in expansions:
+            if key not in distinct:
+                distinct[key] = config
+                first_names[key] = scenario.name
+            else:
+                self._progress(
+                    f"scenario {scenario.name!r} expands to the same study "
+                    f"as {first_names[key]!r}; sharing its trace")
+        self._progress(
+            f"scheduling {len(distinct)} distinct studies "
+            f"({len(expansions)} scenarios) on one shared pool")
+
+        pool = self.pool
+        owned = pool is None
+        if owned:
+            pool = SharedWorkerPool(self.workers)
+        try:
+            results = run_suite(
+                list(distinct.items()), pool,
+                num_shards=self.num_shards,
+                cache=self.cache,
+                use_cache=use_cache,
+                lazy_cache=self.lazy_cache,
+                progress=self._progress,
+            )
+        except BaseException:
+            if owned:
+                pool.terminate()
+            raise
+        else:
+            if owned:
+                pool.close()
+
+        for scenario, config, key in expansions:
+            deduplicated_from = None
+            if first_names[key] != scenario.name:
+                deduplicated_from = first_names[key]
+            suite.runs.append(ScenarioRun(
+                scenario=scenario, config=config, fingerprint=key,
+                result=results[key], deduplicated_from=deduplicated_from))
+
+    # -- the per-scenario sequential engine --------------------------------------------
+
+    def _run_sequential(self, expansions, suite: ScenarioSuiteResult,
+                        use_cache: bool) -> None:
         executed: Dict[str, Tuple[str, StudyResult]] = {}
-        for scenario in scenarios:
-            config = self.expand(scenario)
-            key = config_fingerprint(config)
+        for scenario, config, key in expansions:
             previous = executed.get(key)
             if previous is not None:
                 first_name, result = previous
@@ -166,6 +262,10 @@ class ScenarioEngine:
                 cache=self.cache,
                 progress=self._progress,
                 lazy_cache=self.lazy_cache,
+                # Honour an engine-supplied shared pool even in sequential
+                # mode (scenarios still run one after another, but on the
+                # caller's workers instead of a transient pool each).
+                pool=self.pool,
             )
             result = runner.run(use_cache=use_cache)
             self._progress(
@@ -176,8 +276,6 @@ class ScenarioEngine:
             suite.runs.append(ScenarioRun(
                 scenario=scenario, config=config, fingerprint=key,
                 result=result))
-        suite.total_seconds = time.perf_counter() - started
-        return suite
 
 
 def run_scenarios(
@@ -189,13 +287,26 @@ def run_scenarios(
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressCallback] = None,
     use_cache: bool = True,
+    lazy_cache: bool = True,
+    pool: Optional[SharedWorkerPool] = None,
+    suite_scheduling: bool = True,
 ) -> ScenarioSuiteResult:
-    """One-call entry point: run a scenario suite through the runner."""
+    """One-call entry point: run a scenario suite through the shared pool.
+
+    ``lazy_cache`` defaults to True here (matching :class:`ScenarioEngine`:
+    comparisons touch few columns, so cache hits load lazily) and is
+    threaded through to the engine — unlike
+    :func:`~repro.runner.executor.run_study`, whose default is False
+    because a plain study usually consumes the whole trace.
+    """
     engine = ScenarioEngine(
         base_config,
         workers=workers,
         num_shards=num_shards,
         cache=cache_dir,
         progress=progress,
+        lazy_cache=lazy_cache,
+        pool=pool,
+        suite_scheduling=suite_scheduling,
     )
     return engine.run(scenarios, use_cache=use_cache)

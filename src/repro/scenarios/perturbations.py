@@ -9,6 +9,12 @@ compose because each one only touches its own knobs.
 
 Perturbations can be built in Python or parsed from spec dictionaries
 (:func:`perturbation_from_dict`, used by the TOML/JSON spec loader).
+
+Any scalar perturbation field can carry :class:`SweepValues` — a declared
+grid axis instead of a single value.  In spec files the same axis is written
+as ``{sweep = [..]}`` (TOML inline table) / ``{"sweep": [..]}`` (JSON);
+:mod:`repro.scenarios.sweep` expands the cartesian product into named
+scenario variants before anything executes.
 """
 
 from __future__ import annotations
@@ -48,6 +54,43 @@ def _check_machine(name: str) -> str:
 
 
 @dataclass(frozen=True)
+class SweepValues:
+    """A sweep axis: the grid of values one perturbation field runs through.
+
+    A perturbation holding a ``SweepValues`` field is a *template* — it
+    cannot be applied directly (expansion replaces the axis with each
+    concrete value first, see :func:`repro.scenarios.sweep.expand_sweeps`).
+    """
+
+    values: Tuple[object, ...]
+
+    def __init__(self, *values: object):
+        if len(values) == 1 and isinstance(values[0], (list, tuple)):
+            values = tuple(values[0])
+        if not values:
+            raise ScenarioError("a sweep needs at least one value")
+        object.__setattr__(self, "values", tuple(values))
+
+    def __repr__(self) -> str:
+        return f"SweepValues{self.values!r}"
+
+
+def _unsweep(payload: Dict[str, object]) -> Dict[str, object]:
+    """Convert spec-file ``{"sweep": [...]}`` field values to SweepValues."""
+    converted = dict(payload)
+    for field_name, value in payload.items():
+        if (isinstance(value, dict) and set(value) == {"sweep"}
+                and field_name != "kind"):
+            values = value["sweep"]
+            if not isinstance(values, (list, tuple)) or not values:
+                raise ScenarioError(
+                    f"sweep for field {field_name!r} must be a non-empty "
+                    f"list of values")
+            converted[field_name] = SweepValues(*values)
+    return converted
+
+
+@dataclass(frozen=True)
 class Perturbation:
     """Base class: one composable deviation from the baseline study."""
 
@@ -60,8 +103,14 @@ class Perturbation:
     def describe(self) -> str:
         raise NotImplementedError
 
+    def sweep_fields(self) -> Tuple[str, ...]:
+        """Names of the fields declared as sweep axes (empty = concrete)."""
+        return tuple(f.name for f in fields(self)
+                     if isinstance(getattr(self, f.name), SweepValues))
+
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "Perturbation":
+        payload = _unsweep(payload)
         known = {f.name for f in fields(cls)}
         unknown = set(payload) - known - {"kind"}
         if unknown:

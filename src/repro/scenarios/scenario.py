@@ -16,9 +16,10 @@ machine-selection policy swaps.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.exceptions import ScenarioError
+from repro.core.rng import derive_seed
 from repro.scenarios.perturbations import (
     BacklogShift,
     CalibrationDrift,
@@ -41,6 +42,10 @@ class Scenario:
     perturbations: Tuple[Perturbation, ...] = ()
     #: optional root-seed override (a seedable re-roll of the same scenario)
     seed: Optional[int] = None
+    #: base-scenario name this one is a seed re-roll of; replicates of one
+    #: scenario aggregate (mean ± CI) in the comparison instead of standing
+    #: as independent rows
+    replicate_of: Optional[str] = None
 
     def __post_init__(self):
         if not self.name:
@@ -50,8 +55,17 @@ class Scenario:
     def is_baseline(self) -> bool:
         return not self.perturbations and self.seed is None
 
+    @property
+    def has_sweep(self) -> bool:
+        """True when any perturbation field is a declared sweep axis."""
+        return any(p.sweep_fields() for p in self.perturbations)
+
     def apply_to(self, config: TraceGeneratorConfig) -> TraceGeneratorConfig:
         """Expand the scenario into a concrete study config."""
+        if self.has_sweep:
+            raise ScenarioError(
+                f"scenario {self.name!r} declares sweep axes; expand it "
+                f"with repro.scenarios.expand_sweeps before running")
         expanded = config
         if self.seed is not None:
             expanded = replace(expanded, seed=int(self.seed))
@@ -134,6 +148,44 @@ def builtin_scenarios() -> Dict[str, Scenario]:
         ),
     ]
     return {scenario.name: scenario for scenario in scenarios}
+
+
+def replicate_seed(base_seed: int, replicate_index: int) -> int:
+    """The deterministic root seed of one scenario seed re-roll."""
+    return derive_seed(base_seed, "scenario-replicate", replicate_index)
+
+
+def replicate_scenarios(scenarios: Iterable[Scenario], replicates: int,
+                        base_seed: int = 7) -> List[Scenario]:
+    """Expand each scenario into ``replicates`` seed re-rolls.
+
+    The first replicate is the scenario itself (its own seed untouched, so
+    its fingerprint — and any cached trace — is exactly the single-run
+    one); re-roll ``k`` overrides the root seed with a deterministic
+    derivation from the scenario's effective seed and ``k``, and is named
+    ``name#rk`` with :attr:`Scenario.replicate_of` pointing back at the
+    base so the comparison aggregates the group into mean ± CI.  Distinct
+    seeds mean distinct config fingerprints: replicates are genuinely
+    re-simulated, never deduplicated against each other.
+    """
+    if replicates < 1:
+        raise ScenarioError("replicates must be at least 1")
+    if replicates == 1:
+        return list(scenarios)
+    expanded: List[Scenario] = []
+    for scenario in scenarios:
+        effective = scenario.seed if scenario.seed is not None else base_seed
+        expanded.append(scenario)
+        expanded.extend(
+            replace(
+                scenario,
+                name=f"{scenario.name}#r{index}",
+                seed=replicate_seed(int(effective), index),
+                replicate_of=scenario.name,
+            )
+            for index in range(1, replicates)
+        )
+    return expanded
 
 
 def resolve_scenarios(names: Optional[Tuple[str, ...]] = None,

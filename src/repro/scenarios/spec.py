@@ -20,6 +20,21 @@ TOML::
     scale = 1.5
     start_month = 8
 
+Any perturbation field can declare a **sweep axis** instead of a single
+value — an inline table ``{sweep = [..]}`` (TOML) / ``{"sweep": [..]}``
+(JSON)::
+
+    [[scenarios.perturbations]]
+    kind = "backlog_shift"
+    scale = { sweep = [1.0, 2.0, 4.0, 8.0] }
+
+The scenario then stands for its whole grid: the engine (or
+:func:`repro.scenarios.sweep.expand_sweeps`) expands the cartesian product
+of every axis into named variants (``name@scale=2`` ...) before anything
+runs.  A scenario may also set ``seed`` (a deterministic re-roll) and
+``replicate_of`` (grouping hand-written re-rolls for mean ± CI aggregation
+in the comparison; ``--replicates`` generates both automatically).
+
 JSON carries the same structure as an object with ``study`` and
 ``scenarios`` keys.  TOML parsing uses the standard-library ``tomllib``
 (Python 3.11+) with a ``tomli`` fallback; on interpreters with neither, TOML
@@ -98,12 +113,14 @@ def _parse_scenario(payload: Dict[str, object], path: Path) -> Scenario:
         raise ScenarioError(
             f"scenario {name!r} in {path}: 'perturbations' must be a list")
     seed = payload.get("seed")
+    replicate_of = payload.get("replicate_of")
     return Scenario(
         name=name,
         description=str(payload.get("description", "")),
         perturbations=tuple(perturbation_from_dict(entry)
                             for entry in perturbations),
         seed=None if seed is None else int(seed),  # type: ignore[arg-type]
+        replicate_of=None if replicate_of is None else str(replicate_of),
     )
 
 

@@ -1,0 +1,153 @@
+"""Scenario sweeps: grids over perturbation parameters.
+
+A sweep declares one or more *axes* — perturbation fields carrying
+:class:`~repro.scenarios.perturbations.SweepValues` instead of a single
+value — and expands into the cartesian product of named scenario variants.
+``backlog_scale in {1, 2, 4, 8}`` therefore becomes four concrete
+scenarios, each executed (and cached) like any other, and the suite
+scheduler interleaves them all on one shared worker pool.
+
+Three ways to declare an axis:
+
+* **Python** — ``BacklogShift(scale=SweepValues(1, 2, 4, 8))`` inside a
+  scenario's perturbations, then :func:`expand_sweeps`.
+* **Spec files** — ``scale = {sweep = [1, 2, 4, 8]}`` (TOML) or
+  ``"scale": {"sweep": [1, 2, 4, 8]}`` (JSON) on any perturbation field.
+* **CLI** — repeated ``--sweep kind.field=v1,v2,...`` flags; each flag is
+  one axis and multiple flags form the grid (:func:`sweep_from_flags`).
+
+Variant names are ``base@field=value`` (multi-axis variants join their
+``field=value`` labels with commas), so sweep output stays greppable in
+comparison tables and cache directories alike.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.exceptions import ScenarioError
+from repro.scenarios.perturbations import (
+    PERTURBATION_KINDS,
+    SweepValues,
+)
+from repro.scenarios.scenario import Scenario
+
+#: One sweep axis: (perturbation index, field name, display label, values).
+SweepAxis = Tuple[int, str, str, Tuple[object, ...]]
+
+
+def sweep_axes(scenario: Scenario) -> List[SweepAxis]:
+    """The declared sweep axes of a scenario, in perturbation order."""
+    axes: List[SweepAxis] = []
+    field_counts: dict = {}
+    for perturbation in scenario.perturbations:
+        for name in perturbation.sweep_fields():
+            field_counts[name] = field_counts.get(name, 0) + 1
+    for index, perturbation in enumerate(scenario.perturbations):
+        for name in perturbation.sweep_fields():
+            # Disambiguate the label with the perturbation kind when two
+            # axes sweep the same field name.
+            label = name if field_counts[name] == 1 \
+                else f"{perturbation.kind}.{name}"
+            values = getattr(perturbation, name).values
+            axes.append((index, name, label, values))
+    return axes
+
+
+def _format_sweep_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def expand_sweep(scenario: Scenario) -> List[Scenario]:
+    """Expand one scenario's sweep axes into its concrete variants.
+
+    A scenario without sweep axes expands to itself.  Variants keep the
+    base description (each one's :meth:`~Scenario.describe` already names
+    its concrete parameter values through the perturbations).
+    """
+    axes = sweep_axes(scenario)
+    if not axes:
+        return [scenario]
+    variants: List[Scenario] = []
+    for combo in itertools.product(*(values for *_, values in axes)):
+        perturbations = list(scenario.perturbations)
+        labels = []
+        for (index, field_name, label, _), value in zip(axes, combo):
+            perturbations[index] = replace(
+                perturbations[index], **{field_name: value})
+            labels.append(f"{label}={_format_sweep_value(value)}")
+        suffix = ",".join(labels)
+        # A replicate of a sweep template must group under the matching
+        # *variant* of its base scenario, not the unexpanded template —
+        # otherwise re-rolls of different grid points would aggregate into
+        # one meaningless replicate group.
+        replicate_of = None if scenario.replicate_of is None \
+            else f"{scenario.replicate_of}@{suffix}"
+        variants.append(replace(
+            scenario,
+            name=f"{scenario.name}@{suffix}",
+            perturbations=tuple(perturbations),
+            replicate_of=replicate_of,
+        ))
+    return variants
+
+
+def expand_sweeps(scenarios: Iterable[Scenario]) -> List[Scenario]:
+    """Expand every sweep in a scenario list, preserving order."""
+    expanded: List[Scenario] = []
+    for scenario in scenarios:
+        expanded.extend(expand_sweep(scenario))
+    return expanded
+
+
+def _parse_scalar(text: str) -> object:
+    for parser in (int, float):
+        try:
+            return parser(text)
+        except ValueError:
+            continue
+    return text
+
+
+def parse_sweep_flag(flag: str) -> Tuple[str, str, Tuple[object, ...]]:
+    """Parse one ``kind.field=v1,v2,...`` CLI axis declaration."""
+    head, separator, tail = flag.partition("=")
+    kind, dot, field_name = head.partition(".")
+    values = tuple(_parse_scalar(part.strip())
+                   for part in tail.split(",") if part.strip())
+    if not separator or not dot or not kind or not field_name or not values:
+        raise ScenarioError(
+            f"invalid sweep {flag!r}; expected kind.field=v1,v2,... "
+            f"(e.g. backlog_shift.scale=1,2,4,8)")
+    if kind not in PERTURBATION_KINDS:
+        raise ScenarioError(
+            f"unknown perturbation kind {kind!r} in sweep {flag!r}; known "
+            f"kinds: {sorted(PERTURBATION_KINDS)}")
+    return kind, field_name, values
+
+
+def sweep_from_flags(flags: Sequence[str], name: str = "sweep",
+                     description: str = "") -> Scenario:
+    """Build one sweep-template scenario from CLI ``--sweep`` flags.
+
+    Each flag contributes one perturbation with one swept field; the
+    expansion of the returned scenario is the cartesian grid across every
+    flag.  Field names are validated by the perturbation's own
+    ``from_dict`` (unknown fields raise the usual spec error).
+    """
+    if not flags:
+        raise ScenarioError("no sweep axes given")
+    perturbations = []
+    for flag in flags:
+        kind, field_name, values = parse_sweep_flag(flag)
+        perturbations.append(PERTURBATION_KINDS[kind](
+            {"kind": kind, field_name: SweepValues(*values)}))
+    return Scenario(
+        name=name,
+        description=description or "parameter grid from --sweep flags",
+        perturbations=tuple(perturbations),
+    )

@@ -4,13 +4,20 @@ import numpy as np
 import pytest
 
 from repro.analysis.compare import (
+    _format_value,
+    aggregate_replicates,
     compare_suite,
     compare_traces,
     fidelity_proxy,
     headline_metrics,
+    replicate_interval,
 )
 from repro.core.exceptions import AnalysisError
-from repro.scenarios import ScenarioEngine, resolve_scenarios
+from repro.scenarios import (
+    ScenarioEngine,
+    replicate_scenarios,
+    resolve_scenarios,
+)
 from repro.workloads.generator import TraceGeneratorConfig
 from repro.workloads.trace import TraceDataset
 
@@ -107,3 +114,68 @@ class TestComparison:
                                     suite.run_for("policy-swap")])
         report = compare_suite(trimmed)
         assert report.baseline_name == "demand-surge"
+
+
+class TestValueFormatting:
+    def test_nan_renders_as_na(self):
+        assert _format_value(float("nan")) == "n/a"
+
+    def test_non_finite_values_do_not_overflow(self):
+        # Regression: int(float("inf")) raised OverflowError and crashed
+        # the markdown rendering of any report with a non-finite metric.
+        assert _format_value(float("inf")) == "inf"
+        assert _format_value(float("-inf")) == "-inf"
+
+    def test_ordinary_values_unchanged(self):
+        assert _format_value(42.0) == "42"
+        assert _format_value(0.12345) == "0.123"
+        assert _format_value(123.7) == "124"
+
+
+class TestReplicateAggregation:
+    def test_interval_math(self):
+        interval = replicate_interval([1.0, 2.0, 3.0])
+        assert interval.n == 3
+        assert interval.mean == pytest.approx(2.0)
+        # t(df=2, 95%) * std(ddof=1) / sqrt(3) = 4.303 * 1 / 1.7320...
+        assert interval.half_width == pytest.approx(2.484, abs=1e-3)
+        assert interval.low == pytest.approx(2.0 - 2.484, abs=1e-3)
+
+    def test_interval_degenerate_sizes(self):
+        lone = replicate_interval([5.0])
+        assert lone.n == 1 and lone.mean == 5.0
+        assert lone.half_width != lone.half_width  # NaN: no variance info
+        empty = replicate_interval([float("nan")])
+        assert empty.n == 0
+
+    def test_aggregate_replicates_means_every_metric(self, suite):
+        run = suite.run_for("baseline")
+        metrics = headline_metrics(run.trace, run.build_fleet())
+        mean_metrics, intervals = aggregate_replicates([metrics, metrics])
+        assert mean_metrics.queue_minutes_median == \
+            pytest.approx(metrics.queue_minutes_median)
+        assert intervals["queue_minutes_median"].n == 2
+        assert intervals["queue_minutes_median"].half_width == \
+            pytest.approx(0.0)
+
+    def test_replicated_suite_collapses_to_groups_with_ci(self):
+        engine = ScenarioEngine(TraceGeneratorConfig(**CONFIG), workers=1)
+        scenarios = replicate_scenarios(
+            resolve_scenarios(("baseline", "demand-surge")), 2,
+            base_seed=CONFIG["seed"])
+        replicated = engine.run(scenarios, use_cache=False)
+        assert len(replicated) == 4  # two scenarios x two seed replicates
+        report = compare_suite(replicated)
+        # Groups collapse: one baseline anchor plus one comparison row.
+        assert report.baseline_name == "baseline"
+        assert report.baseline_replicates == 2
+        assert [c.name for c in report.comparisons] == ["demand-surge"]
+        surge = report.comparisons[0]
+        assert surge.replicates == 2
+        assert surge.intervals["jobs"].n == 2
+        payload = surge.as_dict()
+        assert payload["replicates"] == 2
+        assert "half_width" in payload["intervals"]["jobs"]
+        markdown = report.render_markdown()
+        assert "±" in markdown
+        assert "#r1" not in markdown  # replicates aggregate, not listed

@@ -440,3 +440,82 @@ class TestCommandLine:
                      "--scenarios", "weather-machine", "--no-cache"])
         assert code == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+    def test_sweep_and_replicates_flags(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        artifact = tmp_path / "out.json"
+        code = main([
+            "compare-scenarios", *self.ARGS, "--no-cache",
+            "--scenarios", "baseline",
+            "--sweep", "backlog_shift.scale=1.5,3",
+            "--replicates", "2",
+            "--output", str(artifact),
+        ])
+        assert code == 0
+        payload = json.loads(artifact.read_text())
+        assert payload["replicates"] == 2
+        # 3 scenario groups (baseline + two grid points) x 2 replicates.
+        assert len(payload["suite"]["scenarios"]) == 6
+        comparison = payload["comparison"]
+        assert comparison["baseline_replicates"] == 2
+        names = [entry["scenario"] for entry in comparison["scenarios"]]
+        assert names == ["sweep@scale=1.5", "sweep@scale=3"]
+        assert all(entry["intervals"]["queue_minutes_median"]["n"] == 2.0
+                   for entry in comparison["scenarios"])
+
+    def test_sequential_flag_matches_shared_pool(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        shared = tmp_path / "shared.json"
+        sequential = tmp_path / "sequential.json"
+        base = ["compare-scenarios", *self.ARGS, "--no-cache",
+                "--scenarios", "baseline,demand-surge"]
+        assert main([*base, "--output", str(shared)]) == 0
+        assert main([*base, "--sequential", "--output",
+                     str(sequential)]) == 0
+        load = lambda p: json.loads(p.read_text())["comparison"]  # noqa: E731
+        assert load(shared) == load(sequential)
+
+
+class TestLazyCacheThreading:
+    """The one-call entry points must not drop the lazy_cache flag."""
+
+    def test_run_scenarios_and_run_study_thread_lazy_cache(
+            self, tmp_path, monkeypatch):
+        from repro.runner import run_study
+        from repro.runner.cache import TraceCache
+        from repro.scenarios import run_scenarios
+        from repro.scenarios.engine import ScenarioEngine
+
+        seen = []
+        original = TraceCache.get
+
+        def spy(self, key, lazy=False):
+            seen.append(lazy)
+            return original(self, key, lazy=lazy)
+
+        monkeypatch.setattr(TraceCache, "get", spy)
+        config = TraceGeneratorConfig(**CONFIG)
+        scenarios = resolve_scenarios(("baseline",))
+
+        # ScenarioEngine defaults lazy_cache=True and run_scenarios
+        # inherits that default...
+        run_scenarios(scenarios, config, workers=1,
+                      cache_dir=tmp_path / "cache")
+        assert seen and all(seen)
+        # ...and an explicit override reaches the cache lookup.
+        seen.clear()
+        run_scenarios(scenarios, config, workers=1,
+                      cache_dir=tmp_path / "cache", lazy_cache=False)
+        assert seen and not any(seen)
+
+        # run_study defaults lazy_cache=False and threads an override.
+        seen.clear()
+        run_study(config=config, workers=1, cache_dir=tmp_path / "cache")
+        assert seen and not any(seen)
+        seen.clear()
+        run_study(config=config, workers=1, cache_dir=tmp_path / "cache",
+                  lazy_cache=True)
+        assert seen and all(seen)
+        assert ScenarioEngine(config).lazy_cache is True
