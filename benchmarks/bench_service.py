@@ -1,0 +1,160 @@
+"""Benchmark: the study-service gateway's submit → stream → fetch path.
+
+Stands up a real :class:`~repro.service.gateway.StudyService` (HTTP server
+on an ephemeral localhost port, executor threads over one shared worker
+pool) and drives it through the stdlib
+:class:`~repro.service.client.StudyServiceClient` — the exact stack
+``python -m repro serve`` runs — measuring the service overheads the
+gateway adds on top of the batch engine:
+
+* **submit → first event**: time from ``POST /jobs`` returning to the
+  first NDJSON line of the job's event stream (queueing + dispatch
+  latency);
+* **submit → done**: end-to-end latency of a small suite, cold
+  (everything simulated) and warm (every scenario served from the trace
+  cache — the resubmission path a long-lived service exists for);
+* **cache-hit ratio** of the warm submission (must be 1.0: a resubmitted
+  suite re-simulates nothing);
+* **fetch**: latency of pulling a finished trace by fingerprint and the
+  suite comparison by content key.
+
+Writes a ``BENCH_service.json`` artifact (consumed by CI) and prints a
+summary.  Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --jobs 200 \
+        --months 2 --output BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.core.env import env_int
+from repro.service import StudyService, StudyServiceClient
+from repro.workloads.generator import TraceGeneratorConfig
+
+DEFAULT_SCENARIOS = "baseline,demand-surge,machine-outage"
+
+
+def time_submission(client: StudyServiceClient, payload: dict) -> dict:
+    """Submit, stream to completion, return latency + result telemetry."""
+    submitted = time.perf_counter()
+    job_id = client.submit(payload)["job"]
+    first_event = None
+    for _ in client.events(job_id):
+        if first_event is None:
+            first_event = time.perf_counter() - submitted
+    done = time.perf_counter() - submitted
+    snapshot = client.job(job_id)
+    if snapshot["state"] != "done":
+        raise RuntimeError(
+            f"job {job_id} finished {snapshot['state']}: "
+            f"{snapshot.get('error')}")
+    result = snapshot["result"]
+    return {
+        "job": job_id,
+        "submit_to_first_event_seconds": round(first_event, 4),
+        "submit_to_done_seconds": round(done, 4),
+        "scenarios": len(result["scenarios"]),
+        "cache_hits": result["cache_hits"],
+        "cache_hit_ratio": round(
+            result["cache_hits"] / len(result["scenarios"]), 3),
+        "engine_seconds": result["total_seconds"],
+        "result": result,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--jobs", type=int,
+                        default=env_int("REPRO_BENCH_JOBS", 600))
+    parser.add_argument("--months", type=int,
+                        default=env_int("REPRO_BENCH_MONTHS", 6))
+    parser.add_argument("--seed", type=int,
+                        default=env_int("REPRO_BENCH_SEED", 7))
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--scenarios", default=DEFAULT_SCENARIOS)
+    parser.add_argument("--output", default="BENCH_service.json")
+    args = parser.parse_args()
+
+    names = [name.strip() for name in args.scenarios.split(",")
+             if name.strip()]
+    config = TraceGeneratorConfig(total_jobs=args.jobs, months=args.months,
+                                  seed=args.seed)
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as cache_dir:
+        service = StudyService(config, workers=args.workers,
+                               cache_dir=cache_dir)
+        service.start()
+        server = service.make_server("127.0.0.1", 0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        client = StudyServiceClient(url, tenant="bench")
+        try:
+            payload = {"scenarios": names}
+            cold = time_submission(client, payload)
+            warm = time_submission(client, payload)
+
+            fingerprint = next(iter(cold["result"]["fingerprints"].values()))
+            fetch_start = time.perf_counter()
+            trace_bytes = len(client.fetch_trace(fingerprint))
+            trace_fetch = time.perf_counter() - fetch_start
+            fetch_start = time.perf_counter()
+            client.fetch_comparison(cold["result"]["comparison_key"])
+            comparison_fetch = time.perf_counter() - fetch_start
+            stats = client.stats()
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()
+            thread.join(timeout=10)
+
+    for run in (cold, warm):
+        run.pop("result")
+    payload = {
+        "benchmark": "study_service_gateway",
+        "jobs": args.jobs,
+        "months": args.months,
+        "seed": args.seed,
+        "workers": service.pool.workers,
+        "scenarios": names,
+        "cold": cold,
+        "warm": warm,
+        "fetch": {
+            "trace_seconds": round(trace_fetch, 4),
+            "trace_bytes": trace_bytes,
+            "comparison_seconds": round(comparison_fetch, 4),
+        },
+        "store": stats["store"],
+    }
+
+    print(f"study-service gateway ({args.jobs} jobs, {args.months} months, "
+          f"{len(names)} scenarios, {service.pool.workers} workers):")
+    print(f"  cold: first event {cold['submit_to_first_event_seconds']:.3f}s, "
+          f"done {cold['submit_to_done_seconds']:.2f}s "
+          f"(engine {cold['engine_seconds']:.2f}s)")
+    print(f"  warm: first event {warm['submit_to_first_event_seconds']:.3f}s, "
+          f"done {warm['submit_to_done_seconds']:.2f}s, "
+          f"cache-hit ratio {warm['cache_hit_ratio']:.0%}")
+    print(f"  fetch: trace {trace_bytes} bytes in {trace_fetch:.3f}s, "
+          f"comparison in {comparison_fetch:.3f}s")
+
+    if warm["cache_hit_ratio"] != 1.0:
+        print("FAIL: warm resubmission re-simulated at least one scenario")
+        return 1
+    if warm["submit_to_done_seconds"] > cold["submit_to_done_seconds"]:
+        print("WARN: warm submission slower than cold (noisy machine?)")
+
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2))
+    print(f"benchmark data written to {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,14 @@ sharded study runner and the analysis layer:
 * ``repro compare-scenarios`` — run a suite and emit the per-scenario delta
   table (queue percentiles, utilisation, fidelity, status mix) against the
   baseline — mean ± 95% CI when replicated — as markdown and/or JSON.
+* ``repro serve`` — run the study-service gateway: a long-lived
+  multi-tenant HTTP server that accepts study/suite/sweep submissions,
+  multiplexes tenants onto one shared worker pool, streams NDJSON
+  progress, and serves finished traces/comparisons by fingerprint.
+* ``repro submit`` / ``repro jobs`` / ``repro fetch`` — the stdlib client
+  side of the gateway: submit a suite, follow its event stream, inspect
+  or cancel jobs, download results.
+* ``repro cache`` — inspect or LRU-prune the on-disk trace cache.
 """
 
 from __future__ import annotations
@@ -232,6 +240,10 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
         help="run scenarios one after another, each on its own worker "
              "pool (default: the whole suite interleaves on one shared "
              "pool)")
+    parser.add_argument(
+        "--progress", action="store_true", dest="shard_progress",
+        help="print shard-level progress (completed/total plus a "
+             "wall-clock ETA) while the suite runs")
 
 
 def _resolve_suite(args: argparse.Namespace):
@@ -289,6 +301,29 @@ def _list_scenarios(catalog) -> int:
     return 0
 
 
+def _event_printer(args: argparse.Namespace):
+    """The on_event hook behind ``--progress``: shard counts plus ETA."""
+    if not getattr(args, "shard_progress", False):
+        return None
+
+    def printer(event) -> None:
+        if event.kind == "shard-done":
+            eta = (f", eta {event.eta_seconds:.1f}s"
+                   if event.eta_seconds is not None else "")
+            print(f"[repro] {event.completed}/{event.total} shards "
+                  f"({event.phase}{eta})", file=sys.stderr)
+        elif event.kind == "study-done":
+            print(f"[repro] study {event.key} done "
+                  f"({event.detail.get('jobs')} jobs, "
+                  f"{event.detail.get('seconds')}s)", file=sys.stderr)
+        elif event.kind == "suite-done":
+            print(f"[repro] suite done: {event.detail.get('studies')} "
+                  f"studies, {event.detail.get('cache_hits')} cache hits "
+                  f"in {event.elapsed_seconds:.1f}s", file=sys.stderr)
+
+    return printer
+
+
 def _run_suite(args: argparse.Namespace):
     base, scenarios, _ = _resolve_suite(args)
     engine = ScenarioEngine(
@@ -298,6 +333,7 @@ def _run_suite(args: argparse.Namespace):
         cache=_scenario_cache_dir(args),
         progress=_progress(args.quiet),
         suite_scheduling=not args.sequential,
+        on_event=_event_printer(args),
     )
     return engine.run(scenarios, use_cache=not args.no_cache)
 
@@ -362,6 +398,159 @@ def cmd_compare_scenarios(args: argparse.Namespace) -> int:
         print(f"comparison data written to {args.output}")
     if not args.quiet or not (args.output or args.report):
         print(markdown)
+    return 0
+
+
+# -- service subcommands ------------------------------------------------------------
+
+
+def _service_url(args: argparse.Namespace) -> str:
+    return (args.url or os.environ.get("REPRO_SERVICE_URL")
+            or "http://127.0.0.1:8765")
+
+
+def _study_overrides(args: argparse.Namespace) -> Dict[str, int]:
+    """Baseline knobs the user set explicitly (defaults stay server-side)."""
+    return {
+        name: value
+        for name, value, default in (
+            ("total_jobs", args.jobs, 6000),
+            ("months", args.months, 28),
+            ("seed", args.seed, 7),
+        ) if value != default
+    }
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import StudyService, serve
+
+    config = TraceGeneratorConfig(
+        total_jobs=args.jobs, months=args.months, seed=args.seed)
+    service = StudyService(
+        config,
+        workers=args.workers,
+        num_shards=args.shards,
+        cache_dir=args.cache_dir or ".repro-cache",
+        max_cache_bytes=args.max_cache_bytes,
+        tenant_quota=args.tenant_quota,
+        executors=args.executors,
+    )
+    print(f"[repro] study service listening on "
+          f"http://{args.host}:{args.port} "
+          f"({service.pool.workers} workers, {args.executors} executors, "
+          f"cache {service.store.root})", file=sys.stderr)
+    serve(service, args.host, args.port)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.scenarios import read_spec_payload
+    from repro.service import StudyServiceClient
+
+    payload: Dict[str, object] = {}
+    if args.spec:
+        payload["suite"] = read_spec_payload(args.spec)
+    if args.scenarios:
+        payload["scenarios"] = [name.strip()
+                                for name in args.scenarios.split(",")
+                                if name.strip()]
+    if args.sweep:
+        payload["sweep"] = list(args.sweep)
+    if args.replicates != 1:
+        payload["replicates"] = args.replicates
+    if args.no_compare:
+        payload["compare"] = False
+    if args.no_cache:
+        payload["use_cache"] = False
+    overrides = _study_overrides(args)
+    if overrides:
+        payload["study"] = overrides
+
+    client = StudyServiceClient(_service_url(args), tenant=args.tenant)
+    snapshot = client.submit(payload)
+    job_id = snapshot["job"]
+    print(f"[repro] submitted {job_id} as tenant {args.tenant!r}",
+          file=sys.stderr)
+    if args.detach:
+        print(json.dumps(snapshot, indent=2))
+        return 0
+    for event in client.events(job_id):
+        if not args.quiet:
+            print(f"[repro] {json.dumps(event)}", file=sys.stderr)
+    final = client.job(job_id)
+    print(json.dumps(final, indent=2))
+    return 0 if final.get("state") == "done" else 1
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.service import StudyServiceClient
+
+    client = StudyServiceClient(_service_url(args), tenant=args.tenant)
+    if args.cancel:
+        print(json.dumps(client.cancel(args.cancel), indent=2))
+        return 0
+    if args.job:
+        print(json.dumps(client.job(args.job), indent=2))
+        return 0
+    jobs = client.jobs(args.tenant if args.mine else None)
+    print(json.dumps({"jobs": jobs}, indent=2))
+    return 0
+
+
+def cmd_fetch(args: argparse.Namespace) -> int:
+    from repro.service import StudyServiceClient
+
+    client = StudyServiceClient(_service_url(args), tenant=args.tenant)
+    if args.trace:
+        data = client.fetch_trace(args.trace)
+        output = Path(args.output or f"trace-{args.trace}.npz")
+        output.write_bytes(data)
+        print(f"trace {args.trace} written to {output} "
+              f"({len(data)} bytes)")
+        return 0
+    if args.comparison:
+        payload = client.fetch_comparison(args.comparison)
+        if args.output:
+            Path(args.output).write_text(json.dumps(payload, indent=2))
+            print(f"comparison written to {args.output}")
+        else:
+            print(json.dumps(payload, indent=2))
+        return 0
+    if args.job:
+        print(json.dumps(client.result(args.job), indent=2))
+        return 0
+    print("repro fetch: pass --trace FINGERPRINT, --comparison KEY "
+          "or --job ID", file=sys.stderr)
+    return 2
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    from repro.runner import TraceCache
+
+    root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") \
+        or ".repro-cache"
+    cache = TraceCache(root)
+    entries = cache.entries()
+    if args.prune:
+        if args.max_bytes is None:
+            print("repro cache: --prune requires --max-bytes",
+                  file=sys.stderr)
+            return 2
+        evicted = cache.prune(args.max_bytes)
+        print(json.dumps({
+            "root": str(cache.root),
+            "evicted": [entry.as_dict() for entry in evicted],
+            "remaining_bytes": cache.total_bytes(),
+        }, indent=2))
+        return 0
+    payload: Dict[str, object] = {
+        "root": str(cache.root),
+        "entries": len(entries),
+        "total_bytes": sum(entry.size_bytes for entry in entries),
+    }
+    if args.list_entries:
+        payload["cache"] = [entry.as_dict() for entry in entries]
+    print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -442,6 +631,104 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument(
         "--report", help="write a markdown scenario report to this path")
     compare_parser.set_defaults(handler=cmd_compare_scenarios)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the study-service gateway (multi-tenant HTTP server "
+             "over one shared worker pool)")
+    _add_generation_arguments(serve_parser)
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default: %(default)s)")
+    serve_parser.add_argument(
+        "--port", type=int, default=env_int("REPRO_SERVICE_PORT", 8765),
+        help="listen port (default: %(default)s)")
+    serve_parser.add_argument(
+        "--tenant-quota", type=int, default=8,
+        help="max queued+running jobs per tenant (default: %(default)s)")
+    serve_parser.add_argument(
+        "--executors", type=int, default=2,
+        help="concurrent jobs multiplexed onto the shared pool "
+             "(default: %(default)s)")
+    serve_parser.add_argument(
+        "--max-cache-bytes", type=int, default=None,
+        help="LRU-evict the result store down to this many bytes after "
+             "each job (default: unbounded)")
+    serve_parser.set_defaults(handler=cmd_serve)
+
+    def _add_client_arguments(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--url", default=None,
+            help="gateway base URL (default: $REPRO_SERVICE_URL or "
+                 "http://127.0.0.1:8765)")
+        parser.add_argument(
+            "--tenant", default="default",
+            help="tenant to act as (default: %(default)s)")
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a scenario suite to a running study service")
+    _add_generation_arguments(submit_parser)
+    _add_client_arguments(submit_parser)
+    submit_parser.add_argument(
+        "--spec", help="scenario suite spec file (.toml or .json) to "
+                       "submit (default: the server's built-in catalog)")
+    submit_parser.add_argument(
+        "--scenarios",
+        help="comma-separated scenario names to run (default: all)")
+    submit_parser.add_argument(
+        "--sweep", action="append", metavar="KIND.FIELD=V1,V2,...",
+        help="sweep axis, as in run-scenarios (repeatable)")
+    submit_parser.add_argument(
+        "--replicates", type=int, default=1,
+        help="seed re-rolls per scenario (default: %(default)s)")
+    submit_parser.add_argument(
+        "--no-compare", action="store_true",
+        help="skip the baseline-delta comparison on the server")
+    submit_parser.add_argument(
+        "--detach", action="store_true",
+        help="return after submission instead of streaming events")
+    submit_parser.set_defaults(handler=cmd_submit)
+
+    jobs_parser = subparsers.add_parser(
+        "jobs", help="list, inspect or cancel study-service jobs")
+    _add_client_arguments(jobs_parser)
+    jobs_parser.add_argument("--job", help="show one job's status")
+    jobs_parser.add_argument("--cancel", metavar="JOB",
+                             help="cancel a queued or running job")
+    jobs_parser.add_argument(
+        "--mine", action="store_true",
+        help="only list this tenant's jobs")
+    jobs_parser.set_defaults(handler=cmd_jobs)
+
+    fetch_parser = subparsers.add_parser(
+        "fetch", help="download results from a study service")
+    _add_client_arguments(fetch_parser)
+    fetch_parser.add_argument(
+        "--trace", metavar="FINGERPRINT",
+        help="fetch a finished trace by config fingerprint (.npz bytes)")
+    fetch_parser.add_argument(
+        "--comparison", metavar="KEY",
+        help="fetch a stored suite comparison by content key")
+    fetch_parser.add_argument("--job", help="fetch a job's result summary")
+    fetch_parser.add_argument(
+        "--output", help="write the fetched payload to this path")
+    fetch_parser.set_defaults(handler=cmd_fetch)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or LRU-prune the on-disk trace cache")
+    cache_parser.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)")
+    cache_parser.add_argument(
+        "--list", action="store_true", dest="list_entries",
+        help="list every entry (key, size, recency), LRU first")
+    cache_parser.add_argument(
+        "--prune", action="store_true",
+        help="evict least-recently-used entries down to --max-bytes")
+    cache_parser.add_argument(
+        "--max-bytes", type=int, default=None,
+        help="byte budget for --prune (0 clears the cache)")
+    cache_parser.set_defaults(handler=cmd_cache)
 
     return parser
 

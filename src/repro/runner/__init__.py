@@ -22,10 +22,13 @@ shard count and which studies share the pool only change how fast it is
 produced, never its bytes.
 """
 
-from repro.runner.cache import TraceCache, config_fingerprint
+from repro.runner.cache import CacheEntry, TraceCache, config_fingerprint
 from repro.runner.executor import (
+    EventCallback,
     StudyResult,
     StudyRunner,
+    SuiteCancelled,
+    SuiteEvent,
     default_workers,
     run_study,
     run_suite,
@@ -39,11 +42,15 @@ from repro.runner.sharding import (
 )
 
 __all__ = [
+    "CacheEntry",
+    "EventCallback",
     "MachineGroup",
     "ShardSpec",
     "SharedWorkerPool",
     "StudyResult",
     "StudyRunner",
+    "SuiteCancelled",
+    "SuiteEvent",
     "TraceCache",
     "config_fingerprint",
     "default_workers",

@@ -22,16 +22,19 @@ import dataclasses
 import enum
 import hashlib
 import json
+import os
 import uuid
 import zipfile
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Union
 
 from repro.core.exceptions import TraceSchemaError
 from repro.workloads.generator import TraceGeneratorConfig
 from repro.workloads.trace import TRACE_SCHEMA_VERSION, TraceDataset
 
-__all__ = ["TRACE_SCHEMA_VERSION", "TraceCache", "config_fingerprint"]
+__all__ = ["CacheEntry", "TRACE_SCHEMA_VERSION", "TraceCache",
+           "config_fingerprint"]
 
 
 def _canonical(value: object) -> object:
@@ -73,13 +76,39 @@ def config_fingerprint(config: TraceGeneratorConfig) -> str:
     return digest.hexdigest()[:24]
 
 
+@dataclass(frozen=True)
+class CacheEntry:
+    """One on-disk cache entry: its key, location, size and recency."""
+
+    key: str
+    path: Path
+    size_bytes: int
+    modified: float  # last use (hits bump the mtime, so this is LRU order)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "path": str(self.path),
+            "size_bytes": self.size_bytes,
+            "modified": self.modified,
+        }
+
+
 class TraceCache:
-    """A directory of cached traces keyed by config fingerprint."""
+    """A directory of cached traces keyed by config fingerprint.
+
+    Hits and misses are counted per instance; entry recency is tracked in
+    the filesystem itself — every hit bumps the entry's mtime, so
+    :meth:`prune` can evict least-recently-*used* (not least-recently-
+    written) entries down to a byte budget, and the ordering survives
+    process restarts.
+    """
 
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / f"trace-{key}.npz"
@@ -138,6 +167,7 @@ class TraceCache:
                     f"point --cache-dir at a fresh directory) to "
                     f"regenerate it")
             self.hits += 1
+            self._touch(path)
             return trace
         self.misses += 1
         return None
@@ -145,7 +175,21 @@ class TraceCache:
     def get_bytes(self, key: str) -> Optional[bytes]:
         """The exact cached bytes for ``key`` (None on a miss)."""
         path = self.existing_path_for(key)
-        return path.read_bytes() if path is not None else None
+        if path is None:
+            self.misses += 1
+            return None
+        data = path.read_bytes()
+        self.hits += 1
+        self._touch(path)
+        return data
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Bump an entry's mtime so LRU pruning sees the hit."""
+        try:
+            os.utime(path, None)
+        except OSError:  # read-only cache dirs still serve hits
+            pass
 
     def put(self, key: str, trace: TraceDataset) -> Path:
         """Store ``trace`` under ``key`` atomically; returns the cache path.
@@ -165,5 +209,78 @@ class TraceCache:
             scratch.unlink(missing_ok=True)
         return path
 
+    # -- introspection and eviction ----------------------------------------------------
+
+    def entries(self) -> List[CacheEntry]:
+        """Every on-disk entry, least recently used first."""
+        found: List[CacheEntry] = []
+        if not self.root.is_dir():
+            return found
+        for path in self.root.iterdir():
+            name = path.name
+            if not name.startswith("trace-"):
+                continue
+            if path.suffix not in (".npz", ".json") or not path.is_file():
+                continue
+            try:
+                stat = path.stat()
+            except OSError:  # evicted by a concurrent pruner mid-scan
+                continue
+            found.append(CacheEntry(
+                key=name[len("trace-"):-len(path.suffix)],
+                path=path,
+                size_bytes=stat.st_size,
+                modified=stat.st_mtime,
+            ))
+        found.sort(key=lambda entry: (entry.modified, entry.key))
+        return found
+
+    def total_bytes(self) -> int:
+        """Bytes currently held by every entry of the cache."""
+        return sum(entry.size_bytes for entry in self.entries())
+
+    def evict(self, key: str) -> bool:
+        """Delete the entry for ``key`` (both formats); True if one existed."""
+        evicted = False
+        for path in (self.path_for(key), self.legacy_path_for(key)):
+            try:
+                path.unlink()
+                evicted = True
+            except FileNotFoundError:
+                continue
+            except OSError:
+                continue
+        if evicted:
+            self.evictions += 1
+        return evicted
+
+    def prune(self, max_bytes: int) -> List[CacheEntry]:
+        """Evict least-recently-used entries until ≤ ``max_bytes`` remain.
+
+        Returns the evicted entries (possibly empty).  ``max_bytes=0``
+        clears the cache.  Recency is entry mtime, which hits bump — so a
+        hot entry survives a prune that drops a colder, newer-written one.
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        entries = self.entries()
+        total = sum(entry.size_bytes for entry in entries)
+        evicted: List[CacheEntry] = []
+        for entry in entries:
+            if total <= max_bytes:
+                break
+            try:
+                entry.path.unlink()
+            except FileNotFoundError:
+                total -= entry.size_bytes
+                continue
+            except OSError:
+                continue
+            total -= entry.size_bytes
+            self.evictions += 1
+            evicted.append(entry)
+        return evicted
+
     def stats(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses}
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}

@@ -15,14 +15,22 @@ processes, in two embarrassingly parallel stages:
    merged per-machine dynamics equal the single-service run exactly.
 
 :func:`run_suite` generalises the same pipeline to *many* studies on one
-:class:`~repro.runner.pool.SharedWorkerPool`: every study's synthesis shards
-are queued up front and its simulation groups chase them as soon as its own
-synthesis drains, so shards and machine groups of different studies
-interleave on the shared workers instead of serialising behind per-study
-pool barriers.  Per-study worker state is keyed by config fingerprint (see
+:class:`~repro.runner.pool.SharedWorkerPool`.  Scheduling is event-driven:
+every study's synthesis shards are queued up front, and a completion
+callback on each shard queues the study's machine-group simulations the
+moment its *last* synthesis shard lands — no study waits behind another
+study's synthesis in list order, and the pool is never idle behind a
+phase barrier.  Per-study worker state is keyed by config fingerprint (see
 :mod:`repro.runner.pool`), which keeps each study a pure function of its
 config: same seed in, byte-identical trace out, no matter how the work was
-partitioned or which studies ran alongside.
+partitioned, which studies ran alongside, or in what order shards landed.
+
+Progress is observable two ways: the legacy ``progress`` string callback,
+and ``on_event``, a structured :class:`SuiteEvent` stream (shards completed
+/ total, wall-clock ETA, per-study completions) that the CLI's
+``--progress`` flag prints and the study-service gateway forwards to its
+NDJSON job streams.  Events may fire on the pool's result-handler thread;
+handlers must be quick, thread-safe and must never raise.
 
 The merged records are sorted by ``(submit_time, job_id)`` and results are
 memoised on disk through :class:`~repro.runner.cache.TraceCache`.
@@ -30,6 +38,7 @@ memoised on disk through :class:`~repro.runner.cache.TraceCache`.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -57,13 +66,109 @@ from repro.workloads.trace import (
 ProgressCallback = Callable[[str], None]
 
 __all__ = [
+    "EventCallback",
     "ProgressCallback",
     "StudyResult",
     "StudyRunner",
+    "SuiteCancelled",
+    "SuiteEvent",
     "default_workers",
     "run_study",
     "run_suite",
 ]
+
+
+class SuiteCancelled(WorkloadError):
+    """Raised by :func:`run_suite` when its ``should_stop`` hook fires."""
+
+
+@dataclass(frozen=True)
+class SuiteEvent:
+    """One structured progress event of a :func:`run_suite` call.
+
+    ``completed`` / ``total`` count pool tasks (synthesis shards plus
+    simulation groups) across the whole suite; ``total`` grows as each
+    study's simulation groups are planned, so early ETAs are lower bounds.
+    ``key`` is the study fingerprint the event belongs to (None for
+    suite-wide events).
+    """
+
+    kind: str                      # queued | cache-hit | shard-done |
+    #                              # sims-queued | study-done | suite-done
+    key: Optional[str] = None
+    phase: Optional[str] = None    # synthesis | simulation
+    completed: int = 0
+    total: int = 0
+    elapsed_seconds: float = 0.0
+    eta_seconds: Optional[float] = None
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "kind": self.kind,
+            "completed": self.completed,
+            "total": self.total,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+        }
+        if self.key is not None:
+            payload["study"] = self.key
+        if self.phase is not None:
+            payload["phase"] = self.phase
+        if self.eta_seconds is not None:
+            payload["eta_seconds"] = round(self.eta_seconds, 3)
+        if self.detail:
+            payload.update(self.detail)
+        return payload
+
+
+EventCallback = Callable[[SuiteEvent], None]
+
+
+class _SuiteTracker:
+    """Thread-safe shard accounting + event emission for one suite run."""
+
+    def __init__(self, on_event: Optional[EventCallback]):
+        self._on_event = on_event
+        self._lock = threading.Lock()
+        self._started = time.perf_counter()
+        self.completed = 0
+        self.total = 0
+        self.closed = False
+
+    def add_tasks(self, count: int) -> None:
+        with self._lock:
+            self.total += count
+
+    def close(self) -> None:
+        """Silence late events (tasks abandoned after cancel/failure)."""
+        with self._lock:
+            self.closed = True
+
+    def emit(self, kind: str, key: Optional[str] = None,
+             phase: Optional[str] = None, task_done: bool = False,
+             **detail: object) -> None:
+        with self._lock:
+            if self.closed:
+                return
+            if task_done:
+                self.completed += 1
+            completed, total = self.completed, self.total
+        if self._on_event is None:
+            return
+        elapsed = time.perf_counter() - self._started
+        eta = None
+        if 0 < completed <= total:
+            eta = elapsed / completed * (total - completed)
+        event = SuiteEvent(
+            kind=kind, key=key, phase=phase, completed=completed,
+            total=total, elapsed_seconds=elapsed, eta_seconds=eta,
+            detail=dict(detail))
+        try:
+            self._on_event(event)
+        except Exception:
+            # Event handlers run on the pool's result-handler thread;
+            # a raising handler must never take the scheduler down.
+            pass
 
 
 @dataclass
@@ -110,6 +215,70 @@ class _PendingStudy:
     groups: List[MachineGroup] = field(default_factory=list)
     synthesis_seconds: float = 0.0
     simulation_seconds: float = 0.0
+    #: per-shard synthesis results, filled by completion callbacks in shard
+    #: order (the order that makes the merged job list deterministic)
+    shard_jobs: List[Optional[List[Job]]] = field(default_factory=list)
+    #: shards still outstanding; the callback that takes it to zero queues
+    #: the study's simulations
+    shards_remaining: int = 0
+    #: an exception raised inside a completion callback (re-raised by the
+    #: collection loop — callbacks themselves must never raise)
+    callback_error: Optional[BaseException] = None
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+def _queue_simulations(pool: SharedWorkerPool, epoch: int,
+                       study: _PendingStudy, tracker: _SuiteTracker) -> None:
+    """Queue a study's machine-group simulations (last-shard callback).
+
+    Runs on whichever thread completed the study's final synthesis shard.
+    The merged job list is rebuilt in *shard order*, so the grouping — and
+    therefore every simulation input — is independent of shard completion
+    order.
+    """
+    jobs = [job for shard_jobs in study.shard_jobs for job in shard_jobs]
+    job_counts: Dict[str, int] = {}
+    jobs_by_machine: Dict[str, List[Job]] = {}
+    for job in jobs:
+        job_counts[job.backend_name] = job_counts.get(job.backend_name, 0) + 1
+        jobs_by_machine.setdefault(job.backend_name, []).append(job)
+    study.groups = plan_machine_groups(job_counts, pool.workers)
+    tracker.add_tasks(len(study.groups))
+    tracker.emit("sims-queued", key=study.key, phase="simulation",
+                 jobs=len(jobs), groups=len(study.groups))
+
+    def _on_group_done(_records, key=study.key):
+        tracker.emit("shard-done", key=key, phase="simulation",
+                     task_done=True)
+
+    study.sim_handles = [
+        pool.submit_simulation(
+            epoch, study.key, study.config, group,
+            [job for name in group.machines
+             for job in jobs_by_machine[name]],
+            callback=_on_group_done)
+        for group in study.groups
+    ]
+
+
+def _shard_callback(pool: SharedWorkerPool, epoch: int, study: _PendingStudy,
+                    index: int, tracker: _SuiteTracker):
+    """The completion callback of one synthesis shard."""
+
+    def _on_shard_done(jobs):
+        try:
+            with study.lock:
+                study.shard_jobs[index] = jobs
+                study.shards_remaining -= 1
+                is_last = study.shards_remaining == 0
+            tracker.emit("shard-done", key=study.key, phase="synthesis",
+                         task_done=True, jobs=len(jobs))
+            if is_last:
+                _queue_simulations(pool, epoch, study, tracker)
+        except BaseException as exc:  # surface on the collection thread
+            study.callback_error = exc
+
+    return _on_shard_done
 
 
 def run_suite(
@@ -121,16 +290,26 @@ def run_suite(
     use_cache: bool = True,
     lazy_cache: bool = False,
     progress: Optional[ProgressCallback] = None,
+    on_event: Optional[EventCallback] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> Dict[str, StudyResult]:
     """Run many distinct studies as one interleaved queue on a shared pool.
 
     ``studies`` is an ordered sequence of ``(fingerprint, config)`` pairs
     with distinct fingerprints (deduplicate identical expansions first —
     the scenario engine does).  Cache hits are served immediately; every
-    miss has its synthesis shards queued up front, and its simulation
-    groups are queued the moment its own synthesis completes, so the pool
-    is never idle behind a per-study phase barrier.  Returns a dict keyed
+    miss has its synthesis shards queued up front, and a completion
+    callback queues its simulation groups the moment its last synthesis
+    shard lands, so the pool is never idle behind a per-study phase
+    barrier or the submission order of the suite.  Returns a dict keyed
     by fingerprint, in ``studies`` order.
+
+    ``on_event`` receives structured :class:`SuiteEvent`s (shards
+    completed / total with a wall-clock ETA, per-study completions) —
+    possibly from the pool's result-handler thread.  ``should_stop`` is
+    polled between studies; when it returns True the run raises
+    :class:`SuiteCancelled` (outstanding pool tasks finish in the
+    background and are discarded — the shared pool itself is untouched).
 
     With ``pool=None`` a transient pool of :func:`default_workers` workers
     is created for the call (terminated, not joined, if a task fails).
@@ -149,114 +328,141 @@ def run_suite(
         with SharedWorkerPool(default_workers()) as transient:
             return run_suite(
                 studies, transient, num_shards=num_shards, cache=cache,
-                use_cache=use_cache, lazy_cache=lazy_cache, progress=progress)
+                use_cache=use_cache, lazy_cache=lazy_cache,
+                progress=progress, on_event=on_event,
+                should_stop=should_stop)
 
     shards_per_study = max(1, int(num_shards if num_shards is not None
                                   else pool.workers))
     epoch = pool.next_epoch()
+    tracker = _SuiteTracker(on_event)
     results: Dict[str, StudyResult] = {}
     pending: List[_PendingStudy] = []
 
-    # Phase 1 — serve cache hits, queue every miss's synthesis shards.
-    for key, config in studies:
-        started = time.perf_counter()
-        if use_cache and cache is not None:
-            cached = cache.get(key, lazy=lazy_cache)
-            if cached is not None:
-                progress(f"cache hit for config {key}")
-                results[key] = StudyResult(
-                    trace=cached,
-                    config=config,
-                    workers=pool.workers,
-                    num_shards=shards_per_study,
-                    cache_key=key,
-                    cache_hit=True,
-                    cache_path=cache.existing_path_for(key),
-                    timings={"total": time.perf_counter() - started},
-                )
-                continue
-        plan_started = time.perf_counter()
-        submissions = plan_submissions(config)
-        shards = plan_shards(config, submissions, shards_per_study)
-        study = _PendingStudy(
-            key=key, config=config, shards=shards, started=started,
-            plan_seconds=time.perf_counter() - plan_started)
-        study.synth_handles = [
-            pool.submit_synthesis(epoch, key, config, shard)
-            for shard in shards
-        ]
-        pending.append(study)
-        progress(
-            f"queued {len(submissions)} submissions across {len(shards)} "
-            f"shards for study {key} ({pool.workers} workers)"
-        )
+    def _check_cancel():
+        if should_stop is not None and should_stop():
+            raise SuiteCancelled("suite run cancelled")
 
-    # Phase 2 — as each study's synthesis drains, queue its simulations.
-    for study in pending:
-        wait_started = time.perf_counter()
-        per_shard_jobs = [handle.get() for handle in study.synth_handles]
-        study.synthesis_seconds = time.perf_counter() - wait_started
-        jobs = [job for shard_jobs in per_shard_jobs for job in shard_jobs]
-        progress(f"synthesised {len(jobs)} jobs for study {study.key} in "
-                 f"{study.synthesis_seconds:.1f}s")
+    try:
+        # Phase 1 — serve cache hits; queue every miss's synthesis shards
+        # with completion callbacks that chain its simulations.
+        for key, config in studies:
+            _check_cancel()
+            started = time.perf_counter()
+            if use_cache and cache is not None:
+                cached = cache.get(key, lazy=lazy_cache)
+                if cached is not None:
+                    progress(f"cache hit for config {key}")
+                    tracker.emit("cache-hit", key=key, jobs=len(cached))
+                    results[key] = StudyResult(
+                        trace=cached,
+                        config=config,
+                        workers=pool.workers,
+                        num_shards=shards_per_study,
+                        cache_key=key,
+                        cache_hit=True,
+                        cache_path=cache.existing_path_for(key),
+                        timings={"total": time.perf_counter() - started},
+                    )
+                    continue
+            plan_started = time.perf_counter()
+            submissions = plan_submissions(config)
+            shards = plan_shards(config, submissions, shards_per_study)
+            study = _PendingStudy(
+                key=key, config=config, shards=shards, started=started,
+                plan_seconds=time.perf_counter() - plan_started,
+                shard_jobs=[None] * len(shards),
+                shards_remaining=len(shards))
+            tracker.add_tasks(len(shards))
+            tracker.emit("queued", key=key, shards=len(shards),
+                         submissions=len(submissions))
+            # Note: with an inline pool each submit runs (and may chain the
+            # study's simulations) synchronously right here.
+            study.synth_handles = [
+                pool.submit_synthesis(
+                    epoch, key, config, shard,
+                    callback=_shard_callback(pool, epoch, study, index,
+                                             tracker))
+                for index, shard in enumerate(study.shards)
+            ]
+            pending.append(study)
+            progress(
+                f"queued {len(submissions)} submissions across {len(shards)} "
+                f"shards for study {key} ({pool.workers} workers)"
+            )
 
-        job_counts: Dict[str, int] = {}
-        jobs_by_machine: Dict[str, List[Job]] = {}
-        for job in jobs:
-            job_counts[job.backend_name] = job_counts.get(job.backend_name, 0) + 1
-            jobs_by_machine.setdefault(job.backend_name, []).append(job)
-        study.groups = plan_machine_groups(job_counts, pool.workers)
-        study.sim_handles = [
-            pool.submit_simulation(
-                epoch, study.key, study.config, group,
-                [job for name in group.machines
-                 for job in jobs_by_machine[name]])
-            for group in study.groups
-        ]
+        # Phase 2 — collect each study in order.  Simulations were already
+        # queued by the last-shard callbacks; waiting on the synthesis
+        # handles first both propagates worker errors and guarantees the
+        # callbacks (which run before ``.get()`` returns) have finished.
+        for study in pending:
+            _check_cancel()
+            wait_started = time.perf_counter()
+            for handle in study.synth_handles:
+                handle.get()
+            study.synthesis_seconds = time.perf_counter() - wait_started
+            if study.callback_error is not None:
+                raise WorkloadError(
+                    f"scheduling study {study.key} failed: "
+                    f"{study.callback_error}") from study.callback_error
+            jobs_total = sum(len(shard_jobs)
+                             for shard_jobs in study.shard_jobs)
+            progress(f"synthesised {jobs_total} jobs for study {study.key} "
+                     f"in {study.synthesis_seconds:.1f}s")
 
-    # Phase 3 — collect, merge and cache each study in order.
-    for study in pending:
-        wait_started = time.perf_counter()
-        per_group_records = [handle.get() for handle in study.sim_handles]
-        study.simulation_seconds = time.perf_counter() - wait_started
-        progress(f"simulated {len(study.groups)} machine groups for study "
-                 f"{study.key} in {study.simulation_seconds:.1f}s")
+            wait_started = time.perf_counter()
+            per_group_records = [handle.get() for handle in study.sim_handles]
+            study.simulation_seconds = time.perf_counter() - wait_started
+            progress(f"simulated {len(study.groups)} machine groups for "
+                     f"study {study.key} in {study.simulation_seconds:.1f}s")
 
-        merge_started = time.perf_counter()
-        records = [r for group_records in per_group_records
-                   for r in group_records]
-        records.sort(key=lambda r: (r.submit_time, r.job_id))
-        trace = TraceDataset(records, metadata={
-            "seed": study.config.seed,
-            "total_jobs": len(records),
-            "months": study.config.months,
-            "trace_schema": TRACE_SCHEMA_VERSION,
-        })
-        cache_path = None
-        if use_cache and cache is not None:
-            cache_path = cache.put(study.key, trace)
-        merge_seconds = time.perf_counter() - merge_started
+            merge_started = time.perf_counter()
+            records = [r for group_records in per_group_records
+                       for r in group_records]
+            records.sort(key=lambda r: (r.submit_time, r.job_id))
+            trace = TraceDataset(records, metadata={
+                "seed": study.config.seed,
+                "total_jobs": len(records),
+                "months": study.config.months,
+                "trace_schema": TRACE_SCHEMA_VERSION,
+            })
+            cache_path = None
+            if use_cache and cache is not None:
+                cache_path = cache.put(study.key, trace)
+            merge_seconds = time.perf_counter() - merge_started
 
-        results[study.key] = StudyResult(
-            trace=trace,
-            config=study.config,
-            workers=pool.workers,
-            num_shards=shards_per_study,
-            cache_key=study.key,
-            cache_hit=False,
-            cache_path=cache_path,
-            timings={
-                "plan": study.plan_seconds,
-                "synthesis": study.synthesis_seconds,
-                "simulation": study.simulation_seconds,
-                "merge": merge_seconds,
-                "total": time.perf_counter() - study.started,
-            },
-            shard_sizes=[len(shard) for shard in study.shards],
-            group_sizes=[group.expected_jobs for group in study.groups],
-        )
+            results[study.key] = StudyResult(
+                trace=trace,
+                config=study.config,
+                workers=pool.workers,
+                num_shards=shards_per_study,
+                cache_key=study.key,
+                cache_hit=False,
+                cache_path=cache_path,
+                timings={
+                    "plan": study.plan_seconds,
+                    "synthesis": study.synthesis_seconds,
+                    "simulation": study.simulation_seconds,
+                    "merge": merge_seconds,
+                    "total": time.perf_counter() - study.started,
+                },
+                shard_sizes=[len(shard) for shard in study.shards],
+                group_sizes=[group.expected_jobs for group in study.groups],
+            )
+            tracker.emit(
+                "study-done", key=study.key, jobs=len(records),
+                seconds=round(results[study.key].total_seconds, 3))
 
-    return {key: results[key] for key, _ in studies}
+        tracker.emit("suite-done", studies=len(studies),
+                     cache_hits=sum(1 for r in results.values()
+                                    if r.cache_hit))
+        return {key: results[key] for key, _ in studies}
+    finally:
+        # Abandoned tasks (cancel / worker failure) may still complete on
+        # the shared pool; silence their late events and let their epoch's
+        # worker state become evictable.
+        tracker.close()
+        pool.release_epoch(epoch)
 
 
 class StudyRunner:
@@ -278,6 +484,7 @@ class StudyRunner:
         progress: Optional[ProgressCallback] = None,
         lazy_cache: bool = False,
         pool: Optional[SharedWorkerPool] = None,
+        on_event: Optional[EventCallback] = None,
     ):
         self.config = config or TraceGeneratorConfig()
         self.pool = pool
@@ -292,6 +499,7 @@ class StudyRunner:
         #: consumer — e.g. a scenario comparison — reads a few columns)
         self.lazy_cache = bool(lazy_cache)
         self._progress = progress or (lambda message: None)
+        self._on_event = on_event
 
     # -- execution ---------------------------------------------------------------------
 
@@ -310,6 +518,7 @@ class StudyRunner:
                 use_cache=use_cache,
                 lazy_cache=self.lazy_cache,
                 progress=self._progress,
+                on_event=self._on_event,
             )
         except BaseException:
             if owned:
@@ -334,6 +543,7 @@ def run_study(
     use_cache: bool = True,
     lazy_cache: bool = False,
     pool: Optional[SharedWorkerPool] = None,
+    on_event: Optional[EventCallback] = None,
 ) -> StudyResult:
     """One-call entry point: run a study config through the sharded runner.
 
@@ -356,5 +566,6 @@ def run_study(
         progress=progress,
         lazy_cache=lazy_cache,
         pool=pool,
+        on_event=on_event,
     )
     return runner.run(use_cache=use_cache)

@@ -1,12 +1,13 @@
 """The shared worker pool behind suite-level scheduling.
 
 :class:`SharedWorkerPool` is the persistent pool/session object the study
-runner and the scenario engine schedule onto.  Instead of spinning a fresh
-``multiprocessing`` pool up (and tearing it down) per study — which is what
-the pre-suite runner did and what made a ten-scenario catalog pay ten pool
-start-ups with every small scenario serialised behind the previous one — a
-single pool outlives any number of studies and executes their synthesis
-shards and machine-group simulations as one interleaved work queue.
+runner, the scenario engine and the study-service gateway schedule onto.
+Instead of spinning a fresh ``multiprocessing`` pool up (and tearing it
+down) per study — which is what the pre-suite runner did and what made a
+ten-scenario catalog pay ten pool start-ups with every small scenario
+serialised behind the previous one — a single pool outlives any number of
+studies and executes their synthesis shards and machine-group simulations
+as one interleaved work queue.
 
 Determinism is preserved by construction:
 
@@ -17,9 +18,18 @@ Determinism is preserved by construction:
 * per-worker state (the fleet and the job synthesizer of one study) is keyed
   by the study's config fingerprint, so tasks of different scenarios never
   share mutable state even when they interleave on one worker;
-* state generations are keyed by an *epoch* that the suite scheduler bumps
-  per run, so re-running a study on a long-lived pool starts from freshly
-  built fleets exactly like a transient per-study pool would.
+* state generations are keyed by an *epoch* that the suite scheduler opens
+  per run and releases when the run finishes.  Workers evict the state of
+  epochs below the oldest epoch still active at submit time, so re-running
+  a study on a long-lived pool starts from freshly built fleets exactly
+  like a transient per-study pool would — while *concurrent* runs (several
+  gateway jobs multiplexed onto one pool) cannot evict each other.
+
+Submissions accept an optional completion ``callback`` so the suite
+scheduler can react to a shard landing (e.g. queue a study's simulations
+the moment its last synthesis shard completes) instead of waiting on
+handles in submission order.  Callbacks run on the pool's result-handler
+thread (or inline with ``workers == 1``) and must never raise.
 
 With ``workers == 1`` the pool degrades to inline execution in the calling
 process — no subprocesses, same bytes.
@@ -30,7 +40,8 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cloud.job import Job
 from repro.cloud.service import QuantumCloudService
@@ -57,6 +68,12 @@ def default_workers() -> int:
 #: task of the same study in the same epoch.
 _STATE: Dict[Tuple[int, str], Dict[str, object]] = {}
 
+#: Guards ``_STATE`` — inline (workers == 1) tasks run on the submitting
+#: thread, and a long-lived service multiplexes several suite runs onto one
+#: pool from concurrent threads.  Forked workers are single-threaded, so
+#: the lock is uncontended there.
+_STATE_LOCK = threading.Lock()
+
 #: Process-wide epoch source.  Epochs must be unique across *every* pool
 #: instance of the process, not per instance: inline (workers == 1) tasks
 #: run in the calling process, and forked workers inherit the parent's
@@ -64,24 +81,39 @@ _STATE: Dict[Tuple[int, str], Dict[str, object]] = {}
 #: run silently reuse — and never evict — a previous run's fleets.
 _EPOCHS = itertools.count(1)
 
+#: Epochs of runs currently in flight (opened by :meth:`next_epoch`,
+#: dropped by :meth:`release_epoch`).  The oldest active epoch is the
+#: eviction floor shipped with every task: workers drop the state of any
+#: epoch below it, which keeps sequential runs evicting exactly like
+#: before while concurrent runs on one pool keep each other's state alive.
+_ACTIVE_EPOCHS: Set[int] = set()
+_EPOCH_LOCK = threading.Lock()
 
-def _state_for(epoch: int, key: str,
+#: Last issued epoch, used as the floor when no run is active.
+_LAST_EPOCH = 0
+
+
+def _state_for(epoch: int, floor: int, key: str,
                config: TraceGeneratorConfig) -> Dict[str, object]:
-    state = _STATE.get((epoch, key))
-    if state is None:
-        # A new epoch invalidates every older generation: fleets mutated by
-        # a previous run's simulations must never leak into this one.
-        for stale in [k for k in _STATE if k[0] != epoch]:
-            del _STATE[stale]
-        state = {"fleet": config.build_fleet(), "synthesizer": None}
-        _STATE[(epoch, key)] = state
+    with _STATE_LOCK:
+        state = _STATE.get((epoch, key))
+        if state is None:
+            # Evict generations below the floor: every epoch that was
+            # already released when this task was submitted.  Fleets
+            # mutated by a finished run's simulations must never leak into
+            # a later one; epochs still active (a concurrent run on the
+            # same pool) stay cached.
+            for stale in [k for k in _STATE if k[0] < floor]:
+                del _STATE[stale]
+            state = {"fleet": config.build_fleet(), "synthesizer": None}
+            _STATE[(epoch, key)] = state
     return state
 
 
-def _synthesise_task(payload: Tuple[int, str, TraceGeneratorConfig,
+def _synthesise_task(payload: Tuple[int, int, str, TraceGeneratorConfig,
                                     ShardSpec]) -> List[Job]:
-    epoch, key, config, shard = payload
-    state = _state_for(epoch, key, config)
+    epoch, floor, key, config, shard = payload
+    state = _state_for(epoch, floor, key, config)
     synthesizer = state["synthesizer"]
     if synthesizer is None:
         synthesizer = JobSynthesizer(config, state["fleet"])
@@ -94,11 +126,11 @@ def _synthesise_task(payload: Tuple[int, str, TraceGeneratorConfig,
     return jobs
 
 
-def _simulate_task(payload: Tuple[int, str, TraceGeneratorConfig,
+def _simulate_task(payload: Tuple[int, int, str, TraceGeneratorConfig,
                                   MachineGroup, Sequence[Job]]
                    ) -> List[JobRecord]:
-    epoch, key, config, group, jobs = payload
-    state = _state_for(epoch, key, config)
+    epoch, floor, key, config, group, jobs = payload
+    state = _state_for(epoch, floor, key, config)
     fleet = state["fleet"]
     sub_fleet = {name: fleet[name] for name in group.machines}
     service = QuantumCloudService(sub_fleet, seed=config.seed,
@@ -113,12 +145,15 @@ def _simulate_task(payload: Tuple[int, str, TraceGeneratorConfig,
 class _ImmediateResult:
     """Inline stand-in for ``AsyncResult`` when the pool has one worker."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_error")
 
-    def __init__(self, value):
+    def __init__(self, value, error=None):
         self._value = value
+        self._error = error
 
     def get(self, timeout=None):
+        if self._error is not None:
+            raise self._error
         return self._value
 
 
@@ -126,11 +161,12 @@ class SharedWorkerPool:
     """A reusable pool of study workers, shared across studies and suites.
 
     The pool is lazy (processes start on the first parallel submission) and
-    long-lived: hand one instance to several :class:`StudyRunner`s or
-    scenario-engine runs and they all schedule onto the same workers.  Use
-    it as a context manager — on a clean exit outstanding work is drained
-    and the workers released; on an exception they are terminated so a
-    failed task can never hang the caller on join.
+    long-lived: hand one instance to several :class:`StudyRunner`s,
+    scenario-engine runs or gateway jobs — even from concurrent threads —
+    and they all schedule onto the same workers.  Use it as a context
+    manager — on a clean exit outstanding work is drained and the workers
+    released; on an exception they are terminated so a failed task can
+    never hang the caller on join.
     """
 
     def __init__(self, workers: Optional[int] = None):
@@ -138,6 +174,7 @@ class SharedWorkerPool:
                                   else default_workers()))
         self._pool = None
         self._closed = False
+        self._pool_lock = threading.Lock()
 
     @property
     def is_parallel(self) -> bool:
@@ -146,38 +183,93 @@ class SharedWorkerPool:
     def next_epoch(self) -> int:
         """Open a fresh worker-state generation (one per suite/study run).
 
-        Epochs are unique process-wide, so starting a new run invalidates
-        the cached per-study state of every earlier run — including state
-        built inline by other pool instances or inherited through fork.
+        Epochs are unique process-wide and stay *active* — immune to
+        worker-side eviction — until :meth:`release_epoch` drops them, so
+        several runs multiplexed onto one pool keep their cached fleets
+        alive side by side.  Always release in a ``finally``.
         """
-        return next(_EPOCHS)
+        global _LAST_EPOCH
+        with _EPOCH_LOCK:
+            epoch = next(_EPOCHS)
+            _ACTIVE_EPOCHS.add(epoch)
+            _LAST_EPOCH = epoch
+        return epoch
+
+    def release_epoch(self, epoch: int) -> None:
+        """Close a generation opened by :meth:`next_epoch`.
+
+        Its worker-side state becomes evictable as soon as any later task
+        observes a floor above it.
+        """
+        with _EPOCH_LOCK:
+            _ACTIVE_EPOCHS.discard(epoch)
+
+    @staticmethod
+    def _epoch_floor() -> int:
+        """The eviction floor to ship with a task submitted now.
+
+        The oldest active epoch when runs are in flight; otherwise one past
+        the last issued epoch, so a fully idle pool evicts everything on
+        the next run's first task.
+        """
+        with _EPOCH_LOCK:
+            if _ACTIVE_EPOCHS:
+                return min(_ACTIVE_EPOCHS)
+            return _LAST_EPOCH + 1
 
     def _ensure_pool(self):
         if self._closed:
             raise WorkloadError("this worker pool has been shut down")
-        if self._pool is None:
-            context = multiprocessing.get_context(
-                "fork" if "fork" in multiprocessing.get_all_start_methods()
-                else "spawn"
-            )
-            self._pool = context.Pool(processes=self.workers)
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in multiprocessing.get_all_start_methods()
+                    else "spawn"
+                )
+                self._pool = context.Pool(processes=self.workers)
+            return self._pool
 
-    def _submit(self, task, payload):
+    def _submit(self, task, payload,
+                callback: Optional[Callable[[object], None]] = None):
         if not self.is_parallel:
-            return _ImmediateResult(task(payload))
-        return self._ensure_pool().apply_async(task, (payload,))
+            if self._closed:
+                raise WorkloadError("this worker pool has been shut down")
+            try:
+                value = task(payload)
+            except Exception as exc:
+                # Match apply_async semantics: errors surface on .get(),
+                # and the completion callback is not invoked.
+                return _ImmediateResult(None, error=exc)
+            if callback is not None:
+                callback(value)
+            return _ImmediateResult(value)
+        return self._ensure_pool().apply_async(task, (payload,),
+                                               callback=callback)
 
     def submit_synthesis(self, epoch: int, key: str,
-                         config: TraceGeneratorConfig, shard: ShardSpec):
-        """Queue one synthesis shard; returns a handle with ``.get()``."""
-        return self._submit(_synthesise_task, (epoch, key, config, shard))
+                         config: TraceGeneratorConfig, shard: ShardSpec,
+                         callback: Optional[Callable[[object], None]] = None):
+        """Queue one synthesis shard; returns a handle with ``.get()``.
+
+        ``callback`` (if given) receives the shard's job list when it
+        completes — on the pool's result-handler thread, or synchronously
+        for an inline pool.  It is not invoked when the task raises; the
+        error surfaces on ``.get()``.
+        """
+        return self._submit(
+            _synthesise_task,
+            (epoch, self._epoch_floor(), key, config, shard),
+            callback=callback)
 
     def submit_simulation(self, epoch: int, key: str,
                           config: TraceGeneratorConfig, group: MachineGroup,
-                          jobs: Sequence[Job]):
+                          jobs: Sequence[Job],
+                          callback: Optional[Callable[[object], None]] = None):
         """Queue one machine-group simulation; returns a ``.get()`` handle."""
-        return self._submit(_simulate_task, (epoch, key, config, group, jobs))
+        return self._submit(
+            _simulate_task,
+            (epoch, self._epoch_floor(), key, config, group, jobs),
+            callback=callback)
 
     def close(self) -> None:
         """Drain outstanding work and release the workers (clean path)."""

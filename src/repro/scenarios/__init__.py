@@ -49,7 +49,12 @@ from repro.scenarios.scenario import (
     replicate_seed,
     resolve_scenarios,
 )
-from repro.scenarios.spec import ScenarioSuiteSpec, load_suite, parse_suite
+from repro.scenarios.spec import (
+    ScenarioSuiteSpec,
+    load_suite,
+    parse_suite,
+    read_spec_payload,
+)
 from repro.scenarios.sweep import (
     expand_sweep,
     expand_sweeps,
@@ -80,6 +85,7 @@ __all__ = [
     "parse_suite",
     "parse_sweep_flag",
     "perturbation_from_dict",
+    "read_spec_payload",
     "replicate_scenarios",
     "replicate_seed",
     "resolve_scenarios",

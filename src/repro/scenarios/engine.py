@@ -25,12 +25,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.exceptions import ScenarioError
 from repro.devices.backend import Backend
 from repro.runner.cache import TraceCache, config_fingerprint
 from repro.runner.executor import (
+    EventCallback,
     ProgressCallback,
     StudyResult,
     StudyRunner,
@@ -138,6 +139,8 @@ class ScenarioEngine:
         lazy_cache: bool = True,
         pool: Optional[SharedWorkerPool] = None,
         suite_scheduling: bool = True,
+        on_event: Optional[EventCallback] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
     ):
         self.base_config = base_config or TraceGeneratorConfig()
         self.workers = workers
@@ -149,6 +152,12 @@ class ScenarioEngine:
         self.pool = pool
         self.suite_scheduling = suite_scheduling
         self._progress = progress or (lambda message: None)
+        #: structured progress events (shards done/total + ETA) forwarded
+        #: to run_suite; the gateway streams these over NDJSON and the CLI
+        #: prints them under --progress
+        self._on_event = on_event
+        #: polled between studies by run_suite; True cancels the suite run
+        self._should_stop = should_stop
 
     def expand(self, scenario: Scenario) -> TraceGeneratorConfig:
         """The concrete study config a scenario runs as."""
@@ -220,6 +229,8 @@ class ScenarioEngine:
                 use_cache=use_cache,
                 lazy_cache=self.lazy_cache,
                 progress=self._progress,
+                on_event=self._on_event,
+                should_stop=self._should_stop,
             )
         except BaseException:
             if owned:
@@ -266,6 +277,7 @@ class ScenarioEngine:
                 # mode (scenarios still run one after another, but on the
                 # caller's workers instead of a transient pool each).
                 pool=self.pool,
+                on_event=self._on_event,
             )
             result = runner.run(use_cache=use_cache)
             self._progress(
@@ -290,6 +302,8 @@ def run_scenarios(
     lazy_cache: bool = True,
     pool: Optional[SharedWorkerPool] = None,
     suite_scheduling: bool = True,
+    on_event: Optional[EventCallback] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> ScenarioSuiteResult:
     """One-call entry point: run a scenario suite through the shared pool.
 
@@ -308,5 +322,7 @@ def run_scenarios(
         lazy_cache=lazy_cache,
         pool=pool,
         suite_scheduling=suite_scheduling,
+        on_event=on_event,
+        should_stop=should_stop,
     )
     return engine.run(scenarios, use_cache=use_cache)

@@ -155,21 +155,31 @@ def parse_suite(payload: Dict[str, object],
                              study_overrides=dict(study), source=source)
 
 
-def load_suite(path: Union[str, Path]) -> ScenarioSuiteSpec:
-    """Load a scenario suite spec from a ``.toml`` or ``.json`` file."""
+def read_spec_payload(path: Union[str, Path]) -> Dict[str, object]:
+    """The raw (unvalidated) document of a ``.toml``/``.json`` spec file.
+
+    This is the JSON-serialisable payload the study-service gateway
+    accepts as a submission's ``suite`` value — the client reads a spec
+    file with this and ships it over the wire, where
+    :func:`parse_suite` validates it exactly like the batch CLI would.
+    """
     path = Path(path)
     if not path.is_file():
         raise ScenarioError(f"scenario spec {path} does not exist")
     suffix = path.suffix.lower()
     if suffix == ".toml":
-        payload = _load_toml(path)
-    elif suffix == ".json":
+        return _load_toml(path)
+    if suffix == ".json":
         try:
-            payload = json.loads(path.read_text())
+            return json.loads(path.read_text())
         except json.JSONDecodeError as exc:
             raise ScenarioError(f"invalid JSON in {path}: {exc}") from exc
-    else:
-        raise ScenarioError(
-            f"unsupported spec format {suffix!r} for {path}; "
-            f"use .toml or .json")
-    return parse_suite(payload, source=path)
+    raise ScenarioError(
+        f"unsupported spec format {suffix!r} for {path}; "
+        f"use .toml or .json")
+
+
+def load_suite(path: Union[str, Path]) -> ScenarioSuiteSpec:
+    """Load a scenario suite spec from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    return parse_suite(read_spec_payload(path), source=path)

@@ -1,0 +1,44 @@
+"""The study-service gateway: studies as submitted, streamed workloads.
+
+Everything below ``repro.service`` turns the batch what-if pipeline into a
+long-lived multi-tenant server over the one shared worker pool:
+
+* :mod:`repro.service.jobs` — the job registry (``queued → running →
+  done/failed/cancelled``), per-tenant quotas, FIFO fairness across
+  tenants, and per-job event logs with blocking streams.
+* :mod:`repro.service.store` — :class:`ResultStore`, the content-addressed
+  result surface over the trace cache: traces by config fingerprint,
+  comparisons by suite hash, hit accounting, max-bytes LRU eviction.
+* :mod:`repro.service.gateway` — :class:`StudyService` and the stdlib
+  HTTP server (`python -m repro serve`): JSON submissions, NDJSON event
+  streams, result fetches.
+* :mod:`repro.service.client` — :class:`StudyServiceClient`, the
+  dependency-free ``urllib`` client the CLI subcommands and the CI smoke
+  benchmark use.
+"""
+
+from repro.service.client import GatewayError, StudyServiceClient
+from repro.service.gateway import StudyService, resolve_submission, serve
+from repro.service.jobs import (
+    JobQuotaExceeded,
+    JobRegistry,
+    ServiceError,
+    ServiceJob,
+    UnknownJobError,
+)
+from repro.service.store import ResultStore, comparison_key
+
+__all__ = [
+    "GatewayError",
+    "JobQuotaExceeded",
+    "JobRegistry",
+    "ResultStore",
+    "ServiceError",
+    "ServiceJob",
+    "StudyService",
+    "StudyServiceClient",
+    "UnknownJobError",
+    "comparison_key",
+    "resolve_submission",
+    "serve",
+]

@@ -1,0 +1,338 @@
+"""The gateway's job registry: multi-tenant submission tracking.
+
+Every submission becomes a :class:`ServiceJob` that moves through
+``queued → running → done / failed / cancelled``.  The registry enforces a
+per-tenant *active* quota (queued + running jobs) and hands queued jobs to
+the executor threads in FIFO order *per tenant* with round-robin rotation
+*across* tenants — a tenant that dumps fifty suites into the queue delays
+its own later jobs, not another tenant's first one.
+
+Each job carries an append-only event log (monotonic ``seq`` numbers) fed
+by the scheduler and the suite runner's structured progress events; a
+condition variable lets any number of NDJSON streams block until the next
+event lands instead of polling.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, List, Optional
+
+from repro.core.exceptions import ReproError
+
+__all__ = [
+    "JobQuotaExceeded",
+    "JobRegistry",
+    "ServiceError",
+    "ServiceJob",
+    "TERMINAL_STATES",
+    "UnknownJobError",
+]
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+
+class ServiceError(ReproError):
+    """Raised by the study-service gateway (registry, store, routing)."""
+
+
+class JobQuotaExceeded(ServiceError):
+    """A tenant's queued+running jobs already fill its quota (HTTP 429)."""
+
+
+class UnknownJobError(ServiceError):
+    """No job with the requested id exists (HTTP 404)."""
+
+
+@dataclass
+class ServiceJob:
+    """One tracked submission and its event log."""
+
+    job_id: str
+    tenant: str
+    payload: Dict[str, object]
+    state: str = QUEUED
+    created: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    error: Optional[str] = None
+    #: result summary once done: scenario names, fingerprints, cache hits,
+    #: and the comparison key when a comparison was requested
+    result: Optional[Dict[str, object]] = None
+    cancel_requested: bool = False
+    events: List[Dict[str, object]] = field(default_factory=list)
+    _condition: threading.Condition = field(
+        default_factory=threading.Condition, repr=False)
+    _seq: "itertools.count" = field(default_factory=lambda: itertools.count(),
+                                    repr=False)
+
+    def emit(self, event_kind: str, **detail: object) -> Dict[str, object]:
+        """Append one event to the log and wake every blocked stream.
+
+        ``detail`` keys are merged flat into the NDJSON line (a ``kind``
+        key is fine — it carries the suite-runner event kind, while
+        ``event`` is the job-level type).
+        """
+        with self._condition:
+            event = {
+                "seq": next(self._seq),
+                "ts": round(time.time(), 3),
+                "job": self.job_id,
+                "event": event_kind,
+                **detail,
+            }
+            self.events.append(event)
+            self._condition.notify_all()
+        return event
+
+    def stream(self, since: int = 0, idle: Optional[float] = None
+               ) -> Iterator[Optional[Dict[str, object]]]:
+        """Yield events from ``seq >= since``, blocking until terminal.
+
+        The iterator ends once the job has reached a terminal state *and*
+        every event logged up to that point has been yielded — a consumer
+        that reads to exhaustion has therefore seen the ``done`` /
+        ``failed`` / ``cancelled`` event.  When no event lands within
+        ``idle`` seconds, ``None`` is yielded instead (the NDJSON handler
+        turns it into a heartbeat line that keeps the connection alive);
+        ``idle=None`` blocks indefinitely.
+        """
+        index = 0
+        while True:
+            with self._condition:
+                while index >= len(self.events):
+                    if self.state in TERMINAL_STATES:
+                        return
+                    if not self._condition.wait(timeout=idle):
+                        break  # idle: surface a heartbeat, keep streaming
+                batch = self.events[index:]
+                index = len(self.events)
+            if not batch:
+                yield None
+                continue
+            for event in batch:
+                if event["seq"] >= since:
+                    yield event
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job is terminal; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            while self.state not in TERMINAL_STATES:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._condition.wait(timeout=remaining)
+        return True
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready status view of the job."""
+        payload: Dict[str, object] = {
+            "job": self.job_id,
+            "tenant": self.tenant,
+            "state": self.state,
+            "created": round(self.created, 3),
+            "events": len(self.events),
+        }
+        if self.started is not None:
+            payload["started"] = round(self.started, 3)
+        if self.finished is not None:
+            payload["finished"] = round(self.finished, 3)
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.result is not None:
+            payload["result"] = self.result
+        if self.cancel_requested and self.state not in TERMINAL_STATES:
+            payload["cancel_requested"] = True
+        return payload
+
+
+class JobRegistry:
+    """Submission queue + state store with per-tenant quotas and fairness."""
+
+    def __init__(self, tenant_quota: int = 8):
+        if tenant_quota < 1:
+            raise ServiceError(
+                f"tenant_quota must be >= 1, got {tenant_quota}")
+        self.tenant_quota = tenant_quota
+        self._jobs: Dict[str, ServiceJob] = {}
+        self._queues: Dict[str, Deque[ServiceJob]] = {}
+        #: round-robin rotation of tenants with queued work
+        self._tenant_order: Deque[str] = deque()
+        self._lock = threading.Condition()
+        self._ids = itertools.count(1)
+        self._closed = False
+
+    # -- submission --------------------------------------------------------------------
+
+    def submit(self, tenant: str, payload: Dict[str, object]) -> ServiceJob:
+        """Register and enqueue a submission; raises over quota."""
+        tenant = tenant or "default"
+        with self._lock:
+            if self._closed:
+                raise ServiceError("the study service is shutting down")
+            active = sum(
+                1 for job in self._jobs.values()
+                if job.tenant == tenant and job.state in (QUEUED, RUNNING))
+            if active >= self.tenant_quota:
+                raise JobQuotaExceeded(
+                    f"tenant {tenant!r} already has {active} active jobs "
+                    f"(quota {self.tenant_quota}); wait for one to finish "
+                    f"or cancel it")
+            job = ServiceJob(job_id=f"job-{next(self._ids):06d}",
+                             tenant=tenant, payload=payload)
+            self._jobs[job.job_id] = job
+            queue = self._queues.setdefault(tenant, deque())
+            queue.append(job)
+            if tenant not in self._tenant_order:
+                self._tenant_order.append(tenant)
+            self._lock.notify()
+        job.emit("queued", tenant=tenant)
+        return job
+
+    # -- the executor side -------------------------------------------------------------
+
+    def take(self, timeout: Optional[float] = None) -> Optional[ServiceJob]:
+        """Pop the next job fairly (round-robin across tenants, FIFO within).
+
+        Blocks up to ``timeout`` for work; returns None when none arrived
+        or the registry was closed.  The returned job is already marked
+        ``running``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            while True:
+                job = self._pop_fair_locked()
+                if job is not None:
+                    job.state = RUNNING
+                    job.started = time.time()
+                    break
+                if self._closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._lock.wait(timeout=remaining)
+        job.emit("started", tenant=job.tenant)
+        return job
+
+    def _pop_fair_locked(self) -> Optional[ServiceJob]:
+        for _ in range(len(self._tenant_order)):
+            tenant = self._tenant_order[0]
+            queue = self._queues.get(tenant)
+            if queue:
+                job = queue.popleft()
+                # Rotate: the tenant we just served goes to the back even
+                # if it still has queued jobs, so other tenants interleave.
+                self._tenant_order.rotate(-1)
+                if not queue:
+                    self._remove_from_order(tenant)
+                return job
+            self._remove_from_order(tenant)
+        return None
+
+    def _remove_from_order(self, tenant: str) -> None:
+        try:
+            self._tenant_order.remove(tenant)
+        except ValueError:
+            pass
+
+    def finish(self, job: ServiceJob, state: str,
+               error: Optional[str] = None,
+               result: Optional[Dict[str, object]] = None) -> None:
+        """Move a running job to a terminal state and wake waiters."""
+        if state not in TERMINAL_STATES:
+            raise ServiceError(f"{state!r} is not a terminal job state")
+        with self._lock:
+            job.state = state
+            job.finished = time.time()
+            job.error = error
+            if result is not None:
+                job.result = result
+        detail: Dict[str, object] = {}
+        if error is not None:
+            detail["error"] = error
+        if result is not None:
+            detail["result"] = result
+        job.emit(state, **detail)
+        # emit() notified the job's own condition; wake job.wait() callers.
+        with job._condition:
+            job._condition.notify_all()
+
+    # -- queries and cancellation ------------------------------------------------------
+
+    def get(self, job_id: str) -> ServiceJob:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise UnknownJobError(f"no job {job_id!r}") from None
+
+    def jobs(self, tenant: Optional[str] = None) -> List[ServiceJob]:
+        with self._lock:
+            found = [job for job in self._jobs.values()
+                     if tenant is None or job.tenant == tenant]
+        return sorted(found, key=lambda job: job.job_id)
+
+    def cancel(self, job_id: str) -> ServiceJob:
+        """Cancel a job: dequeued immediately if still queued (freeing the
+        tenant's quota slot), flagged for the runner to abort if running."""
+        job = self.get(job_id)
+        with self._lock:
+            if job.state == QUEUED:
+                queue = self._queues.get(job.tenant)
+                if queue is not None:
+                    try:
+                        queue.remove(job)
+                    except ValueError:
+                        pass
+                    if not queue:
+                        self._remove_from_order(job.tenant)
+                job.state = CANCELLED
+                job.finished = time.time()
+                job.emit("cancelled", while_state=QUEUED)
+                return job
+            if job.state == RUNNING:
+                job.cancel_requested = True
+        if job.state == RUNNING:
+            job.emit("cancel-requested")
+        return job
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            by_state: Dict[str, int] = {}
+            tenants = set()
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+                tenants.add(job.tenant)
+            return {
+                "jobs": len(self._jobs),
+                "tenants": len(tenants),
+                "tenant_quota": self.tenant_quota,
+                "by_state": dict(sorted(by_state.items())),
+            }
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop handing out work; executor threads drain on take()=None."""
+        with self._lock:
+            self._closed = True
+            self._lock.notify_all()

@@ -119,9 +119,16 @@ class TestSuiteDeterminism:
     def test_epochs_are_unique_across_pool_instances(self):
         # Regression: per-instance epoch counters restarting at 1 let a
         # later (transient or inline) pool reuse a previous run's cached
-        # worker state and never evict it.
-        assert SharedWorkerPool(1).next_epoch() < \
-            SharedWorkerPool(1).next_epoch()
+        # worker state and never evict it.  Epochs opened here must be
+        # released (as run_suite's finally does) — an active epoch pins
+        # the worker-state eviction floor for every later run.
+        first_pool, second_pool = SharedWorkerPool(1), SharedWorkerPool(1)
+        first, second = first_pool.next_epoch(), second_pool.next_epoch()
+        try:
+            assert first < second
+        finally:
+            first_pool.release_epoch(first)
+            second_pool.release_epoch(second)
 
     def test_inline_worker_state_is_evicted_between_runs(self, base_config):
         from repro.runner import pool as pool_module
@@ -336,3 +343,84 @@ class TestFailurePaths:
         assert _trace_bytes(tmp_path, "shared",
                             shared.run_for("outage").trace) == \
             _trace_bytes(tmp_path, "solo", solo.run_for("outage").trace)
+
+
+class TestSuiteEvents:
+    """The structured progress stream and cancellation of run_suite."""
+
+    def _studies(self, base_config, count=2):
+        catalog = builtin_scenarios()
+        names = ("baseline", "demand-surge", "machine-outage")[:count]
+        studies = []
+        for name in names:
+            config = catalog[name].apply_to(base_config)
+            studies.append((config_fingerprint(config), config))
+        return studies
+
+    def test_event_stream_shape(self, base_config):
+        events = []
+        studies = self._studies(base_config)
+        with SharedWorkerPool(2) as pool:
+            run_suite(studies, pool, num_shards=2, use_cache=False,
+                      on_event=events.append)
+        kinds = [event.kind for event in events]
+        assert kinds[0] == "queued"
+        assert kinds[-1] == "suite-done"
+        assert kinds.count("queued") == len(studies)
+        assert kinds.count("study-done") == len(studies)
+        assert kinds.count("sims-queued") == len(studies)
+        shard_done = [e for e in events if e.kind == "shard-done"]
+        # Every synthesis shard and simulation group reports completion.
+        assert {e.phase for e in shard_done} == {"synthesis", "simulation"}
+        completed = [e.completed for e in shard_done]
+        assert completed == sorted(completed)  # monotonic progress
+        assert all(e.completed <= e.total for e in shard_done)
+        final = shard_done[-1]
+        assert final.completed == final.total
+        # Once something has completed, an ETA is attached.
+        assert all(e.eta_seconds is not None and e.eta_seconds >= 0
+                   for e in shard_done)
+        assert all(e.elapsed_seconds >= 0 for e in events)
+        # Study events carry their fingerprint; as_dict stays JSON-ready.
+        done = [e for e in events if e.kind == "study-done"]
+        assert {e.key for e in done} == {key for key, _ in studies}
+        for event in events:
+            payload = event.as_dict()
+            assert payload["kind"] == event.kind
+            assert isinstance(payload["completed"], int)
+
+    def test_cache_hits_emit_events_not_shards(self, base_config, tmp_path):
+        studies = self._studies(base_config, count=1)
+        with SharedWorkerPool(1) as pool:
+            run_suite(studies, pool, num_shards=1, cache=tmp_path)
+            events = []
+            run_suite(studies, pool, num_shards=1, cache=tmp_path,
+                      on_event=events.append)
+        kinds = [event.kind for event in events]
+        assert "cache-hit" in kinds
+        assert "shard-done" not in kinds
+        assert kinds[-1] == "suite-done"
+
+    def test_should_stop_raises_suite_cancelled(self, base_config):
+        from repro.runner import SuiteCancelled
+
+        studies = self._studies(base_config, count=3)
+        with SharedWorkerPool(1) as pool:
+            with pytest.raises(SuiteCancelled):
+                run_suite(studies, pool, num_shards=1, use_cache=False,
+                          should_stop=lambda: True)
+            # The shared pool survives a cancelled run: the same studies
+            # run to completion afterwards.
+            results = run_suite(studies, pool, num_shards=1,
+                                use_cache=False)
+        assert len(results) == len(studies)
+
+    def test_event_handler_errors_do_not_break_the_run(self, base_config):
+        def explode(event):
+            raise RuntimeError("observer crashed")
+
+        studies = self._studies(base_config, count=1)
+        with SharedWorkerPool(1) as pool:
+            results = run_suite(studies, pool, num_shards=2,
+                                use_cache=False, on_event=explode)
+        assert len(results) == 1
