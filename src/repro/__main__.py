@@ -11,6 +11,9 @@ sharded study runner and the analysis layer:
   all reproduced figures.
 * ``repro bench`` — measure the runner's multi-worker speedup and write the
   ``BENCH_runner.json`` artifact consumed by CI.
+* ``repro export`` — export a trace for external notebooks: Parquet or
+  Feather/Arrow IPC through the optional ``pyarrow`` dependency, or the
+  built-in csv/json/npz formats.
 * ``repro run-scenarios`` — execute a suite of declarative what-if scenarios
   (built-in catalog or a TOML/JSON spec) as one interleaved work queue on a
   shared worker pool, with fingerprint-keyed cache reuse; ``--sweep``
@@ -53,11 +56,18 @@ from repro.scenarios import (
     resolve_scenarios,
     sweep_from_flags,
 )
+from repro.workloads.blocks import set_memory_budget
 from repro.workloads.generator import TraceGeneratorConfig
 from repro.workloads.trace import TraceDataset
 
 
 def _add_generation_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memory-budget", default=os.environ.get("REPRO_MEMORY_BUDGET"),
+        metavar="BYTES",
+        help="resident-bytes budget for trace columns (suffixes K/M/G); "
+             "datasets past it chunk into blocks that spill to disk "
+             "(default: $REPRO_MEMORY_BUDGET, or fully resident)")
     parser.add_argument(
         "--jobs", type=int, default=env_int("REPRO_BENCH_JOBS", 6000),
         help="total jobs of the study trace (default: %(default)s)")
@@ -159,6 +169,42 @@ def cmd_report(args: argparse.Namespace) -> int:
         }
         Path(args.output).write_text(json.dumps(payload, indent=2))
         print(f"\nfull report written to {args.output}")
+    return 0
+
+
+_EXPORT_FORMATS = ("parquet", "feather", "arrow", "csv", "json", "npz")
+
+#: output-suffix → export format for ``repro export`` (no --format given)
+_EXPORT_SUFFIXES = {
+    ".parquet": "parquet",
+    ".feather": "feather",
+    ".arrow": "feather",
+    ".csv": "csv",
+    ".json": "json",
+    ".npz": "npz",
+}
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    trace, _ = _load_or_generate_trace(args)
+    output = Path(args.output)
+    fmt = args.format or _EXPORT_SUFFIXES.get(output.suffix.lower())
+    if fmt is None:
+        print(f"repro export: cannot infer a format from {output.name!r}; "
+              f"pass --format ({', '.join(_EXPORT_FORMATS)})",
+              file=sys.stderr)
+        return 2
+    if fmt == "parquet":
+        trace.to_parquet(output)
+    elif fmt in ("feather", "arrow"):
+        trace.to_feather(output)
+    elif fmt == "csv":
+        trace.to_csv(output)
+    elif fmt == "json":
+        trace.to_json(output)
+    else:
+        trace.to_npz(output)
+    print(f"trace exported to {output} ({fmt}, {len(trace)} jobs)")
     return 0
 
 
@@ -502,11 +548,12 @@ def cmd_fetch(args: argparse.Namespace) -> int:
 
     client = StudyServiceClient(_service_url(args), tenant=args.tenant)
     if args.trace:
-        data = client.fetch_trace(args.trace)
         output = Path(args.output or f"trace-{args.trace}.npz")
-        output.write_bytes(data)
+        # Stream chunks straight to the file: a multi-month trace body
+        # must never be buffered whole in this process.
+        written = client.fetch_trace_to(args.trace, output)
         print(f"trace {args.trace} written to {output} "
-              f"({len(data)} bytes)")
+              f"({written} bytes)")
         return 0
     if args.comparison:
         payload = client.fetch_comparison(args.comparison)
@@ -609,6 +656,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default="BENCH_runner.json",
         help="artifact path (default: %(default)s)")
     bench_parser.set_defaults(handler=cmd_bench)
+
+    export_parser = subparsers.add_parser(
+        "export",
+        help="export a trace for external notebooks "
+             "(Parquet/Feather via optional pyarrow, or csv/json/npz)")
+    _add_generation_arguments(export_parser)
+    export_parser.add_argument(
+        "--trace",
+        help="export this trace file (.npz/.json/.csv) instead of "
+             "generating one")
+    export_parser.add_argument(
+        "--output", required=True,
+        help="destination path; the suffix picks the format unless "
+             "--format is given")
+    export_parser.add_argument(
+        "--format", choices=_EXPORT_FORMATS, default=None,
+        help="export format (default: inferred from the --output suffix)")
+    export_parser.set_defaults(handler=cmd_export)
 
     run_scenarios_parser = subparsers.add_parser(
         "run-scenarios",
@@ -736,7 +801,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    budget = getattr(args, "memory_budget", None)
     try:
+        if budget is not None:
+            set_memory_budget(budget)
         return int(args.handler(args))
     except ReproError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)

@@ -19,6 +19,12 @@ effect when the job started (drift applied, so calibration-regime scenarios
 move it) raised to the job's CX count and width, times a decoherence factor
 for the CX-depth critical path.  It preserves the orderings the paper's
 Fig. 7 demonstrates without re-transpiling every job.
+
+Every reduction here is column-at-a-time (the fidelity proxy touches four
+numeric columns plus per-machine masks), so scenario comparison runs
+against chunked traces without the full column set ever being resident —
+``compare-scenarios`` works under a resident-bytes budget smaller than one
+scenario's column bytes.
 """
 
 from __future__ import annotations

@@ -1,4 +1,9 @@
-"""Execution-time analyses (Section VI, Figures 13-14), as column operations."""
+"""Execution-time analyses (Section VI, Figures 13-14), as column operations.
+
+Per-machine run-time distributions stream block-wise through
+``grouped_values``; the batch-size binning touches two columns at a time,
+so nothing here needs the full trace resident under the chunked data plane.
+"""
 
 from __future__ import annotations
 
@@ -24,12 +29,11 @@ def run_time_by_machine(trace: TraceDataset,
     With ``per_circuit=True`` the per-circuit run time (job run time divided
     by batch size) is summarised instead of the per-job run time.
     """
+    column = "per_circuit_run_seconds" if per_circuit else "run_minutes"
     result: Dict[str, DistributionSummary] = {}
-    for machine, subset in trace.group_by_machine().items():
+    for machine, values in trace.grouped_values("machine", column).items():
         if per_circuit:
-            values = subset.numeric_column("per_circuit_run_seconds") / 60.0
-        else:
-            values = subset.numeric_column("run_minutes")
+            values = values / 60.0
         if values.size:
             result[machine] = summarize(values)
     if not result:

@@ -4,7 +4,8 @@
 * Fig. 2b — breakdown of job terminal statuses (DONE / ERROR / CANCELLED).
 
 The monthly aggregation runs as integer scatter-adds over the trace's month
-column rather than a per-record walk.
+column rather than a per-record walk; only the three columns involved are
+materialised (block-streamed under the chunked data plane), never the trace.
 """
 
 from __future__ import annotations

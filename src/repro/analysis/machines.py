@@ -6,7 +6,9 @@
 
 Fig. 9 evaluates the external-load model over the whole sampling window in
 one vectorised call per machine, and the studied-queue correction is a
-masked column computation instead of a per-record scan.
+masked column computation instead of a per-record scan.  Per-machine
+distributions stream through the block-wise ``grouped_values`` primitive,
+so the chunked data plane never materialises a per-machine sub-trace.
 """
 
 from __future__ import annotations
@@ -58,8 +60,8 @@ def utilization_by_machine(trace: TraceDataset) -> Dict[str, DistributionSummary
     circuits.
     """
     result: Dict[str, DistributionSummary] = {}
-    for machine, subset in trace.group_by_machine().items():
-        utilizations = subset.values("utilization")
+    for machine, utilizations in trace.grouped_values("machine",
+                                                      "utilization").items():
         if utilizations.size:
             result[machine] = summarize(utilizations)
     if not result:

@@ -5,8 +5,12 @@
 * Fig. 10 — queue-time distribution per machine.
 * Fig. 11 — queue time (per job and per circuit) versus batch size.
 
-All series are computed as whole-column NumPy operations on the columnar
-:class:`~repro.workloads.trace.TraceDataset` (missing values are NaN).
+All series are computed as column NumPy operations on the columnar
+:class:`~repro.workloads.trace.TraceDataset` (missing values are NaN),
+touching one column at a time — under the chunked data plane a column is
+streamed out of its blocks, so no analysis here ever needs the whole trace
+resident, and the per-machine grouping goes through the block-wise
+``grouped_values`` primitive.
 """
 
 from __future__ import annotations
@@ -132,10 +136,15 @@ def ratio_report(trace: TraceDataset) -> RatioReport:
 
 
 def queue_time_by_machine(trace: TraceDataset) -> Dict[str, DistributionSummary]:
-    """Fig. 10 series: distribution of per-job queue minutes per machine."""
+    """Fig. 10 series: distribution of per-job queue minutes per machine.
+
+    Streams block-wise through
+    :meth:`~repro.workloads.trace.TraceDataset.grouped_values`, so only the
+    machine and queue-minute columns of one block are resident at a time.
+    """
     result: Dict[str, DistributionSummary] = {}
-    for machine, subset in trace.group_by_machine().items():
-        minutes = subset.numeric_column("queue_minutes")
+    for machine, minutes in trace.grouped_values("machine",
+                                                 "queue_minutes").items():
         if minutes.size:
             result[machine] = summarize(minutes)
     if not result:

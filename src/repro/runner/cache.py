@@ -9,11 +9,15 @@ the result — gets the exact bytes of the first run back.
 
 Entries are written as the versioned compressed ``.npz`` column dump of
 :meth:`~repro.workloads.trace.TraceDataset.to_npz` (deterministic bytes,
-loads as typed arrays with no row parsing).  The cache also reads
-JSON-format entries under the same key (hand-placed traces, external
-tooling); note that *stale-content* invalidation happens through the
-fingerprint itself — entries written by incompatible versions live under
-different keys and simply miss.
+loads as typed arrays with no row parsing).  Traces whose column bytes
+exceed their resident-memory budget are stored as *block-manifest
+directories* instead (``trace-<key>.blocks/``: a ``manifest.json`` plus
+one versioned block ``.npz`` per chunk), written and re-served block by
+block so neither ``put`` nor ``get`` ever materialises the whole trace.
+The cache also reads JSON-format entries under the same key (hand-placed
+traces, external tooling); note that *stale-content* invalidation happens
+through the fingerprint itself — entries written by incompatible versions
+live under different keys and simply miss.
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ import enum
 import hashlib
 import json
 import os
+import shutil
 import uuid
 import zipfile
 from dataclasses import dataclass
@@ -113,6 +118,11 @@ class TraceCache:
     def path_for(self, key: str) -> Path:
         return self.root / f"trace-{key}.npz"
 
+    def manifest_dir_for(self, key: str) -> Path:
+        """Where a block-manifest entry for ``key`` would live (the layout
+        used for traces too large for their resident-bytes budget)."""
+        return self.root / f"trace-{key}.blocks"
+
     def legacy_path_for(self, key: str) -> Path:
         """Where a JSON-format entry for ``key`` would live (the layout the
         pre-columnar cache used; still read as a fallback)."""
@@ -123,6 +133,9 @@ class TraceCache:
         for path in (self.path_for(key), self.legacy_path_for(key)):
             if path.is_file():
                 return path
+        manifest_dir = self.manifest_dir_for(key)
+        if manifest_dir.is_dir():
+            return manifest_dir
         return None
 
     def get(self, key: str, lazy: bool = False) -> Optional[TraceDataset]:
@@ -140,13 +153,22 @@ class TraceCache:
         minutes of regeneration for on every run.
 
         ``lazy=True`` defers per-column decompression of ``.npz`` entries to
-        first access (see :meth:`TraceDataset.from_npz`).
+        first access (see :meth:`TraceDataset.from_npz`).  Block-manifest
+        entries always load lazily: every block starts spilled and the
+        process-wide memory budget governs how many become resident.
         """
-        for path, loader in (
-                (self.path_for(key),
-                 lambda p: TraceDataset.from_npz(p, lazy=lazy)),
-                (self.legacy_path_for(key), TraceDataset.from_json)):
-            if not path.is_file():
+        manifest_dir = self.manifest_dir_for(key)
+        candidates = [
+            (self.path_for(key),
+             lambda p: TraceDataset.from_npz(p, lazy=lazy)),
+            (manifest_dir, TraceDataset.from_block_manifest),
+            (self.legacy_path_for(key), TraceDataset.from_json),
+        ]
+        for path, loader in candidates:
+            if path is manifest_dir:
+                if not (path / "manifest.json").is_file():
+                    continue
+            elif not path.is_file():
                 continue
             try:
                 trace = loader(path)
@@ -173,9 +195,16 @@ class TraceCache:
         return None
 
     def get_bytes(self, key: str) -> Optional[bytes]:
-        """The exact cached bytes for ``key`` (None on a miss)."""
+        """The exact cached bytes for ``key`` (None on a miss).
+
+        Block-manifest entries have no single-file byte representation —
+        serving one through this path would materialise the whole trace,
+        which is exactly what the out-of-core format exists to avoid — so
+        they miss here; callers that need the data stream it block-wise
+        through :meth:`get` instead.
+        """
         path = self.existing_path_for(key)
-        if path is None:
+        if path is None or path.is_dir():
             self.misses += 1
             return None
         data = path.read_bytes()
@@ -194,20 +223,39 @@ class TraceCache:
     def put(self, key: str, trace: TraceDataset) -> Path:
         """Store ``trace`` under ``key`` atomically; returns the cache path.
 
-        The dump goes to a uniquely named scratch file first (a uuid suffix,
-        so concurrent writers — or a recycled pid — can never collide) and
-        is renamed into place only once fully written; if the dump raises,
-        the scratch file is removed instead of accumulating as litter.
+        In-RAM-sized traces are written as the single deterministic ``.npz``
+        dump (byte-identical to every prior release); a trace whose column
+        bytes exceed its resident budget is streamed block by block into a
+        ``trace-<key>.blocks/`` manifest directory instead, so the put never
+        materialises it.  Either way the dump goes to a uniquely named
+        scratch location first (a uuid suffix, so concurrent writers — or a
+        recycled pid — can never collide) and is renamed into place only
+        once fully written; if the dump raises, the scratch is removed
+        instead of accumulating as litter.  The other format's entry for
+        the same key is dropped so a key never resolves ambiguously.
         """
         self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(key)
-        scratch = path.with_suffix(f".tmp.{uuid.uuid4().hex}")
+        npz_path = self.path_for(key)
+        manifest_dir = self.manifest_dir_for(key)
+        if trace.is_out_of_core:
+            scratch_dir = manifest_dir.with_suffix(
+                f".tmp.{uuid.uuid4().hex}")
+            try:
+                trace.to_block_manifest(scratch_dir)
+                shutil.rmtree(manifest_dir, ignore_errors=True)
+                scratch_dir.replace(manifest_dir)
+            finally:
+                shutil.rmtree(scratch_dir, ignore_errors=True)
+            npz_path.unlink(missing_ok=True)
+            return manifest_dir
+        scratch = npz_path.with_suffix(f".tmp.{uuid.uuid4().hex}")
         try:
             trace.to_npz(scratch)
-            scratch.replace(path)
+            scratch.replace(npz_path)
         finally:
             scratch.unlink(missing_ok=True)
-        return path
+        shutil.rmtree(manifest_dir, ignore_errors=True)
+        return npz_path
 
     # -- introspection and eviction ----------------------------------------------------
 
@@ -220,17 +268,28 @@ class TraceCache:
             name = path.name
             if not name.startswith("trace-"):
                 continue
-            if path.suffix not in (".npz", ".json") or not path.is_file():
-                continue
-            try:
-                stat = path.stat()
-            except OSError:  # evicted by a concurrent pruner mid-scan
+            if path.suffix in (".npz", ".json") and path.is_file():
+                try:
+                    stat = path.stat()
+                except OSError:  # evicted by a concurrent pruner mid-scan
+                    continue
+                size, modified = stat.st_size, stat.st_mtime
+            elif path.suffix == ".blocks" and path.is_dir():
+                try:
+                    stat = path.stat()
+                    size = sum(child.stat().st_size
+                               for child in path.iterdir()
+                               if child.is_file())
+                    modified = stat.st_mtime
+                except OSError:
+                    continue
+            else:
                 continue
             found.append(CacheEntry(
                 key=name[len("trace-"):-len(path.suffix)],
                 path=path,
-                size_bytes=stat.st_size,
-                modified=stat.st_mtime,
+                size_bytes=size,
+                modified=modified,
             ))
         found.sort(key=lambda entry: (entry.modified, entry.key))
         return found
@@ -240,7 +299,7 @@ class TraceCache:
         return sum(entry.size_bytes for entry in self.entries())
 
     def evict(self, key: str) -> bool:
-        """Delete the entry for ``key`` (both formats); True if one existed."""
+        """Delete the entry for ``key`` (all formats); True if one existed."""
         evicted = False
         for path in (self.path_for(key), self.legacy_path_for(key)):
             try:
@@ -250,6 +309,10 @@ class TraceCache:
                 continue
             except OSError:
                 continue
+        manifest_dir = self.manifest_dir_for(key)
+        if manifest_dir.is_dir():
+            shutil.rmtree(manifest_dir, ignore_errors=True)
+            evicted = True
         if evicted:
             self.evictions += 1
         return evicted
@@ -270,7 +333,10 @@ class TraceCache:
             if total <= max_bytes:
                 break
             try:
-                entry.path.unlink()
+                if entry.path.is_dir():
+                    shutil.rmtree(entry.path)
+                else:
+                    entry.path.unlink()
             except FileNotFoundError:
                 total -= entry.size_bytes
                 continue

@@ -32,8 +32,14 @@ and ``on_event``, a structured :class:`SuiteEvent` stream (shards completed
 NDJSON job streams.  Events may fire on the pool's result-handler thread;
 handlers must be quick, thread-safe and must never raise.
 
-The merged records are sorted by ``(submit_time, job_id)`` and results are
-memoised on disk through :class:`~repro.runner.cache.TraceCache`.
+Simulation workers return their rows already columnar
+(:class:`~repro.workloads.trace.ShardColumns`), and the merge is pure
+array work — vocabulary union, code remap and one stable lexsort by
+``(submit_time, job_id)`` — so shard results never round-trip through
+row objects.  Results are memoised on disk through
+:class:`~repro.runner.cache.TraceCache`; under an active memory budget the
+merged dataset is chunked into governed column blocks (see
+:mod:`repro.workloads.blocks`) that spill past the budget.
 """
 
 from __future__ import annotations
@@ -61,6 +67,7 @@ from repro.workloads.generator import (
 from repro.workloads.trace import (
     TRACE_SCHEMA_VERSION,
     TraceDataset,
+    merge_shard_columns,
 )
 
 ProgressCallback = Callable[[str], None]
@@ -173,7 +180,14 @@ class _SuiteTracker:
 
 @dataclass
 class StudyResult:
-    """A merged study trace plus how it was produced."""
+    """The handle every study execution returns: a dataset reference, its
+    content fingerprint, and how it was produced.
+
+    :func:`run_study`, :class:`StudyRunner.run` and each scenario of
+    :func:`~repro.scenarios.engine.run_scenarios` all surface this one
+    shape — consumers hold the handle (``dataset`` / ``fingerprint`` /
+    ``metadata``) instead of bare datasets and loose keys.
+    """
 
     trace: TraceDataset
     config: TraceGeneratorConfig
@@ -187,12 +201,34 @@ class StudyResult:
     group_sizes: List[int] = field(default_factory=list)
 
     @property
+    def dataset(self) -> TraceDataset:
+        """The study's trace (alias of ``trace``, the handle spelling)."""
+        return self.trace
+
+    @property
+    def fingerprint(self) -> str:
+        """The study's config fingerprint — also its trace-cache key."""
+        return self.cache_key
+
+    @property
+    def metadata(self) -> Dict[str, object]:
+        """Provenance: the trace's metadata plus how this run produced it."""
+        return {
+            **dict(self.trace.metadata),
+            "fingerprint": self.fingerprint,
+            "workers": self.workers,
+            "shards": self.num_shards,
+            "cache_hit": self.cache_hit,
+        }
+
+    @property
     def total_seconds(self) -> float:
         return self.timings.get("total", 0.0)
 
     def summary(self) -> Dict[str, object]:
         return {
             "jobs": len(self.trace),
+            "fingerprint": self.fingerprint,
             "workers": self.workers,
             "shards": self.num_shards,
             "cache_hit": self.cache_hit,
@@ -411,18 +447,16 @@ def run_suite(
                      f"in {study.synthesis_seconds:.1f}s")
 
             wait_started = time.perf_counter()
-            per_group_records = [handle.get() for handle in study.sim_handles]
+            per_group_columns = [handle.get() for handle in study.sim_handles]
             study.simulation_seconds = time.perf_counter() - wait_started
             progress(f"simulated {len(study.groups)} machine groups for "
                      f"study {study.key} in {study.simulation_seconds:.1f}s")
 
             merge_started = time.perf_counter()
-            records = [r for group_records in per_group_records
-                       for r in group_records]
-            records.sort(key=lambda r: (r.submit_time, r.job_id))
-            trace = TraceDataset(records, metadata={
+            total_rows = sum(part.rows for part in per_group_columns)
+            trace = merge_shard_columns(per_group_columns, metadata={
                 "seed": study.config.seed,
-                "total_jobs": len(records),
+                "total_jobs": total_rows,
                 "months": study.config.months,
                 "trace_schema": TRACE_SCHEMA_VERSION,
             })
@@ -450,7 +484,7 @@ def run_suite(
                 group_sizes=[group.expected_jobs for group in study.groups],
             )
             tracker.emit(
-                "study-done", key=study.key, jobs=len(records),
+                "study-done", key=study.key, jobs=total_rows,
                 seconds=round(results[study.key].total_seconds, 3))
 
         tracker.emit("suite-done", studies=len(studies),

@@ -52,7 +52,7 @@ from repro.workloads.generator import (
     TraceGeneratorConfig,
     record_for,
 )
-from repro.workloads.trace import JobRecord
+from repro.workloads.trace import ShardColumns
 
 
 def default_workers() -> int:
@@ -128,7 +128,7 @@ def _synthesise_task(payload: Tuple[int, int, str, TraceGeneratorConfig,
 
 def _simulate_task(payload: Tuple[int, int, str, TraceGeneratorConfig,
                                   MachineGroup, Sequence[Job]]
-                   ) -> List[JobRecord]:
+                   ) -> ShardColumns:
     epoch, floor, key, config, group, jobs = payload
     state = _state_for(epoch, floor, key, config)
     fleet = state["fleet"]
@@ -139,7 +139,10 @@ def _simulate_task(payload: Tuple[int, int, str, TraceGeneratorConfig,
     for job in ordered:
         service.submit(job)
     service.drain()
-    return [record_for(job, fleet) for job in ordered]
+    # Columnarise where the rows were produced: the parent merges typed
+    # arrays (vocabulary union + lexsort), never a JobRecord round-trip.
+    return ShardColumns.from_records(
+        [record_for(job, fleet) for job in ordered])
 
 
 class _ImmediateResult:

@@ -65,6 +65,11 @@ class ScenarioRun:
         return self.result.trace
 
     @property
+    def dataset(self) -> TraceDataset:
+        """Alias of ``trace`` matching the :class:`StudyResult` surface."""
+        return self.result.dataset
+
+    @property
     def cache_hit(self) -> bool:
         return self.result.cache_hit or self.deduplicated_from is not None
 
@@ -109,6 +114,21 @@ class ScenarioSuiteResult:
                 return run
         raise ScenarioError(
             f"no scenario {name!r} in this suite; ran: {self.names()}")
+
+    @property
+    def results(self) -> Dict[str, StudyResult]:
+        """Per-scenario :class:`StudyResult` handles, keyed by name — the
+        same return surface :func:`~repro.runner.executor.run_study` has,
+        so suite and single-study callers consume one shape."""
+        return {run.name: run.result for run in self.runs}
+
+    def result_for(self, name: str) -> StudyResult:
+        """The :class:`StudyResult` handle of one scenario."""
+        return self.run_for(name).result
+
+    def fingerprints(self) -> Dict[str, str]:
+        """Scenario name → config fingerprint (trace-cache key)."""
+        return {run.name: run.fingerprint for run in self.runs}
 
     def summary(self) -> Dict[str, object]:
         return {

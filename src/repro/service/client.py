@@ -10,7 +10,8 @@ are built on it; it is also the reference consumer of the HTTP API.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterator, List, Optional
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
 from urllib.error import HTTPError, URLError
 from urllib.request import Request, urlopen
 
@@ -135,9 +136,36 @@ class StudyServiceClient:
         return self._json("GET", f"/jobs/{job_id}/result")
 
     def fetch_trace(self, fingerprint: str) -> bytes:
-        """The finished trace's exact cached bytes (the ``.npz`` dump)."""
+        """The finished trace's exact cached bytes (the ``.npz`` dump).
+
+        Buffers the whole body; prefer :meth:`fetch_trace_to` when the
+        destination is a file — multi-month traces run to hundreds of
+        megabytes, and holding them in one bytes object defeats the
+        out-of-core data plane the service sits in front of.
+        """
         with self._request("GET", f"/results/{fingerprint}") as response:
             return response.read()
+
+    def fetch_trace_to(self, fingerprint: str, path: Union[str, Path],
+                       chunk_size: int = 1 << 20) -> int:
+        """Stream the finished trace's bytes straight to ``path``.
+
+        Chunks of ``chunk_size`` bytes go from the socket to the file
+        without ever accumulating the body in memory.  The bytes written
+        are exactly what :meth:`fetch_trace` would return.  Returns the
+        number of bytes written.
+        """
+        path = Path(path)
+        written = 0
+        with self._request("GET", f"/results/{fingerprint}") as response:
+            with open(path, "wb") as sink:
+                while True:
+                    chunk = response.read(chunk_size)
+                    if not chunk:
+                        break
+                    sink.write(chunk)
+                    written += len(chunk)
+        return written
 
     def fetch_comparison(self, key: str) -> Dict[str, object]:
         return self._json("GET", f"/comparisons/{key}")

@@ -265,9 +265,12 @@ class StudyService:
             self.registry.finish(job, FAILED, error=str(exc))
             return
 
+        # The on-wire summary is derived from the suite's StudyResult
+        # handles (name → fingerprint/cache-hit), keeping the JSON bytes
+        # exactly what earlier releases emitted.
         result: Dict[str, object] = {
             "scenarios": [run.summary() for run in suite],
-            "fingerprints": {run.name: run.fingerprint for run in suite},
+            "fingerprints": suite.fingerprints(),
             "cache_hits": sum(1 for run in suite if run.cache_hit),
             "total_seconds": round(suite.total_seconds, 3),
         }

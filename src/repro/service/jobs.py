@@ -67,8 +67,10 @@ class ServiceJob:
     started: Optional[float] = None
     finished: Optional[float] = None
     error: Optional[str] = None
-    #: result summary once done: scenario names, fingerprints, cache hits,
-    #: and the comparison key when a comparison was requested
+    #: result summary once done — the JSON projection of the suite's
+    #: per-scenario :class:`~repro.runner.executor.StudyResult` handles
+    #: (scenario names, fingerprints, cache hits) plus the comparison key
+    #: when a comparison was requested
     result: Optional[Dict[str, object]] = None
     cancel_requested: bool = False
     events: List[Dict[str, object]] = field(default_factory=list)

@@ -1,0 +1,436 @@
+"""Chunked column blocks, disk spill, and the resident-bytes governor.
+
+The out-of-core data plane stores a trace as an ordered sequence of
+:class:`ColumnBlock` objects — fixed-size row ranges whose columns live in
+one ``{name: ndarray}`` dict each.  A :class:`BlockStore` owns the sequence
+and a :class:`ResidencyGovernor` enforces a configurable resident-bytes
+budget across every store that shares it: past the budget, least-recently
+used blocks are *spilled* to versioned ``.npz`` block files (or simply
+dropped when they already have a backing file, e.g. blocks loaded from a
+cache manifest) and transparently re-read on the next access.
+
+The module is deliberately independent of :mod:`repro.workloads.trace`
+(which builds on it) — it knows nothing about job records, vocabularies or
+derived columns, only about named arrays of equal length.
+
+The process-wide memory budget defaults to unlimited; set it with
+:func:`set_memory_budget`, the ``REPRO_MEMORY_BUDGET`` environment variable
+(bytes, with optional ``K``/``M``/``G`` suffix) or the CLI's
+``--memory-budget`` flag.  ``None`` disables spilling entirely — datasets
+then stay fully resident exactly like the pre-block data plane.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+import threading
+import zipfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.exceptions import TraceSchemaError, WorkloadError
+
+__all__ = [
+    "BLOCK_SCHEMA_VERSION",
+    "BlockStore",
+    "ColumnBlock",
+    "DEFAULT_BLOCK_ROWS",
+    "ResidencyGovernor",
+    "get_memory_budget",
+    "parse_byte_size",
+    "read_block_column",
+    "read_block_file",
+    "set_memory_budget",
+    "write_block_file",
+    "write_npz_member",
+]
+
+#: Version of the per-block ``.npz`` file layout (spill files and cache
+#: manifest blocks); bump on incompatible changes.
+BLOCK_SCHEMA_VERSION = 1
+
+#: Default rows per block when chunking a trace.  Small enough that one
+#: block of the full column set stays in the tens of megabytes at the
+#: paper's record width, large enough that per-block overheads vanish.
+DEFAULT_BLOCK_ROWS = 65536
+
+_ENV_BUDGET = "REPRO_MEMORY_BUDGET"
+
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+
+
+def parse_byte_size(text: Union[str, int, None]) -> Optional[int]:
+    """Parse a byte budget: plain integer or ``K``/``M``/``G`` suffixed.
+
+    ``None``, ``""`` and the literal strings ``none``/``unlimited`` mean no
+    budget.  Raises :class:`~repro.core.exceptions.WorkloadError` on
+    malformed input.
+    """
+    if text is None:
+        return None
+    if isinstance(text, int):
+        if text < 0:
+            raise WorkloadError(f"memory budget must be >= 0, got {text}")
+        return text
+    cleaned = str(text).strip().lower()
+    if cleaned in ("", "none", "unlimited"):
+        return None
+    multiplier = 1
+    if cleaned[-1] in _SIZE_SUFFIXES:
+        multiplier = _SIZE_SUFFIXES[cleaned[-1]]
+        cleaned = cleaned[:-1]
+    try:
+        value = int(float(cleaned) * multiplier)
+    except ValueError:
+        raise WorkloadError(
+            f"cannot parse memory budget {text!r}; expected bytes or a "
+            f"K/M/G-suffixed size like '256M'") from None
+    if value < 0:
+        raise WorkloadError(f"memory budget must be >= 0, got {text!r}")
+    return value
+
+
+_memory_budget: Optional[int] = parse_byte_size(os.environ.get(_ENV_BUDGET))
+_budget_lock = threading.Lock()
+
+
+def set_memory_budget(budget: Union[str, int, None]) -> Optional[int]:
+    """Set the process-wide resident-bytes budget (None = unlimited).
+
+    Affects datasets *built after* the call: construction paths consult the
+    budget to decide whether to chunk into governed blocks.  Returns the
+    parsed byte value.
+    """
+    global _memory_budget
+    parsed = parse_byte_size(budget)
+    with _budget_lock:
+        _memory_budget = parsed
+    return parsed
+
+
+def get_memory_budget() -> Optional[int]:
+    """The process-wide resident-bytes budget (None = unlimited)."""
+    with _budget_lock:
+        return _memory_budget
+
+
+# -- deterministic npz helpers ---------------------------------------------------------
+
+def write_npz_member(archive: zipfile.ZipFile, member: str,
+                     array: np.ndarray) -> None:
+    """Write one ``.npy`` member with fixed timestamp and compression.
+
+    Shared by the trace's single-file ``.npz`` dump, spill block files and
+    cache-manifest block files, so every on-disk artefact of one trace is
+    written byte-deterministically.
+    """
+    buffer = io.BytesIO()
+    np.lib.format.write_array(buffer, np.ascontiguousarray(array),
+                              allow_pickle=False)
+    info = zipfile.ZipInfo(member + ".npy", date_time=(1980, 1, 1, 0, 0, 0))
+    info.compress_type = zipfile.ZIP_DEFLATED
+    archive.writestr(info, buffer.getvalue())
+
+
+def read_npz_member(archive: zipfile.ZipFile, member: str) -> np.ndarray:
+    with archive.open(member + ".npy") as handle:
+        return np.lib.format.read_array(io.BytesIO(handle.read()),
+                                        allow_pickle=False)
+
+
+def write_block_file(path: Union[str, Path],
+                     arrays: Dict[str, np.ndarray], rows: int) -> None:
+    """Write one block as a versioned deterministic ``.npz`` file."""
+    header = json.dumps({"schema": BLOCK_SCHEMA_VERSION, "rows": rows})
+    with zipfile.ZipFile(path, "w",
+                         compression=zipfile.ZIP_DEFLATED) as archive:
+        write_npz_member(archive, "__block__",
+                         np.asarray([header], dtype=str))
+        for name in sorted(arrays):
+            write_npz_member(archive, f"col__{name}", arrays[name])
+
+
+def _check_block_header(archive: zipfile.ZipFile, path: Path) -> int:
+    header = json.loads(str(read_npz_member(archive, "__block__")[0]))
+    found = header.get("schema")
+    if found != BLOCK_SCHEMA_VERSION:
+        raise TraceSchemaError(
+            f"block file {path} was written with block schema {found!r} but "
+            f"this version reads schema {BLOCK_SCHEMA_VERSION}; regenerate "
+            f"the trace (or delete the file) to proceed")
+    return int(header.get("rows", 0))
+
+
+def read_block_file(path: Union[str, Path],
+                    names: Optional[Sequence[str]] = None
+                    ) -> Dict[str, np.ndarray]:
+    """Read (a subset of) one block file's columns."""
+    path = Path(path)
+    with zipfile.ZipFile(path) as archive:
+        _check_block_header(archive, path)
+        if names is None:
+            names = [member[len("col__"):-len(".npy")]
+                     for member in archive.namelist()
+                     if member.startswith("col__")]
+        return {name: read_npz_member(archive, f"col__{name}")
+                for name in names}
+
+
+def read_block_column(path: Union[str, Path], name: str) -> np.ndarray:
+    """Read a single column of one block file (one member decompressed)."""
+    path = Path(path)
+    with zipfile.ZipFile(path) as archive:
+        return read_npz_member(archive, f"col__{name}")
+
+
+# -- residency -------------------------------------------------------------------------
+
+class ResidencyGovernor:
+    """LRU accountant of resident block bytes across one or more stores.
+
+    A governor is shared between a dataset and every subset/group derived
+    from it, so the *combined* resident footprint of a whole analysis is
+    what the budget bounds.  ``budget=None`` disables enforcement (blocks
+    are tracked but never released).
+    """
+
+    def __init__(self, budget: Optional[int] = None,
+                 spill_dir: Optional[Union[str, Path]] = None):
+        if budget is not None and budget < 0:
+            raise WorkloadError(f"budget must be >= 0, got {budget}")
+        self.budget = budget
+        #: blocks spilled (written to a new block file) so far
+        self.spills = 0
+        #: blocks re-read from their block file so far
+        self.loads = 0
+        #: blocks released from memory (spilled or dropped) so far
+        self.evictions = 0
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        #: insertion-ordered resident set; dict preserves LRU order
+        self._resident: Dict["ColumnBlock", None] = {}
+        self._lock = threading.RLock()
+        self._spill_seq = 0
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return sum(block.nbytes for block in self._resident)
+
+    def spill_path(self) -> Path:
+        """A fresh path for one spill file (directory created lazily)."""
+        with self._lock:
+            if self._spill_dir is None:
+                self._tmp = tempfile.TemporaryDirectory(
+                    prefix="repro-blocks-")
+                self._spill_dir = Path(self._tmp.name)
+            self._spill_dir.mkdir(parents=True, exist_ok=True)
+            self._spill_seq += 1
+            return self._spill_dir / f"spill-{self._spill_seq:06d}.npz"
+
+    def admit(self, block: "ColumnBlock") -> None:
+        """Track a block that just became resident (most recently used)."""
+        with self._lock:
+            self._resident.pop(block, None)
+            self._resident[block] = None
+
+    def touch(self, block: "ColumnBlock") -> None:
+        """Bump a resident block's recency."""
+        with self._lock:
+            if block in self._resident:
+                self._resident.pop(block)
+                self._resident[block] = None
+
+    def discard(self, block: "ColumnBlock") -> None:
+        with self._lock:
+            self._resident.pop(block, None)
+
+    def enforce(self, keep: Optional["ColumnBlock"] = None) -> None:
+        """Release least-recently-used blocks until within budget.
+
+        ``keep`` (the block the caller is actively reading) is never
+        released, so a budget smaller than one block still makes progress.
+        """
+        if self.budget is None:
+            return
+        with self._lock:
+            total = sum(block.nbytes for block in self._resident)
+            if total <= self.budget:
+                return
+            for block in list(self._resident):
+                if total <= self.budget:
+                    break
+                if block is keep:
+                    continue
+                total -= block.nbytes
+                block._release()
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "budget_bytes": self.budget,
+                "resident_bytes": self.resident_bytes,
+                "resident_blocks": len(self._resident),
+                "spills": self.spills,
+                "loads": self.loads,
+                "evictions": self.evictions,
+            }
+
+
+class ColumnBlock:
+    """One row range of a chunked trace: named equal-length arrays.
+
+    A block is either *resident* (``_arrays`` holds the column dict) or
+    *spilled* (``path`` points at a versioned block file).  Blocks loaded
+    from a cache manifest start spilled and keep their manifest file as the
+    backing store, so releasing them never writes anything.
+    """
+
+    def __init__(self, governor: ResidencyGovernor,
+                 arrays: Optional[Dict[str, np.ndarray]] = None,
+                 path: Optional[Union[str, Path]] = None,
+                 rows: Optional[int] = None,
+                 names: Optional[Sequence[str]] = None,
+                 nbytes: Optional[int] = None):
+        if arrays is None and path is None:
+            raise WorkloadError("a block needs arrays or a backing file")
+        self.governor = governor
+        self._arrays = dict(arrays) if arrays is not None else None
+        self.path = Path(path) if path is not None else None
+        if self._arrays is not None:
+            first = next(iter(self._arrays.values()), None)
+            self.rows = int(rows if rows is not None
+                            else (0 if first is None else first.shape[0]))
+            self.names = tuple(names if names is not None
+                               else sorted(self._arrays))
+            self.nbytes = int(nbytes if nbytes is not None else sum(
+                array.nbytes for array in self._arrays.values()))
+            governor.admit(self)
+            governor.enforce(keep=self)
+        else:
+            if rows is None or names is None:
+                raise WorkloadError(
+                    "a file-backed block needs explicit rows and names")
+            self.rows = int(rows)
+            self.names = tuple(names)
+            self.nbytes = int(nbytes if nbytes is not None else 0)
+
+    @property
+    def resident(self) -> bool:
+        return self._arrays is not None
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """The block's full column dict, loading from disk if spilled."""
+        governor = self.governor
+        arrays = self._arrays
+        if arrays is None:
+            loaded = read_block_file(self.path, self.names)
+            self._arrays = loaded
+            if self.nbytes == 0:
+                self.nbytes = sum(a.nbytes for a in loaded.values())
+            governor.loads += 1
+            governor.admit(self)
+            governor.enforce(keep=self)
+            return loaded
+        governor.touch(self)
+        return arrays
+
+    def column(self, name: str) -> np.ndarray:
+        """One column of the block.
+
+        A spilled block decompresses only the requested member — a
+        single-column scan over a spilled trace never touches the other
+        columns and does not change the block's residency.
+        """
+        if name not in self.names:
+            raise KeyError(name)
+        arrays = self._arrays
+        if arrays is not None:
+            self.governor.touch(self)
+            return arrays[name]
+        return read_block_column(self.path, name)
+
+    def _release(self) -> None:
+        """Drop the resident arrays, spilling first when not yet on disk.
+
+        Called by the governor under its lock; callers holding array
+        references keep them valid (the block simply reloads later).
+        """
+        if self._arrays is None:
+            return
+        if self.path is None:
+            self.path = self.governor.spill_path()
+            write_block_file(self.path, self._arrays, self.rows)
+            self.governor.spills += 1
+        self._arrays = None
+        self.governor.evictions += 1
+        self.governor.discard(self)
+
+
+class BlockStore:
+    """An ordered sequence of column blocks forming one logical table."""
+
+    def __init__(self, governor: Optional[ResidencyGovernor] = None):
+        self.governor = governor if governor is not None else \
+            ResidencyGovernor(get_memory_budget())
+        self.blocks: List[ColumnBlock] = []
+        self.rows = 0
+        self.names: Tuple[str, ...] = ()
+
+    def append_block(self, block: ColumnBlock) -> ColumnBlock:
+        if block.governor is not self.governor:
+            raise WorkloadError(
+                "a block must share its store's residency governor")
+        if self.blocks and tuple(block.names) != self.names:
+            raise WorkloadError(
+                f"block columns {sorted(block.names)} do not match the "
+                f"store's {sorted(self.names)}")
+        if not self.blocks:
+            self.names = tuple(block.names)
+        self.blocks.append(block)
+        self.rows += block.rows
+        return block
+
+    def append_arrays(self, arrays: Dict[str, np.ndarray],
+                      rows: Optional[int] = None) -> ColumnBlock:
+        return self.append_block(ColumnBlock(
+            self.governor, arrays=arrays, rows=rows,
+            names=tuple(sorted(arrays))))
+
+    def iter_ranges(self) -> Iterator[Tuple[int, int, ColumnBlock]]:
+        """Yield ``(start_row, stop_row, block)`` in trace order."""
+        start = 0
+        for block in self.blocks:
+            yield start, start + block.rows, block
+            start += block.rows
+
+    def column(self, name: str) -> np.ndarray:
+        """The full column, concatenated across blocks (one transient
+        array; spilled blocks stream their member without loading the
+        rest of their columns)."""
+        if name not in self.names:
+            raise KeyError(name)
+        if len(self.blocks) == 1:
+            return self.blocks[0].column(name)
+        return np.concatenate([block.column(name)
+                               for block in self.blocks])
+
+    @property
+    def total_nbytes(self) -> int:
+        return sum(block.nbytes for block in self.blocks)
+
+    def stats(self) -> Dict[str, object]:
+        resident = sum(1 for block in self.blocks if block.resident)
+        return {
+            "blocks": len(self.blocks),
+            "rows": self.rows,
+            "total_bytes": self.total_nbytes,
+            "resident_blocks": resident,
+            "spilled_blocks": len(self.blocks) - resident,
+            **self.governor.stats(),
+        }

@@ -548,7 +548,7 @@ class TraceGenerator:
         self.service.drain()
 
         records = [record_for(job, self.fleet) for job in submitted_jobs]
-        dataset = TraceDataset(records, metadata={
+        dataset = TraceDataset.from_records(records, metadata={
             "seed": config.seed,
             "total_jobs": len(records),
             "months": config.months,

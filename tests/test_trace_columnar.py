@@ -32,7 +32,7 @@ def _record(job_id="job-x", machine="ibmq_athens", qubits=5, status="DONE",
 @pytest.fixture
 def mixed_trace():
     """Four rows mixing machines, statuses and missing optionals."""
-    return TraceDataset([
+    return TraceDataset.from_records([
         _record(job_id="a", machine="ibmq_athens", queue=60.0, run=30.0),
         _record(job_id="b", machine="ibmq_rome", status="ERROR",
                 queue=120.0, run=0.0),

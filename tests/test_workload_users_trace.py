@@ -104,7 +104,7 @@ class TestTraceDataset:
             _record(job_id="b", machine="ibmq_rome", status="ERROR"),
             _record(job_id="c", machine="ibmq_athens", status="DONE", month=5),
         ]
-        trace = TraceDataset(records)
+        trace = TraceDataset.from_records(records)
         assert len(trace) == 3
         assert trace.machines() == ["ibmq_athens", "ibmq_rome"]
         assert len(trace.successful()) == 2
@@ -112,14 +112,14 @@ class TestTraceDataset:
         assert set(trace.group_by_month()) == {2, 5}
 
     def test_column_access(self):
-        trace = TraceDataset([_record(job_id="a"), _record(job_id="b", batch=50)])
+        trace = TraceDataset.from_records([_record(job_id="a"), _record(job_id="b", batch=50)])
         batches = trace.numeric_column("batch_size")
         assert list(batches) == [10.0, 50.0]
         with pytest.raises(WorkloadError):
             trace.column("not_a_column")
 
     def test_summary_counts(self):
-        trace = TraceDataset([_record(batch=10, shots=100),
+        trace = TraceDataset.from_records([_record(batch=10, shots=100),
                               _record(batch=5, shots=200)])
         summary = trace.summary()
         assert summary["jobs"] == 2
@@ -127,7 +127,7 @@ class TestTraceDataset:
         assert summary["trials"] == 10 * 100 + 5 * 200
 
     def test_json_round_trip(self, tmp_path):
-        trace = TraceDataset([_record(job_id="a"), _record(job_id="b")],
+        trace = TraceDataset.from_records([_record(job_id="a"), _record(job_id="b")],
                              metadata={"seed": 1})
         path = tmp_path / "trace.json"
         trace.to_json(path)
@@ -137,7 +137,7 @@ class TestTraceDataset:
         assert restored[0].as_dict() == trace[0].as_dict()
 
     def test_csv_round_trip(self, tmp_path):
-        trace = TraceDataset([_record(job_id="a", crossed=True), _record(job_id="b")])
+        trace = TraceDataset.from_records([_record(job_id="a", crossed=True), _record(job_id="b")])
         path = tmp_path / "trace.csv"
         trace.to_csv(path)
         restored = TraceDataset.from_csv(path)
@@ -150,6 +150,6 @@ class TestTraceDataset:
         record = JobRecord(**{**_record(job_id="x").as_dict(),
                               "run_seconds": None, "end_time": None})
         path = tmp_path / "trace.csv"
-        TraceDataset([record]).to_csv(path)
+        TraceDataset.from_records([record]).to_csv(path)
         restored = TraceDataset.from_csv(path)
         assert restored[0].run_seconds is None
