@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import gc
 import json
 import os
 import sys
@@ -91,6 +92,17 @@ def _add_generation_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="ignore the trace cache even when --cache-dir is set")
+    parser.add_argument(
+        "--engine", choices=("batched", "event"), default="batched",
+        help="simulation core: 'batched' replays machine groups through "
+             "the vectorised fast-sim engine, 'event' drives the reference "
+             "discrete-event loop; traces are byte-identical either way "
+             "(default: %(default)s)")
+    parser.add_argument(
+        "--profile-phases", action="store_true",
+        help="print the per-phase wall-clock breakdown (plan/synthesis/"
+             "simulation/merge) of every study on stderr; the same numbers "
+             "are embedded in the result metadata as 'phase_seconds'")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress output")
 
@@ -101,17 +113,28 @@ def _progress(quiet: bool):
     return lambda message: print(f"[repro] {message}", file=sys.stderr)
 
 
+def _print_phase_report(label: str, timings: Dict[str, float]) -> None:
+    """One stderr line per study: its per-phase wall-clock breakdown."""
+    parts = " ".join(f"{name}={seconds:.3f}s"
+                     for name, seconds in sorted(timings.items()))
+    print(f"[repro] phases[{label}]: {parts}", file=sys.stderr)
+
+
 def _generate(args: argparse.Namespace, quiet: bool = False) -> StudyResult:
     config = TraceGeneratorConfig(
         total_jobs=args.jobs, months=args.months, seed=args.seed)
-    return run_study(
+    result = run_study(
         config=config,
         workers=args.workers,
         num_shards=args.shards,
         cache_dir=None if args.no_cache else args.cache_dir,
         progress=_progress(quiet),
         use_cache=not args.no_cache,
+        engine=getattr(args, "engine", "batched"),
     )
+    if getattr(args, "profile_phases", False):
+        _print_phase_report("study", result.timings)
+    return result
 
 
 def _save_trace(trace: TraceDataset, output: str) -> None:
@@ -249,10 +272,86 @@ def cmd_bench(args: argparse.Namespace) -> int:
     best = max(runs, key=lambda w: baseline / runs[w]["seconds"])
     payload["best_speedup"] = round(baseline / runs[best]["seconds"], 3)
     payload["best_workers"] = best
+
+    # Simulation-phase breakdown, measured directly on the two cores (the
+    # suite's phase timings are *wait* times and collapse on an inline
+    # single-worker pool): one fresh synthesis per engine — simulation
+    # mutates jobs in place — then the simulation alone is timed.  The
+    # terminal job states determine the trace bytes, so their equality is
+    # the byte-equivalence smoke check; a divergence fails the bench run.
+    from repro.cloud.fastsim import simulate_fleet
+    from repro.cloud.service import QuantumCloudService
+    from repro.workloads.generator import JobSynthesizer, plan_submissions
+
+    def _synthesise_for_engine():
+        fleet = config.build_fleet()
+        synthesizer = JobSynthesizer(config, fleet)
+        jobs = [synthesizer.synthesise(planned)
+                for planned in plan_submissions(config)]
+        return fleet, [job for job in jobs if job is not None]
+
+    engines: Dict[str, Dict[str, object]] = {}
+    outcomes: Dict[str, List[tuple]] = {}
+    sim_raw: Dict[str, float] = {}
+    for engine in ("event", "batched"):
+        sim_seconds = float("inf")
+        for _ in range(5):  # best-of-5: drop cold-start and GC noise
+            fleet, engine_jobs = _synthesise_for_engine()
+            gc.collect()  # the study above leaves collectable garbage
+            started = time.perf_counter()
+            if engine == "event":
+                service = QuantumCloudService(
+                    fleet, seed=config.seed,
+                    failure_model=config.build_failure_model())
+                for job in sorted(engine_jobs,
+                                  key=lambda j: (j.submit_time, j.job_id)):
+                    service.submit(job)
+                service.drain()
+            else:
+                simulate_fleet(fleet, engine_jobs, seed=config.seed,
+                               failure_model=config.build_failure_model())
+            sim_seconds = min(sim_seconds,
+                              time.perf_counter() - started)
+        sim_raw[engine] = sim_seconds
+        outcomes[engine] = sorted(
+            (job.job_id, job.status.value, job.queue_enter_time,
+             job.start_time, job.end_time, job.pending_ahead)
+            for job in engine_jobs)
+        statuses = [job.status.value for job in engine_jobs]
+        # ~4 events per completed job (dispatch/start/finish/chained
+        # dispatch), ~3 per cancellation (dispatch/cancel/chained).
+        events = (4 * sum(1 for s in statuses if s in ("DONE", "ERROR"))
+                  + 3 * sum(1 for s in statuses if s == "CANCELLED"))
+        engines[engine] = {
+            "simulation_seconds": round(sim_seconds, 6),
+            "jobs": len(engine_jobs),
+            "events": events,
+            "events_per_second": round(events / sim_seconds, 1)
+            if sim_seconds > 0 else None,
+        }
+        print(f"engine={engine}: simulation phase {sim_seconds:.3f}s "
+              f"({events} events)")
+    byte_identical = outcomes["event"] == outcomes["batched"]
+    event_sim = sim_raw["event"]
+    batched_sim = sim_raw["batched"]
+    payload["simulation_engines"] = {
+        **engines,
+        "speedup": round(event_sim / batched_sim, 3)
+        if batched_sim > 0 else None,
+        "byte_identical": byte_identical,
+    }
+
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2))
     print(f"benchmark results written to {output} "
-          f"(best speedup {payload['best_speedup']}x at {best} workers)")
+          f"(best speedup {payload['best_speedup']}x at {best} workers, "
+          f"batched engine "
+          f"{payload['simulation_engines']['speedup']}x vs event)")
+    if not byte_identical:
+        print("repro bench: batched and event engine traces DIVERGED — "
+              "the golden byte-equivalence contract is broken",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -372,7 +471,7 @@ def _event_printer(args: argparse.Namespace):
 
 def _run_suite(args: argparse.Namespace):
     base, scenarios, _ = _resolve_suite(args)
-    engine = ScenarioEngine(
+    scenario_engine = ScenarioEngine(
         base,
         workers=args.workers,
         num_shards=args.shards,
@@ -380,8 +479,13 @@ def _run_suite(args: argparse.Namespace):
         progress=_progress(args.quiet),
         suite_scheduling=not args.sequential,
         on_event=_event_printer(args),
+        engine=getattr(args, "engine", "batched"),
     )
-    return engine.run(scenarios, use_cache=not args.no_cache)
+    suite = scenario_engine.run(scenarios, use_cache=not args.no_cache)
+    if getattr(args, "profile_phases", False):
+        for run in suite:
+            _print_phase_report(run.name, run.result.timings)
+    return suite
 
 
 def cmd_run_scenarios(args: argparse.Namespace) -> int:
@@ -403,7 +507,11 @@ def cmd_compare_scenarios(args: argparse.Namespace) -> int:
     if args.list_scenarios:
         return _list_scenarios(_resolve_suite(args)[2])
     suite = _run_suite(args)
+    analysis_started = time.perf_counter()
     report = compare_suite(suite)
+    if args.profile_phases:
+        _print_phase_report("analysis", {
+            "compare": time.perf_counter() - analysis_started})
     markdown = report.render_markdown()
     replicate_counts = {report.baseline_replicates}
     replicate_counts.update(c.replicates for c in report.comparisons)

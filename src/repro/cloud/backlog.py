@@ -105,6 +105,21 @@ class ExternalLoadModel:
             self.reference_pending_jobs * weight * access_boost / size_penalty
             * regime_scale
         )
+        # Hot-path constants: the lognormal mean-compensation factors
+        # exp(-sigma^2/2) are pure functions of the sigmas, so paying
+        # math.exp on every sample would recompute the same two values
+        # millions of times per study.  (math.exp is deterministic, so the
+        # precomputed values are bit-identical to the inline calls.)
+        pending_sigma = self.backlog_sigma * 0.6
+        self._pending_compensation = math.exp(-pending_sigma ** 2 / 2)
+        self._backlog_compensation = math.exp(-self.backlog_sigma ** 2 / 2)
+        if self.backend.is_simulator:
+            self._idle_p = 0.6
+        elif not self.backend.is_public:
+            self._idle_p = 0.10
+        else:
+            # Busier public machines are rarely idle.
+            self._idle_p = max(0.02, 0.15 / (1.0 + self._base_pending / 30.0))
 
     # -- pending jobs (Fig. 9) -------------------------------------------------------
 
@@ -131,7 +146,8 @@ class ExternalLoadModel:
         rng = rng or self._rng
         mean = self.mean_pending_jobs(timestamp)
         sigma = self.backlog_sigma * 0.6
-        sampled = mean * math.exp(rng.normal(0.0, sigma)) * math.exp(-sigma ** 2 / 2)
+        sampled = mean * math.exp(rng.normal(0.0, sigma)) \
+            * self._pending_compensation
         return max(0, int(round(sampled)))
 
     # -- backlog seconds (queue wait contribution) -------------------------------------
@@ -148,19 +164,14 @@ class ExternalLoadModel:
         mean_backlog = mean_jobs * self.mean_external_job_seconds
         sigma = self.backlog_sigma
         backlog = mean_backlog * math.exp(rng.normal(0.0, sigma)) \
-            * math.exp(-sigma ** 2 / 2)
+            * self._backlog_compensation
         if access is AccessLevel.PRIVILEGED or not self.backend.is_public:
             backlog *= self.privileged_discount
         # A fraction of submissions hit an idle machine (sub-minute waits).
-        if rng.random() < self._idle_probability():
+        if rng.random() < self._idle_p:
             backlog = rng.uniform(0.0, MINUTE_SECONDS)
         return max(0.0, backlog)
 
     def _idle_probability(self) -> float:
         """Probability a submission finds the machine (nearly) idle."""
-        if self.backend.is_simulator:
-            return 0.6
-        if not self.backend.is_public:
-            return 0.10
-        # Busier public machines are rarely idle.
-        return max(0.02, 0.15 / (1.0 + self._base_pending / 30.0))
+        return self._idle_p

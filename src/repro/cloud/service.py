@@ -39,9 +39,22 @@ class _MachineState:
     #: event loop): the lognormal factors and idle checks are pre-drawn in
     #: vectorised blocks per machine instead of one scalar call per event.
     backlog_draws: BufferedDraws = None  # type: ignore[assignment]
+    #: block-buffered draws feeding the dispatch path (failure coin-flips,
+    #: cancel delays, execution jitter, error fractions) — every stochastic
+    #: draw on the simulation path comes from a pre-drawn block stream, so
+    #: the batched engine (:mod:`repro.cloud.fastsim`) can consume the very
+    #: same values in the very same order.
+    dispatch_draws: BufferedDraws = None  # type: ignore[assignment]
     busy_until: float = 0.0
     jobs_completed: int = 0
     busy_seconds: float = 0.0
+
+
+#: Calendar-queue bucket width of the service's event store: pending events
+#: land within a horizon of minutes (chained dispatches) to a few days
+#: (heavy public-machine backlogs), so quarter-day buckets keep them spread
+#: across the calendar without long empty-bucket scans.
+EVENT_BUCKET_SECONDS = 6 * 3600.0
 
 
 @dataclass(frozen=True)
@@ -76,7 +89,10 @@ class QuantumCloudService:
         self.execution_model = execution_model or ExecutionTimeModel()
         self.failure_model = failure_model or FailureModel()
         self._rng = RandomSource(seed, name="cloud_service")
-        self.events = EventQueue(start_time)
+        # Pending events cluster within a backlog-plus-run-time horizon of
+        # minutes to a few days, the homogeneous-horizon case the calendar
+        # store is built for; pop order is identical to the heap's.
+        self.events = EventQueue(start_time, bucket_seconds=EVENT_BUCKET_SECONDS)
         self._machines: Dict[str, _MachineState] = {}
         for name, backend in self.fleet.items():
             shares = {p.name: p.fair_share for p in self.providers.values()}
@@ -95,6 +111,7 @@ class QuantumCloudService:
                 ),
                 rng=machine_rng,
                 backlog_draws=BufferedDraws(machine_rng.child("backlog")),
+                dispatch_draws=BufferedDraws(machine_rng.child("dispatch")),
             )
         self._completed: List[Job] = []
         self.crossover_detector = CalibrationCrossoverDetector(self.fleet)
@@ -208,10 +225,11 @@ class QuantumCloudService:
         start_time = max(now, state.busy_until) + backlog
 
         # Decide the terminal status up front.
-        draw = state.rng.random()
+        draw = state.dispatch_draws.random()
         if draw < self.failure_model.cancel_probability:
             # Cancelled while waiting: it never runs on the machine.
-            cancel_delay = min(backlog, state.rng.uniform(30.0, 3600.0))
+            cancel_delay = min(backlog,
+                               state.dispatch_draws.uniform(30.0, 3600.0))
             self.events.schedule(
                 now + cancel_delay,
                 lambda j=job: self._finish_cancelled(j),
@@ -225,13 +243,13 @@ class QuantumCloudService:
             return
 
         run_seconds = self.execution_model.simulate_seconds(
-            job, state.backend, rng=state.rng
+            job, state.backend, rng=state.dispatch_draws
         )
         is_error = draw < (self.failure_model.cancel_probability
                            + self.failure_model.error_probability)
         if is_error:
             # Errors abort partway through the run.
-            run_seconds *= state.rng.uniform(0.1, 0.9)
+            run_seconds *= state.dispatch_draws.uniform(0.1, 0.9)
 
         end_time = start_time + run_seconds
         state.busy_until = end_time

@@ -10,6 +10,7 @@ so independent subsystems do not perturb each other's streams.
 from __future__ import annotations
 
 import hashlib
+import math
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -171,6 +172,12 @@ class BufferedDraws:
 
     def normal(self, loc: float = 0.0, scale: float = 1.0) -> float:
         return loc + scale * self._next_normal()
+
+    def lognormal(self, mean: float = 0.0, sigma: float = 1.0) -> float:
+        # numpy's Generator.lognormal(mean, sigma) is exactly
+        # exp(mean + sigma * z) over the generator's normal stream, so this
+        # stays bit-identical to RandomSource.lognormal given the same z.
+        return math.exp(mean + sigma * self._next_normal())
 
     def random(self) -> float:
         return self._next_uniform()

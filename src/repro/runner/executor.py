@@ -199,6 +199,7 @@ class StudyResult:
     timings: Dict[str, float] = field(default_factory=dict)
     shard_sizes: List[int] = field(default_factory=list)
     group_sizes: List[int] = field(default_factory=list)
+    engine: str = "batched"
 
     @property
     def dataset(self) -> TraceDataset:
@@ -219,6 +220,9 @@ class StudyResult:
             "workers": self.workers,
             "shards": self.num_shards,
             "cache_hit": self.cache_hit,
+            "engine": self.engine,
+            "phase_seconds": {name: round(value, 6)
+                              for name, value in sorted(self.timings.items())},
         }
 
     @property
@@ -246,6 +250,7 @@ class _PendingStudy:
     shards: List[ShardSpec]
     started: float
     plan_seconds: float
+    engine: str = "batched"
     synth_handles: List[object] = field(default_factory=list)
     sim_handles: List[object] = field(default_factory=list)
     groups: List[MachineGroup] = field(default_factory=list)
@@ -292,7 +297,8 @@ def _queue_simulations(pool: SharedWorkerPool, epoch: int,
             epoch, study.key, study.config, group,
             [job for name in group.machines
              for job in jobs_by_machine[name]],
-            callback=_on_group_done)
+            callback=_on_group_done,
+            engine=study.engine)
         for group in study.groups
     ]
 
@@ -328,6 +334,7 @@ def run_suite(
     progress: Optional[ProgressCallback] = None,
     on_event: Optional[EventCallback] = None,
     should_stop: Optional[Callable[[], bool]] = None,
+    engine: str = "batched",
 ) -> Dict[str, StudyResult]:
     """Run many distinct studies as one interleaved queue on a shared pool.
 
@@ -351,12 +358,23 @@ def run_suite(
     is created for the call (terminated, not joined, if a task fails).
     Suite timings are wall-clock *wait* times per phase — they overlap
     across studies, unlike the exclusive per-phase timings of a solo run.
+
+    ``engine`` picks the simulation core for every study of the suite:
+    ``"batched"`` (the default) replays machine groups through the
+    vectorised :mod:`repro.cloud.fastsim` engine, ``"event"`` drives the
+    reference discrete-event loop.  Traces are byte-identical either way,
+    so the choice is a runtime knob only — it does not enter config
+    fingerprints or cache keys.
     """
     keys = [key for key, _ in studies]
     if len(set(keys)) != len(keys):
         raise WorkloadError(
             "run_suite requires distinct study fingerprints; deduplicate "
             "identical configs before scheduling them")
+    if engine not in ("batched", "event"):
+        raise WorkloadError(
+            f"unknown simulation engine {engine!r}; "
+            "expected 'batched' or 'event'")
     progress = progress or (lambda message: None)
     if cache is not None and not isinstance(cache, TraceCache):
         cache = TraceCache(cache)
@@ -366,7 +384,7 @@ def run_suite(
                 studies, transient, num_shards=num_shards, cache=cache,
                 use_cache=use_cache, lazy_cache=lazy_cache,
                 progress=progress, on_event=on_event,
-                should_stop=should_stop)
+                should_stop=should_stop, engine=engine)
 
     shards_per_study = max(1, int(num_shards if num_shards is not None
                                   else pool.workers))
@@ -399,6 +417,7 @@ def run_suite(
                         cache_hit=True,
                         cache_path=cache.existing_path_for(key),
                         timings={"total": time.perf_counter() - started},
+                        engine=engine,
                     )
                     continue
             plan_started = time.perf_counter()
@@ -408,7 +427,8 @@ def run_suite(
                 key=key, config=config, shards=shards, started=started,
                 plan_seconds=time.perf_counter() - plan_started,
                 shard_jobs=[None] * len(shards),
-                shards_remaining=len(shards))
+                shards_remaining=len(shards),
+                engine=engine)
             tracker.add_tasks(len(shards))
             tracker.emit("queued", key=key, shards=len(shards),
                          submissions=len(submissions))
@@ -482,6 +502,7 @@ def run_suite(
                 },
                 shard_sizes=[len(shard) for shard in study.shards],
                 group_sizes=[group.expected_jobs for group in study.groups],
+                engine=engine,
             )
             tracker.emit(
                 "study-done", key=study.key, jobs=total_rows,
@@ -519,9 +540,11 @@ class StudyRunner:
         lazy_cache: bool = False,
         pool: Optional[SharedWorkerPool] = None,
         on_event: Optional[EventCallback] = None,
+        engine: str = "batched",
     ):
         self.config = config or TraceGeneratorConfig()
         self.pool = pool
+        self.engine = engine
         default = pool.workers if pool is not None else default_workers()
         self.workers = max(1, int(workers if workers is not None else default))
         self.num_shards = max(1, int(num_shards if num_shards is not None
@@ -553,6 +576,7 @@ class StudyRunner:
                 lazy_cache=self.lazy_cache,
                 progress=self._progress,
                 on_event=self._on_event,
+                engine=self.engine,
             )
         except BaseException:
             if owned:
@@ -578,6 +602,7 @@ def run_study(
     lazy_cache: bool = False,
     pool: Optional[SharedWorkerPool] = None,
     on_event: Optional[EventCallback] = None,
+    engine: str = "batched",
 ) -> StudyResult:
     """One-call entry point: run a study config through the sharded runner.
 
@@ -601,5 +626,6 @@ def run_study(
         lazy_cache=lazy_cache,
         pool=pool,
         on_event=on_event,
+        engine=engine,
     )
     return runner.run(use_cache=use_cache)

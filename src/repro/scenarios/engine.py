@@ -161,8 +161,12 @@ class ScenarioEngine:
         suite_scheduling: bool = True,
         on_event: Optional[EventCallback] = None,
         should_stop: Optional[Callable[[], bool]] = None,
+        engine: str = "batched",
     ):
         self.base_config = base_config or TraceGeneratorConfig()
+        #: simulation core every expanded study runs on ("batched"/"event");
+        #: byte-identical traces either way, so not part of cache keys
+        self.engine = engine
         self.workers = workers
         self.num_shards = num_shards
         if cache is not None and not isinstance(cache, TraceCache):
@@ -251,6 +255,7 @@ class ScenarioEngine:
                 progress=self._progress,
                 on_event=self._on_event,
                 should_stop=self._should_stop,
+                engine=self.engine,
             )
         except BaseException:
             if owned:
@@ -298,6 +303,7 @@ class ScenarioEngine:
                 # caller's workers instead of a transient pool each).
                 pool=self.pool,
                 on_event=self._on_event,
+                engine=self.engine,
             )
             result = runner.run(use_cache=use_cache)
             self._progress(
@@ -324,6 +330,7 @@ def run_scenarios(
     suite_scheduling: bool = True,
     on_event: Optional[EventCallback] = None,
     should_stop: Optional[Callable[[], bool]] = None,
+    engine: str = "batched",
 ) -> ScenarioSuiteResult:
     """One-call entry point: run a scenario suite through the shared pool.
 
@@ -333,7 +340,7 @@ def run_scenarios(
     :func:`~repro.runner.executor.run_study`, whose default is False
     because a plain study usually consumes the whole trace.
     """
-    engine = ScenarioEngine(
+    scenario_engine = ScenarioEngine(
         base_config,
         workers=workers,
         num_shards=num_shards,
@@ -344,5 +351,6 @@ def run_scenarios(
         suite_scheduling=suite_scheduling,
         on_event=on_event,
         should_stop=should_stop,
+        engine=engine,
     )
-    return engine.run(scenarios, use_cache=use_cache)
+    return scenario_engine.run(scenarios, use_cache=use_cache)

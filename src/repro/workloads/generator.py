@@ -516,6 +516,11 @@ class TraceGenerator:
     queue-sensitive users see the live studied queue on top of the external
     load.  The parallel runner in :mod:`repro.runner` shards the same
     synthesis and simulation stages across processes instead.
+
+    Because this path probes the service's pending-jobs estimate
+    *mid-stream*, it always drives the scalar event loop — the batched
+    engine (:mod:`repro.cloud.fastsim`) needs the full submission list up
+    front and is only reachable through the runner's ``engine`` switch.
     """
 
     def __init__(self, config: Optional[TraceGeneratorConfig] = None,
