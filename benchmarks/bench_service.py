@@ -16,7 +16,9 @@ gateway adds on top of the batch engine:
 * **cache-hit ratio** of the warm submission (must be 1.0: a resubmitted
   suite re-simulates nothing);
 * **fetch**: latency of pulling a finished trace by fingerprint and the
-  suite comparison by content key.
+  suite comparison by content key;
+* **/metrics smoke**: the gateway's Prometheus exposition must scrape
+  and parse cleanly — an unparseable ``GET /metrics`` fails the run.
 
 Writes a ``BENCH_service.json`` artifact (consumed by CI) and prints a
 summary.  Run as a script::
@@ -36,6 +38,7 @@ from pathlib import Path
 
 from repro.core.env import env_int
 from repro.service import StudyService, StudyServiceClient
+from repro.telemetry import parse_prometheus_text
 from repro.workloads.generator import TraceGeneratorConfig
 
 DEFAULT_SCENARIOS = "baseline,demand-surge,machine-outage"
@@ -108,6 +111,16 @@ def main() -> int:
             client.fetch_comparison(cold["result"]["comparison_key"])
             comparison_fetch = time.perf_counter() - fetch_start
             stats = client.stats()
+
+            # /metrics smoke: the exposition must parse as Prometheus
+            # text — an unparseable scrape fails the bench run.
+            metrics_error = None
+            metric_families = 0
+            try:
+                exposition = parse_prometheus_text(client.metrics())
+                metric_families = len(exposition)
+            except ValueError as exc:
+                metrics_error = str(exc)
         finally:
             server.shutdown()
             server.server_close()
@@ -131,6 +144,11 @@ def main() -> int:
             "comparison_seconds": round(comparison_fetch, 4),
         },
         "store": stats["store"],
+        "pool": stats["pool"],
+        "metrics": {
+            "families": metric_families,
+            "parse_error": metrics_error,
+        },
     }
 
     print(f"study-service gateway ({args.jobs} jobs, {args.months} months, "
@@ -143,7 +161,12 @@ def main() -> int:
           f"cache-hit ratio {warm['cache_hit_ratio']:.0%}")
     print(f"  fetch: trace {trace_bytes} bytes in {trace_fetch:.3f}s, "
           f"comparison in {comparison_fetch:.3f}s")
+    print(f"  metrics: {metric_families} families scraped from /metrics")
 
+    if metrics_error is not None:
+        print(f"FAIL: GET /metrics served unparseable Prometheus text: "
+              f"{metrics_error}")
+        return 1
     if warm["cache_hit_ratio"] != 1.0:
         print("FAIL: warm resubmission re-simulated at least one scenario")
         return 1

@@ -28,7 +28,15 @@ sharded study runner and the analysis layer:
 * ``repro submit`` / ``repro jobs`` / ``repro fetch`` — the stdlib client
   side of the gateway: submit a suite, follow its event stream, inspect
   or cancel jobs, download results.
+* ``repro metrics`` — the process-wide metrics registry in Prometheus
+  text format: scraped from a running gateway's ``/metrics``, or the
+  local process's with ``--local``.
 * ``repro cache`` — inspect or LRU-prune the on-disk trace cache.
+
+``--trace-out FILE`` on any generating subcommand enables the span
+tracer and writes the run's spans as Chrome trace-event JSON
+(Perfetto-loadable); ``--profile-phases`` prints the same ``study.*``
+span durations as per-phase stderr lines.
 """
 
 from __future__ import annotations
@@ -57,6 +65,7 @@ from repro.scenarios import (
     resolve_scenarios,
     sweep_from_flags,
 )
+from repro.telemetry import get_registry, get_tracer, render_prometheus
 from repro.workloads.blocks import set_memory_budget
 from repro.workloads.generator import TraceGeneratorConfig
 from repro.workloads.trace import TraceDataset
@@ -102,7 +111,13 @@ def _add_generation_arguments(parser: argparse.ArgumentParser) -> None:
         "--profile-phases", action="store_true",
         help="print the per-phase wall-clock breakdown (plan/synthesis/"
              "simulation/merge) of every study on stderr; the same numbers "
-             "are embedded in the result metadata as 'phase_seconds'")
+             "are embedded in the result metadata as 'phase_seconds' and "
+             "are the durations of the study.* spans (--trace-out)")
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="enable span tracing and write the run's spans as Chrome "
+             "trace-event JSON to FILE (loadable in Perfetto or "
+             "chrome://tracing)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress progress output")
 
@@ -341,6 +356,61 @@ def cmd_bench(args: argparse.Namespace) -> int:
         "byte_identical": byte_identical,
     }
 
+    # Telemetry overhead: the batched simulation re-timed with the span
+    # tracer *enabled* must stay within 2% (plus a 5 ms floor for timer
+    # noise at smoke scale) of the tracer-off best-of-5 above — the
+    # acceptance bound on the instrumentation's cost.
+    tracer = get_tracer()
+    tracer_was_enabled = tracer.enabled  # honour an outer --trace-out
+    enabled_sim = float("inf")
+    tracer.enable()
+    try:
+        for _ in range(5):
+            fleet, engine_jobs = _synthesise_for_engine()
+            gc.collect()
+            started = time.perf_counter()
+            simulate_fleet(fleet, engine_jobs, seed=config.seed,
+                           failure_model=config.build_failure_model())
+            enabled_sim = min(enabled_sim, time.perf_counter() - started)
+    finally:
+        if not tracer_was_enabled:
+            tracer.disable()
+    telemetry_ok = enabled_sim <= batched_sim * 1.02 + 0.005
+    payload["telemetry"] = {
+        "batched_seconds_tracing_off": round(batched_sim, 6),
+        "batched_seconds_tracing_on": round(enabled_sim, 6),
+        "overhead_fraction": round(enabled_sim / batched_sim - 1.0, 4)
+        if batched_sim > 0 else None,
+        "within_bound": telemetry_ok,
+    }
+    print(f"telemetry: batched sim {batched_sim:.3f}s off / "
+          f"{enabled_sim:.3f}s on "
+          f"({payload['telemetry']['overhead_fraction']:+.1%} overhead)")
+
+    # One fully traced study at the best worker count: its Chrome trace
+    # becomes the TRACE_sample.json CI artifact, and the per-phase span
+    # totals it accumulates on the registry land in the payload next to
+    # the engine numbers.
+    if not tracer_was_enabled:
+        tracer.reset()
+    tracer.enable()
+    try:
+        run_study(config=config, workers=best, num_shards=args.shards,
+                  use_cache=False, progress=None)
+    finally:
+        if not tracer_was_enabled:
+            tracer.disable()
+    sample_path = Path(args.trace_sample)
+    tracer.write_chrome_trace(sample_path)
+    registry = get_registry()
+    payload["phase_spans"] = {
+        phase: round(registry.value("repro_runner_phase_seconds_total",
+                                    phase=phase), 3)
+        for phase in ("plan", "synthesis", "simulation", "merge")
+    }
+    print(f"sample span trace written to {sample_path} "
+          f"({len(tracer.spans())} spans)")
+
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2))
     print(f"benchmark results written to {output} "
@@ -351,6 +421,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("repro bench: batched and event engine traces DIVERGED — "
               "the golden byte-equivalence contract is broken",
               file=sys.stderr)
+        return 1
+    if not telemetry_ok:
+        print("repro bench: span tracing overhead exceeded the 2% bound "
+              "on the batched simulation engine", file=sys.stderr)
         return 1
     return 0
 
@@ -679,6 +753,28 @@ def cmd_fetch(args: argparse.Namespace) -> int:
     return 2
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    if args.local:
+        registry = get_registry()
+        if args.json:
+            print(json.dumps(registry.snapshot(), indent=2))
+        else:
+            print(render_prometheus(registry), end="")
+        return 0
+    from repro.service import StudyServiceClient
+
+    client = StudyServiceClient(_service_url(args), tenant=args.tenant)
+    text = client.metrics()
+    if args.json:
+        from repro.telemetry import parse_prometheus_text
+
+        print(json.dumps(parse_prometheus_text(text), indent=2,
+                         sort_keys=True))
+    else:
+        print(text, end="")
+    return 0
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     from repro.runner import TraceCache
 
@@ -763,6 +859,10 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--output", default="BENCH_runner.json",
         help="artifact path (default: %(default)s)")
+    bench_parser.add_argument(
+        "--trace-sample", default="TRACE_sample.json", metavar="FILE",
+        help="write the traced sample study's Chrome trace-event JSON "
+             "here (default: %(default)s)")
     bench_parser.set_defaults(handler=cmd_bench)
 
     export_parser = subparsers.add_parser(
@@ -887,6 +987,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", help="write the fetched payload to this path")
     fetch_parser.set_defaults(handler=cmd_fetch)
 
+    metrics_parser = subparsers.add_parser(
+        "metrics",
+        help="dump the metrics registry in Prometheus text format "
+             "(scraped from a gateway's /metrics, or --local)")
+    _add_client_arguments(metrics_parser)
+    metrics_parser.add_argument(
+        "--local", action="store_true",
+        help="dump this process's registry instead of scraping a gateway")
+    metrics_parser.add_argument(
+        "--json", action="store_true",
+        help="emit parsed samples as JSON instead of the raw exposition")
+    metrics_parser.set_defaults(handler=cmd_metrics)
+
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or LRU-prune the on-disk trace cache")
     cache_parser.add_argument(
@@ -910,6 +1023,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     budget = getattr(args, "memory_budget", None)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        get_tracer().enable()
     try:
         if budget is not None:
             set_memory_budget(budget)
@@ -920,6 +1036,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"repro: error: {exc.filename or exc} not found", file=sys.stderr)
         return 2
+    finally:
+        if trace_out:
+            tracer = get_tracer()
+            tracer.disable()
+            path = tracer.write_chrome_trace(trace_out)
+            print(f"[repro] span trace written to {path} "
+                  f"({len(tracer.spans())} spans)", file=sys.stderr)
 
 
 if __name__ == "__main__":

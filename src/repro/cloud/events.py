@@ -31,6 +31,20 @@ from typing import Callable, List, Optional
 
 from repro.core.exceptions import CloudError
 
+#: Lazily bound cumulative event counter — one registry lookup ever, so
+#: the per-batch ``inc`` on the hot run loop stays a single locked add.
+_EVENTS_COUNTER_CACHE = None
+
+
+def _events_counter():
+    global _EVENTS_COUNTER_CACHE
+    if _EVENTS_COUNTER_CACHE is None:
+        from repro.telemetry import get_registry
+        _EVENTS_COUNTER_CACHE = get_registry().counter(
+            "repro_sim_events_total",
+            help="Discrete events executed by the event-loop engine.")
+    return _EVENTS_COUNTER_CACHE
+
 
 @dataclass(order=True)
 class Event:
@@ -266,6 +280,8 @@ class EventQueue:
             self.step()
             executed += 1
         self._now = max(self._now, time)
+        if executed:
+            _events_counter().inc(executed)
         return executed
 
     def run_all(self, max_events: int = 10_000_000) -> int:
@@ -275,4 +291,6 @@ class EventQueue:
             executed += 1
             if executed > max_events:
                 raise CloudError("event budget exceeded; possible scheduling loop")
+        if executed:
+            _events_counter().inc(executed)
         return executed

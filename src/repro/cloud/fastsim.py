@@ -58,6 +58,7 @@ from repro.cloud.job import CircuitBatch, Job
 from repro.cloud.provider import DEFAULT_PROVIDERS, Provider
 from repro.cloud.service import FailureModel
 from repro.core.exceptions import CloudError, DeviceError
+from repro.telemetry import get_registry, get_tracer
 from repro.core.rng import RandomSource
 from repro.core.types import AccessLevel, JobStatus
 from repro.core.units import DAY_SECONDS, MINUTE_SECONDS
@@ -564,16 +565,23 @@ def simulate_fleet(
         if job.backend_name not in fleet:
             raise CloudError(f"unknown backend {job.backend_name!r}")
         by_machine.setdefault(job.backend_name, []).append(job)
+    tracer = get_tracer()
     for name, machine_jobs in by_machine.items():
-        simulate_machine(
-            fleet[name],
-            machine_jobs,
-            machine_rng=service_rng.spawn(name),
-            load_seed=load_rng.child(name).seed or 0,
-            providers=providers,
-            execution_model=execution_model,
-            failure_model=failure_model,
-            start_time=start_time,
-            block_size=block_size,
-        )
+        with tracer.span("sim.machine", machine=name,
+                         jobs=len(machine_jobs), engine="batched"):
+            simulate_machine(
+                fleet[name],
+                machine_jobs,
+                machine_rng=service_rng.spawn(name),
+                load_seed=load_rng.child(name).seed or 0,
+                providers=providers,
+                execution_model=execution_model,
+                failure_model=failure_model,
+                start_time=start_time,
+                block_size=block_size,
+            )
+    get_registry().counter(
+        "repro_sim_jobs_total", engine="batched",
+        help="Jobs simulated to a terminal state, by engine.").inc(
+        len(ordered))
     return ordered

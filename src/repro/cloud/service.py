@@ -25,6 +25,7 @@ from repro.core.exceptions import CloudError, DeviceError
 from repro.core.rng import BufferedDraws, RandomSource
 from repro.core.types import JobStatus
 from repro.devices.backend import Backend
+from repro.telemetry import get_registry, get_tracer
 
 
 @dataclass
@@ -177,7 +178,14 @@ class QuantumCloudService:
 
     def drain(self) -> List[Job]:
         """Run every remaining event and return all completed jobs."""
-        self.events.run_all()
+        completed_before = len(self._completed)
+        with get_tracer().span("sim.drain", machines=len(self._machines),
+                               engine="event"):
+            self.events.run_all()
+        get_registry().counter(
+            "repro_sim_jobs_total", engine="event",
+            help="Jobs simulated to a terminal state, by engine.").inc(
+            len(self._completed) - completed_before)
         return self.completed_jobs
 
     def pending_jobs_estimate(self, backend_name: str, timestamp: float) -> float:

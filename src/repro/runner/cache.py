@@ -35,6 +35,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.core.exceptions import TraceSchemaError
+from repro.telemetry import get_registry, get_tracer
 from repro.workloads.generator import TraceGeneratorConfig
 from repro.workloads.trace import TRACE_SCHEMA_VERSION, TraceDataset
 
@@ -111,9 +112,44 @@ class TraceCache:
 
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        # Per-instance counters aggregated under shared registry names:
+        # ``cache.hits`` et al. keep their historical per-instance
+        # semantics (each cache counts from zero, external ``+=`` writers
+        # included) while ``repro_cache_*_total`` sums every live cache.
+        registry = get_registry()
+        self._hits = registry.instance_counter(
+            "repro_cache_hits_total",
+            help="Trace-cache hits across every TraceCache instance.")
+        self._misses = registry.instance_counter(
+            "repro_cache_misses_total",
+            help="Trace-cache misses across every TraceCache instance.")
+        self._evictions = registry.instance_counter(
+            "repro_cache_evictions_total",
+            help="Trace-cache entries evicted by evict() or prune().")
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self._hits.set_local(value)
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self._misses.set_local(value)
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self._evictions.set_local(value)
 
     def path_for(self, key: str) -> Path:
         return self.root / f"trace-{key}.npz"
@@ -164,35 +200,37 @@ class TraceCache:
             (manifest_dir, TraceDataset.from_block_manifest),
             (self.legacy_path_for(key), TraceDataset.from_json),
         ]
-        for path, loader in candidates:
-            if path is manifest_dir:
-                if not (path / "manifest.json").is_file():
+        with get_tracer().span("cache.get", study=key):
+            for path, loader in candidates:
+                if path is manifest_dir:
+                    if not (path / "manifest.json").is_file():
+                        continue
+                elif not path.is_file():
                     continue
-            elif not path.is_file():
-                continue
-            try:
-                trace = loader(path)
-            except TraceSchemaError as exc:
-                raise TraceSchemaError(
-                    f"cache entry {path} has an incompatible trace schema: "
-                    f"{exc}; delete the entry (or point --cache-dir at a "
-                    f"fresh directory) to regenerate it") from exc
-            except (ValueError, TypeError, KeyError, OSError,
-                    zipfile.BadZipFile):
-                continue
-            found = trace.metadata.get("trace_schema")
-            if found is not None and found != TRACE_SCHEMA_VERSION:
-                raise TraceSchemaError(
-                    f"cache entry {path} holds a trace generated under "
-                    f"TRACE_SCHEMA_VERSION={found!r} but this version "
-                    f"expects {TRACE_SCHEMA_VERSION}; delete the entry (or "
-                    f"point --cache-dir at a fresh directory) to "
-                    f"regenerate it")
-            self.hits += 1
-            self._touch(path)
-            return trace
-        self.misses += 1
-        return None
+                try:
+                    trace = loader(path)
+                except TraceSchemaError as exc:
+                    raise TraceSchemaError(
+                        f"cache entry {path} has an incompatible trace "
+                        f"schema: {exc}; delete the entry (or point "
+                        f"--cache-dir at a fresh directory) to regenerate "
+                        f"it") from exc
+                except (ValueError, TypeError, KeyError, OSError,
+                        zipfile.BadZipFile):
+                    continue
+                found = trace.metadata.get("trace_schema")
+                if found is not None and found != TRACE_SCHEMA_VERSION:
+                    raise TraceSchemaError(
+                        f"cache entry {path} holds a trace generated under "
+                        f"TRACE_SCHEMA_VERSION={found!r} but this version "
+                        f"expects {TRACE_SCHEMA_VERSION}; delete the entry "
+                        f"(or point --cache-dir at a fresh directory) to "
+                        f"regenerate it")
+                self.hits += 1
+                self._touch(path)
+                return trace
+            self.misses += 1
+            return None
 
     def get_bytes(self, key: str) -> Optional[bytes]:
         """The exact cached bytes for ``key`` (None on a miss).
@@ -237,6 +275,12 @@ class TraceCache:
         self.root.mkdir(parents=True, exist_ok=True)
         npz_path = self.path_for(key)
         manifest_dir = self.manifest_dir_for(key)
+        with get_tracer().span("cache.put", study=key,
+                               out_of_core=trace.is_out_of_core):
+            return self._put(key, trace, npz_path, manifest_dir)
+
+    def _put(self, key: str, trace: TraceDataset, npz_path: Path,
+             manifest_dir: Path) -> Path:
         if trace.is_out_of_core:
             scratch_dir = manifest_dir.with_suffix(
                 f".tmp.{uuid.uuid4().hex}")

@@ -60,6 +60,7 @@ from repro.runner.sharding import (
     plan_machine_groups,
     plan_shards,
 )
+from repro.telemetry import get_registry, get_tracer
 from repro.workloads.generator import (
     TraceGeneratorConfig,
     plan_submissions,
@@ -397,6 +398,13 @@ def run_suite(
         if should_stop is not None and should_stop():
             raise SuiteCancelled("suite run cancelled")
 
+    tracer = get_tracer()
+    studies_counter = get_registry().counter(
+        "repro_runner_studies_total", outcome="simulated",
+        help="Studies executed by run_suite, by outcome.")
+    cache_hit_counter = get_registry().counter(
+        "repro_runner_studies_total", outcome="cache-hit")
+
     try:
         # Phase 1 — serve cache hits; queue every miss's synthesis shards
         # with completion callbacks that chain its simulations.
@@ -408,6 +416,19 @@ def run_suite(
                 if cached is not None:
                     progress(f"cache hit for config {key}")
                     tracker.emit("cache-hit", key=key, jobs=len(cached))
+                    cache_hit_counter.inc()
+                    # A cache hit still reports every phase — at zero
+                    # cost — so suite-level --profile-phases output stays
+                    # uniform; the zero-duration synthesis span marks the
+                    # skipped work in the trace view.
+                    now = time.perf_counter()
+                    tracer.instant("study.cache-hit", study=key,
+                                   jobs=len(cached))
+                    for phase in ("plan", "synthesis", "simulation",
+                                  "merge"):
+                        tracer.record_span(
+                            f"study.{phase}", start=now, duration=0.0,
+                            args={"study": key, "cache_hit": True})
                     results[key] = StudyResult(
                         trace=cached,
                         config=config,
@@ -416,16 +437,19 @@ def run_suite(
                         cache_key=key,
                         cache_hit=True,
                         cache_path=cache.existing_path_for(key),
-                        timings={"total": time.perf_counter() - started},
+                        timings={"plan": 0.0, "synthesis": 0.0,
+                                 "simulation": 0.0, "merge": 0.0,
+                                 "total": time.perf_counter() - started},
                         engine=engine,
                     )
                     continue
-            plan_started = time.perf_counter()
-            submissions = plan_submissions(config)
-            shards = plan_shards(config, submissions, shards_per_study)
+            studies_counter.inc()
+            with tracer.timed("study.plan", study=key) as plan_timer:
+                submissions = plan_submissions(config)
+                shards = plan_shards(config, submissions, shards_per_study)
             study = _PendingStudy(
                 key=key, config=config, shards=shards, started=started,
-                plan_seconds=time.perf_counter() - plan_started,
+                plan_seconds=plan_timer.seconds,
                 shard_jobs=[None] * len(shards),
                 shards_remaining=len(shards),
                 engine=engine)
@@ -453,10 +477,11 @@ def run_suite(
         # callbacks (which run before ``.get()`` returns) have finished.
         for study in pending:
             _check_cancel()
-            wait_started = time.perf_counter()
-            for handle in study.synth_handles:
-                handle.get()
-            study.synthesis_seconds = time.perf_counter() - wait_started
+            with tracer.timed("study.synthesis", study=study.key,
+                              shards=len(study.shards)) as synth_timer:
+                for handle in study.synth_handles:
+                    handle.get()
+            study.synthesis_seconds = synth_timer.seconds
             if study.callback_error is not None:
                 raise WorkloadError(
                     f"scheduling study {study.key} failed: "
@@ -466,24 +491,36 @@ def run_suite(
             progress(f"synthesised {jobs_total} jobs for study {study.key} "
                      f"in {study.synthesis_seconds:.1f}s")
 
-            wait_started = time.perf_counter()
-            per_group_columns = [handle.get() for handle in study.sim_handles]
-            study.simulation_seconds = time.perf_counter() - wait_started
+            with tracer.timed("study.simulation", study=study.key,
+                              groups=len(study.groups),
+                              engine=study.engine) as sim_timer:
+                per_group_columns = [handle.get()
+                                     for handle in study.sim_handles]
+            study.simulation_seconds = sim_timer.seconds
             progress(f"simulated {len(study.groups)} machine groups for "
                      f"study {study.key} in {study.simulation_seconds:.1f}s")
 
-            merge_started = time.perf_counter()
-            total_rows = sum(part.rows for part in per_group_columns)
-            trace = merge_shard_columns(per_group_columns, metadata={
-                "seed": study.config.seed,
-                "total_jobs": total_rows,
-                "months": study.config.months,
-                "trace_schema": TRACE_SCHEMA_VERSION,
-            })
-            cache_path = None
-            if use_cache and cache is not None:
-                cache_path = cache.put(study.key, trace)
-            merge_seconds = time.perf_counter() - merge_started
+            with tracer.timed("study.merge", study=study.key) as merge_timer:
+                total_rows = sum(part.rows for part in per_group_columns)
+                trace = merge_shard_columns(per_group_columns, metadata={
+                    "seed": study.config.seed,
+                    "total_jobs": total_rows,
+                    "months": study.config.months,
+                    "trace_schema": TRACE_SCHEMA_VERSION,
+                })
+                cache_path = None
+                if use_cache and cache is not None:
+                    cache_path = cache.put(study.key, trace)
+            merge_seconds = merge_timer.seconds
+
+            for phase, seconds in (("plan", study.plan_seconds),
+                                   ("synthesis", study.synthesis_seconds),
+                                   ("simulation", study.simulation_seconds),
+                                   ("merge", merge_seconds)):
+                get_registry().counter(
+                    "repro_runner_phase_seconds_total", phase=phase,
+                    help="Cumulative wall-clock seconds spent per study "
+                         "phase across every run_suite call.").inc(seconds)
 
             results[study.key] = StudyResult(
                 trace=trace,

@@ -41,6 +41,7 @@ import itertools
 import multiprocessing
 import os
 import threading
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cloud.fastsim import simulate_fleet
@@ -48,6 +49,7 @@ from repro.cloud.job import Job
 from repro.cloud.service import QuantumCloudService
 from repro.core.exceptions import WorkloadError
 from repro.runner.sharding import MachineGroup, ShardSpec
+from repro.telemetry import Tracer, get_registry, get_tracer, set_tracer
 from repro.workloads.generator import (
     JobSynthesizer,
     TraceGeneratorConfig,
@@ -120,10 +122,13 @@ def _synthesise_task(payload: Tuple[int, int, str, TraceGeneratorConfig,
         synthesizer = JobSynthesizer(config, state["fleet"])
         state["synthesizer"] = synthesizer
     jobs: List[Job] = []
-    for planned in shard.submissions:
-        job = synthesizer.synthesise(planned)
-        if job is not None:
-            jobs.append(job)
+    with get_tracer().span("synthesis.shard", study=key,
+                           job_shard=shard.shard_id,
+                           submissions=len(shard.submissions)):
+        for planned in shard.submissions:
+            job = synthesizer.synthesise(planned)
+            if job is not None:
+                jobs.append(job)
     return jobs
 
 
@@ -138,17 +143,20 @@ def _simulate_task(payload: Tuple[int, int, str, TraceGeneratorConfig,
     # identical spawned streams, so the records are byte-for-byte equal
     # (tests/test_fastsim_golden.py); ``batched`` just gets there without
     # the event-loop machinery.
-    if engine == "batched":
-        ordered = simulate_fleet(sub_fleet, jobs, seed=config.seed,
-                                 failure_model=config.build_failure_model())
-    else:
-        service = QuantumCloudService(
-            sub_fleet, seed=config.seed,
-            failure_model=config.build_failure_model())
-        ordered = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
-        for job in ordered:
-            service.submit(job)
-        service.drain()
+    with get_tracer().span("simulation.group", study=key, engine=engine,
+                           machines=len(group.machines), jobs=len(jobs)):
+        if engine == "batched":
+            ordered = simulate_fleet(
+                sub_fleet, jobs, seed=config.seed,
+                failure_model=config.build_failure_model())
+        else:
+            service = QuantumCloudService(
+                sub_fleet, seed=config.seed,
+                failure_model=config.build_failure_model())
+            ordered = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+            for job in ordered:
+                service.submit(job)
+            service.drain()
     # Columnarise where the rows were produced: the parent merges typed
     # arrays (vocabulary union + lexsort), never a JobRecord round-trip.
     return ShardColumns.from_records(
@@ -168,6 +176,49 @@ class _ImmediateResult:
         if self._error is not None:
             raise self._error
         return self._value
+
+
+class _TracedValue:
+    """A task result plus the spans its worker recorded while computing it.
+
+    Only used while the parent's tracer is enabled: the worker runs the
+    task under a fresh process-local tracer and ships the finished spans
+    home inside the existing result payload.
+    """
+
+    __slots__ = ("value", "spans")
+
+    def __init__(self, value, spans):
+        self.value = value
+        self.spans = spans
+
+
+def _traced_task(bundle):
+    """Run a pool task under a worker-local tracer; return value + spans."""
+    task, payload, kind, key = bundle
+    worker_tracer = Tracer(enabled=True)
+    previous = set_tracer(worker_tracer)
+    try:
+        with worker_tracer.span(f"pool.{kind}", study=key,
+                                worker=os.getpid()):
+            value = task(payload)
+    finally:
+        set_tracer(previous)
+    return _TracedValue(value, worker_tracer.export_spans())
+
+
+class _TracedHandle:
+    """Wraps an ``AsyncResult`` holding a :class:`_TracedValue`: ``get()``
+    unwraps the value and merges the worker spans (exactly once)."""
+
+    __slots__ = ("_handle", "_merge")
+
+    def __init__(self, handle, merge):
+        self._handle = handle
+        self._merge = merge
+
+    def get(self, timeout=None):
+        return self._merge(self._handle.get(timeout))
 
 
 class SharedWorkerPool:
@@ -243,21 +294,93 @@ class SharedWorkerPool:
             return self._pool
 
     def _submit(self, task, payload,
-                callback: Optional[Callable[[object], None]] = None):
+                callback: Optional[Callable[[object], None]] = None,
+                kind: str = "task", key: Optional[str] = None):
+        registry = get_registry()
+        registry.counter(
+            "repro_pool_tasks_total", kind=kind,
+            help="Tasks submitted to the shared worker pool.").inc()
+        depth = registry.gauge(
+            "repro_pool_queue_depth",
+            help="Pool tasks submitted but not yet completed.")
+        completed = registry.counter(
+            "repro_pool_tasks_completed_total", kind=kind,
+            help="Pool tasks that completed successfully.")
+        failed = registry.counter(
+            "repro_pool_task_failures_total", kind=kind,
+            help="Pool tasks that raised in a worker.")
+        depth.inc()
+        tracer = get_tracer()
+
         if not self.is_parallel:
             if self._closed:
+                depth.dec()
                 raise WorkloadError("this worker pool has been shut down")
             try:
-                value = task(payload)
+                with tracer.span(f"pool.{kind}", study=key,
+                                 worker=os.getpid()):
+                    value = task(payload)
             except Exception as exc:
+                depth.dec()
+                failed.inc()
                 # Match apply_async semantics: errors surface on .get(),
                 # and the completion callback is not invoked.
                 return _ImmediateResult(None, error=exc)
+            depth.dec()
+            completed.inc()
             if callback is not None:
                 callback(value)
             return _ImmediateResult(value)
-        return self._ensure_pool().apply_async(task, (payload,),
-                                               callback=callback)
+
+        merge = None
+        if tracer.enabled:
+            # Ship the task through the worker-tracer wrapper; the worker
+            # returns (value, spans) and the first unwrap — the completion
+            # callback below, which multiprocessing runs before .get()
+            # returns — merges the spans into the parent tracer along with
+            # a synthesised queue-wait span.
+            queued_at = time.perf_counter()
+            task, payload = _traced_task, (task, payload, kind, key)
+            merge_lock = threading.Lock()
+            state = {"merged": False}
+
+            def merge(result):
+                if not isinstance(result, _TracedValue):
+                    return result
+                with merge_lock:
+                    first = not state["merged"]
+                    state["merged"] = True
+                if first and result.spans:
+                    task_start = min(span["start"]
+                                     for span in result.spans)
+                    if task_start > queued_at:
+                        tracer.record_span(
+                            "pool.queued", start=queued_at,
+                            duration=task_start - queued_at,
+                            args={"kind": kind, "study": key})
+                    tracer.ingest(result.spans)
+                return result.value
+
+        def _on_done(result):
+            depth.dec()
+            completed.inc()
+            try:
+                value = merge(result) if merge is not None else result
+            except Exception:
+                value = result.value if isinstance(result, _TracedValue) \
+                    else result
+            if callback is not None:
+                callback(value)
+
+        def _on_error(exc):
+            depth.dec()
+            failed.inc()
+
+        handle = self._ensure_pool().apply_async(
+            task, (payload,), callback=_on_done, error_callback=_on_error)
+        if merge is not None:
+            return _TracedHandle(handle, merge)
+        return handle
 
     def submit_synthesis(self, epoch: int, key: str,
                          config: TraceGeneratorConfig, shard: ShardSpec,
@@ -272,7 +395,7 @@ class SharedWorkerPool:
         return self._submit(
             _synthesise_task,
             (epoch, self._epoch_floor(), key, config, shard),
-            callback=callback)
+            callback=callback, kind="synthesis", key=key)
 
     def submit_simulation(self, epoch: int, key: str,
                           config: TraceGeneratorConfig, group: MachineGroup,
@@ -290,7 +413,7 @@ class SharedWorkerPool:
         return self._submit(
             _simulate_task,
             (epoch, self._epoch_floor(), key, config, group, jobs, engine),
-            callback=callback)
+            callback=callback, kind="simulation", key=key)
 
     def close(self) -> None:
         """Drain outstanding work and release the workers (clean path)."""

@@ -177,3 +177,8 @@ class StudyServiceClient:
 
     def stats(self) -> Dict[str, object]:
         return self._json("GET", "/stats")
+
+    def metrics(self) -> str:
+        """The gateway's ``/metrics`` Prometheus text exposition, raw."""
+        with self._request("GET", "/metrics") as response:
+            return response.read().decode("utf-8")

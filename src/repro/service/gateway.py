@@ -18,7 +18,9 @@ multiplexed, streamed workloads:
 * ``GET /results/<fingerprint>`` — the finished trace, byte-identical to
   what the batch ``run-scenarios`` path caches under the same key;
 * ``GET /comparisons/<key>`` — a suite's stored delta report;
-* ``GET /stats`` / ``GET /healthz`` — pool, store and registry telemetry.
+* ``GET /stats`` / ``GET /healthz`` — pool, store and registry telemetry;
+* ``GET /metrics`` — the process-wide metrics registry in Prometheus text
+  exposition format (counters, gauges, histograms across every layer).
 
 Executor threads (``executors``, default 2) pull jobs from the registry
 and run each through a :class:`~repro.scenarios.engine.ScenarioEngine`
@@ -33,6 +35,8 @@ from __future__ import annotations
 import dataclasses
 import json
 import threading
+import time
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
@@ -64,6 +68,7 @@ from repro.service.jobs import (
     UnknownJobError,
 )
 from repro.service.store import ResultStore, comparison_key
+from repro.telemetry import get_registry, get_tracer, render_prometheus
 from repro.workloads.generator import TraceGeneratorConfig
 
 __all__ = ["StudyService", "resolve_submission", "serve"]
@@ -296,6 +301,8 @@ class StudyService:
     # -- the HTTP surface --------------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
+        metrics = get_registry()
+        kinds = ("synthesis", "simulation", "task")
         return {
             "service": "repro-study-service",
             "version": __version__,
@@ -303,6 +310,18 @@ class StudyService:
             "executors": self.executors,
             "registry": self.registry.stats(),
             "store": self.store.stats(),
+            "pool": {
+                "workers": self.pool.workers,
+                "queue_depth": int(
+                    metrics.value("repro_pool_queue_depth")),
+                "tasks_submitted": int(sum(
+                    metrics.value("repro_pool_tasks_total", kind=kind)
+                    for kind in kinds)),
+                "tasks_completed": int(sum(
+                    metrics.value("repro_pool_tasks_completed_total",
+                                  kind=kind)
+                    for kind in kinds)),
+            },
         }
 
     def make_server(self, host: str = "127.0.0.1",
@@ -358,9 +377,32 @@ class _GatewayHandler(BaseHTTPRequestHandler):
 
     # -- routing -----------------------------------------------------------------------
 
+    @contextmanager
+    def _observed(self, method: str, parts: List[str]):
+        """Count the request, time it, and span it (bounded route labels)."""
+        route = "/" + parts[0] if parts else "/"
+        registry = get_registry()
+        registry.counter(
+            "repro_gateway_requests_total", method=method, route=route,
+            help="HTTP requests served by the gateway.").inc()
+        histogram = registry.histogram(
+            "repro_gateway_request_seconds",
+            help="Gateway request handling latency in seconds.")
+        start = time.perf_counter()
+        with get_tracer().span("gateway.request", method=method,
+                               route=route):
+            try:
+                yield
+            finally:
+                histogram.observe(time.perf_counter() - start)
+
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
         url = urlparse(self.path)
         parts = [part for part in url.path.split("/") if part]
+        with self._observed("GET", parts):
+            self._handle_get(url, parts)
+
+    def _handle_get(self, url, parts: List[str]) -> None:
         query = parse_qs(url.query)
         try:
             if parts == ["healthz"]:
@@ -393,6 +435,8 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                         404, f"no comparison {parts[1]!r}")
                 else:
                     self._send_json(200, payload)
+            elif parts == ["metrics"]:
+                self._send_metrics()
             else:
                 self._send_error_json(404, f"no route GET {url.path}")
         except UnknownJobError as exc:
@@ -405,6 +449,10 @@ class _GatewayHandler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         url = urlparse(self.path)
         parts = [part for part in url.path.split("/") if part]
+        with self._observed("POST", parts):
+            self._handle_post(url, parts)
+
+    def _handle_post(self, url, parts: List[str]) -> None:
         try:
             if parts == ["jobs"]:
                 payload = self._read_json()
@@ -433,6 +481,15 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             self._send_error_json(400, str(exc))
 
     # -- responses ---------------------------------------------------------------------
+
+    def _send_metrics(self) -> None:
+        body = render_prometheus(get_registry()).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
     def _stream_events(self, job: ServiceJob, since: int) -> None:
         self.send_response(200)

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterator, List, Optional
 
 from repro.core.exceptions import ReproError
+from repro.telemetry import get_registry
 
 __all__ = [
     "JobQuotaExceeded",
@@ -86,10 +87,14 @@ class ServiceJob:
         key is fine — it carries the suite-runner event kind, while
         ``event`` is the job-level type).
         """
+        now = time.time()
+        queue_depth = int(get_registry().value("repro_pool_queue_depth"))
         with self._condition:
             event = {
                 "seq": next(self._seq),
-                "ts": round(time.time(), 3),
+                "ts": round(now, 3),
+                "elapsed": round(now - self.created, 3),
+                "queue_depth": queue_depth,
                 "job": self.job_id,
                 "event": event_kind,
                 **detail,
@@ -202,6 +207,13 @@ class JobRegistry:
             if tenant not in self._tenant_order:
                 self._tenant_order.append(tenant)
             self._lock.notify()
+        registry = get_registry()
+        registry.counter(
+            "repro_jobs_submitted_total", tenant=tenant,
+            help="Jobs accepted by the gateway, by tenant.").inc()
+        registry.gauge(
+            "repro_jobs_active", tenant=tenant,
+            help="Queued plus running gateway jobs, by tenant.").inc()
         job.emit("queued", tenant=tenant)
         return job
 
@@ -230,6 +242,9 @@ class JobRegistry:
                     if remaining <= 0:
                         return None
                 self._lock.wait(timeout=remaining)
+        get_registry().counter(
+            "repro_jobs_dispatched_total", tenant=job.tenant,
+            help="Jobs handed to an executor thread, by tenant.").inc()
         job.emit("started", tenant=job.tenant)
         return job
 
@@ -266,6 +281,7 @@ class JobRegistry:
             job.error = error
             if result is not None:
                 job.result = result
+        self._note_terminal(job.tenant, state)
         detail: Dict[str, object] = {}
         if error is not None:
             detail["error"] = error
@@ -307,6 +323,7 @@ class JobRegistry:
                         self._remove_from_order(job.tenant)
                 job.state = CANCELLED
                 job.finished = time.time()
+                self._note_terminal(job.tenant, CANCELLED)
                 job.emit("cancelled", while_state=QUEUED)
                 return job
             if job.state == RUNNING:
@@ -315,18 +332,33 @@ class JobRegistry:
             job.emit("cancel-requested")
         return job
 
+    def _note_terminal(self, tenant: str, state: str) -> None:
+        """Record one job reaching a terminal state on the shared registry."""
+        registry = get_registry()
+        registry.counter(
+            "repro_jobs_completed_total", tenant=tenant, state=state,
+            help="Jobs reaching a terminal state, by tenant and state.").inc()
+        registry.gauge("repro_jobs_active", tenant=tenant).dec()
+
     def stats(self) -> Dict[str, object]:
         with self._lock:
             by_state: Dict[str, int] = {}
-            tenants = set()
+            per_tenant: Dict[str, Dict[str, int]] = {}
             for job in self._jobs.values():
                 by_state[job.state] = by_state.get(job.state, 0) + 1
-                tenants.add(job.tenant)
+                bucket = per_tenant.setdefault(
+                    job.tenant, {"active": 0, "completed": 0})
+                if job.state in TERMINAL_STATES:
+                    bucket["completed"] += 1
+                else:
+                    bucket["active"] += 1
             return {
                 "jobs": len(self._jobs),
-                "tenants": len(tenants),
+                "tenants": len(per_tenant),
                 "tenant_quota": self.tenant_quota,
                 "by_state": dict(sorted(by_state.items())),
+                "queued": sum(len(q) for q in self._queues.values()),
+                "per_tenant": dict(sorted(per_tenant.items())),
             }
 
     @property

@@ -34,6 +34,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.exceptions import TraceSchemaError, WorkloadError
+from repro.telemetry import get_registry, get_tracer
 
 __all__ = [
     "BLOCK_SCHEMA_VERSION",
@@ -53,6 +54,23 @@ __all__ = [
 #: Version of the per-block ``.npz`` file layout (spill files and cache
 #: manifest blocks); bump on incompatible changes.
 BLOCK_SCHEMA_VERSION = 1
+
+# Pre-register the residency families so ``/metrics`` exposes them (at
+# zero) even in processes that never build an out-of-core dataset; live
+# governors contribute per-instance counters under the same names.
+for _residency_name, _residency_help in (
+    ("repro_residency_spills_total",
+     "Blocks spilled (written to a new block file)."),
+    ("repro_residency_loads_total",
+     "Blocks re-read from their backing block file."),
+    ("repro_residency_evictions_total",
+     "Blocks released from memory (spilled or dropped)."),
+):
+    get_registry().counter(_residency_name, help=_residency_help)
+del _residency_name, _residency_help
+get_registry().gauge(
+    "repro_residency_resident_bytes",
+    help="Bytes held by resident blocks across live governors.")
 
 #: Default rows per block when chunking a trace.  Small enough that one
 #: block of the full column set stays in the tens of megabytes at the
@@ -204,18 +222,54 @@ class ResidencyGovernor:
         if budget is not None and budget < 0:
             raise WorkloadError(f"budget must be >= 0, got {budget}")
         self.budget = budget
-        #: blocks spilled (written to a new block file) so far
-        self.spills = 0
-        #: blocks re-read from their block file so far
-        self.loads = 0
-        #: blocks released from memory (spilled or dropped) so far
-        self.evictions = 0
+        # Per-instance counters aggregated under shared registry names —
+        # the ``spills`` / ``loads`` / ``evictions`` attributes (and their
+        # external ``+=`` writers) keep per-governor semantics while
+        # ``repro_residency_*_total`` sums every live governor.
+        registry = get_registry()
+        self._spills = registry.instance_counter(
+            "repro_residency_spills_total",
+            help="Blocks spilled (written to a new block file).")
+        self._loads = registry.instance_counter(
+            "repro_residency_loads_total",
+            help="Blocks re-read from their backing block file.")
+        self._evictions = registry.instance_counter(
+            "repro_residency_evictions_total",
+            help="Blocks released from memory (spilled or dropped).")
+        registry.callback_gauge(
+            "repro_residency_resident_bytes", self,
+            lambda governor: governor.resident_bytes,
+            help="Bytes held by resident blocks across live governors.")
         self._spill_dir = Path(spill_dir) if spill_dir is not None else None
         self._tmp: Optional[tempfile.TemporaryDirectory] = None
         #: insertion-ordered resident set; dict preserves LRU order
         self._resident: Dict["ColumnBlock", None] = {}
         self._lock = threading.RLock()
         self._spill_seq = 0
+
+    @property
+    def spills(self) -> int:
+        return self._spills.value
+
+    @spills.setter
+    def spills(self, value: int) -> None:
+        self._spills.set_local(value)
+
+    @property
+    def loads(self) -> int:
+        return self._loads.value
+
+    @loads.setter
+    def loads(self, value: int) -> None:
+        self._loads.set_local(value)
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self._evictions.set_local(value)
 
     @property
     def resident_bytes(self) -> int:
@@ -329,7 +383,9 @@ class ColumnBlock:
         governor = self.governor
         arrays = self._arrays
         if arrays is None:
-            loaded = read_block_file(self.path, self.names)
+            with get_tracer().span("blocks.load", rows=self.rows,
+                                   nbytes=self.nbytes):
+                loaded = read_block_file(self.path, self.names)
             self._arrays = loaded
             if self.nbytes == 0:
                 self.nbytes = sum(a.nbytes for a in loaded.values())
@@ -365,7 +421,9 @@ class ColumnBlock:
             return
         if self.path is None:
             self.path = self.governor.spill_path()
-            write_block_file(self.path, self._arrays, self.rows)
+            with get_tracer().span("blocks.spill", rows=self.rows,
+                                   nbytes=self.nbytes):
+                write_block_file(self.path, self._arrays, self.rows)
             self.governor.spills += 1
         self._arrays = None
         self.governor.evictions += 1

@@ -35,6 +35,7 @@ from repro.core.units import DAY_SECONDS
 from repro.devices.backend import Backend
 from repro.devices.calibration import DriftModel
 from repro.devices.catalog import STUDY_MONTHS, fleet_in_study
+from repro.telemetry import get_tracer
 from repro.workloads.circuit_metrics import compiled_metrics
 from repro.workloads.compile_model import CompileTimeModel
 from repro.workloads.distributions import WorkloadDistributions
@@ -543,22 +544,29 @@ class TraceGenerator:
     def generate(self) -> TraceDataset:
         """Submit the whole workload and return the completed trace."""
         config = self.config
+        tracer = get_tracer()
         submitted_jobs: List[Job] = []
-        for planned in plan_submissions(config):
-            job = self.synthesizer.synthesise(planned)
-            if job is None:
-                continue
-            self.service.submit(job)
-            submitted_jobs.append(job)
+        # Coarse stage spans only — synthesise() runs per job and must
+        # stay span-free on this hot loop.
+        with tracer.span("generator.synthesis", jobs=config.total_jobs):
+            for planned in plan_submissions(config):
+                job = self.synthesizer.synthesise(planned)
+                if job is None:
+                    continue
+                self.service.submit(job)
+                submitted_jobs.append(job)
         self.service.drain()
 
-        records = [record_for(job, self.fleet) for job in submitted_jobs]
-        dataset = TraceDataset.from_records(records, metadata={
-            "seed": config.seed,
-            "total_jobs": len(records),
-            "months": config.months,
-            "trace_schema": TRACE_SCHEMA_VERSION,
-        })
+        with tracer.span("generator.columnarise",
+                         jobs=len(submitted_jobs)):
+            records = [record_for(job, self.fleet)
+                       for job in submitted_jobs]
+            dataset = TraceDataset.from_records(records, metadata={
+                "seed": config.seed,
+                "total_jobs": len(records),
+                "months": config.months,
+                "trace_schema": TRACE_SCHEMA_VERSION,
+            })
         return dataset
 
 

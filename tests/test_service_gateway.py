@@ -231,6 +231,49 @@ class TestHttpErrors:
         assert stats["workers"] == service.pool.workers
         assert stats["registry"]["tenant_quota"] == 4
         assert stats["store"]["entries"] >= 0
+        assert stats["pool"]["workers"] == service.pool.workers
+        assert stats["pool"]["queue_depth"] >= 0
+        assert stats["pool"]["tasks_completed"] \
+            <= stats["pool"]["tasks_submitted"]
+        per_tenant = stats["registry"]["per_tenant"]
+        for counts in per_tenant.values():
+            assert set(counts) == {"active", "completed"}
+
+    def test_metrics_exposition_parses_and_is_monotonic(self, gateway):
+        from repro.telemetry import parse_prometheus_text
+
+        service, make_client = gateway
+        client = make_client("alice")
+        first = parse_prometheus_text(client.metrics())
+        # Submitting one more job moves job counters; every counter
+        # sample must be monotonically non-decreasing across scrapes.
+        client.submit({"scenarios": ["baseline"], "compare": False})
+        second = parse_prometheus_text(client.metrics())
+        for family in ("repro_cache_misses_total",
+                       "repro_residency_spills_total",
+                       "repro_pool_tasks_total",
+                       "repro_jobs_submitted_total",
+                       "repro_gateway_requests_total"):
+            assert any(name == family or name.startswith(family)
+                       for name in second), family
+        for name, series in first.items():
+            if not name.endswith("_total"):
+                continue
+            for labels, value in series.items():
+                assert second[name][labels] >= value, (name, labels)
+
+    def test_events_carry_elapsed_and_queue_depth(self, gateway):
+        service, make_client = gateway
+        client = make_client("alice")
+        snapshot = client.submit({"scenarios": ["baseline"],
+                                  "compare": False})
+        events = list(client.events(snapshot["job"]))
+        assert events
+        for event in events:
+            assert event["elapsed"] >= 0
+            assert event["queue_depth"] >= 0
+        elapsed = [event["elapsed"] for event in events]
+        assert elapsed == sorted(elapsed)
 
 
 class TestRegistrySemantics:
