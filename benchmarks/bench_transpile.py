@@ -1,0 +1,184 @@
+"""Benchmark: equivalence-class transpile cache and rank-mode studies.
+
+Measures, at a configurable trace scale:
+
+* **dedup** — how many per-job machine-ranking transpiles the equivalence
+  classes amortise away: a naive rank-mode implementation transpiles every
+  probed (job, machine) pair, the class planner transpiles each
+  (family, width, machine) class once.  The ratio is also computed for the
+  full-scale study (planning only — no transpiles), where the >=10x
+  acceptance target is asserted.
+* **cold vs warm** — wall-clock of a rank-mode study with an empty
+  transpile cache versus a fully warm one, plus the warm run against the
+  trace-level ``policy-swap`` baseline (same objective, logical metrics
+  only) — the warm rank study should stay within ~2x of it.
+* **per-pass seconds** — the level-3 pass-pipeline cost profile, summed
+  from the cached summaries' recorded timings.
+* **rank identity** — the byte-equivalence contract: the cold, warm and
+  cache-disabled runs must produce identical traces (asserted, not just
+  reported).
+
+Writes a ``BENCH_transpile.json`` artifact (consumed by CI) and prints a
+summary.  Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_transpile.py --jobs 1000 --months 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict
+
+from repro.core.env import env_int
+from repro.runner import run_study
+from repro.transpiler.cache import TranspileCache
+from repro.workloads.generator import (
+    ScenarioKnobs,
+    TraceGeneratorConfig,
+    plan_transpile_classes,
+)
+
+#: The acceptance target holds at the paper-scale study; reduced runs
+#: reproduce fewer jobs per class, so their measured ratio is reported
+#: but asserted only loosely.
+FULL_SCALE_CONFIG = dict(jobs=6000, months=28)
+DEDUP_TARGET = 10.0
+
+
+def _rank_config(jobs: int, months: int, seed: int) -> TraceGeneratorConfig:
+    return TraceGeneratorConfig(
+        total_jobs=jobs, months=months, seed=seed,
+        scenario=ScenarioKnobs(ranking_objective="balanced"))
+
+
+def _trace_columns(result) -> Dict[str, list]:
+    names = ("job_id", "machine", "user_policy", "submit_time",
+             "start_time", "end_time", "status")
+    return {name: list(result.trace.column(name)) for name in names}
+
+
+def _planned_dedup(jobs: int, months: int, seed: int) -> Dict[str, float]:
+    config = _rank_config(jobs, months, seed)
+    pairs, stats = plan_transpile_classes(config, config.build_fleet())
+    return {
+        **stats,
+        "dedup_ratio": round(stats["probes"] / max(stats["pairs"], 1), 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the equivalence-class transpile cache")
+    parser.add_argument("--jobs", type=int,
+                        default=min(env_int("REPRO_BENCH_JOBS", 6000), 1000))
+    parser.add_argument("--months", type=int,
+                        default=min(env_int("REPRO_BENCH_MONTHS", 28), 6))
+    parser.add_argument("--seed", type=int,
+                        default=env_int("REPRO_BENCH_SEED", 7))
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--output", default="BENCH_transpile.json")
+    args = parser.parse_args(argv)
+
+    config = _rank_config(args.jobs, args.months, args.seed)
+    baseline_config = TraceGeneratorConfig(
+        total_jobs=args.jobs, months=args.months, seed=args.seed,
+        scenario=ScenarioKnobs(forced_policy="balanced"))
+    cache_root = Path(tempfile.mkdtemp(prefix="bench-transpile-"))
+    try:
+        # -- dedup: measured at bench scale, asserted at paper scale -------
+        planned = _planned_dedup(args.jobs, args.months, args.seed)
+        full = _planned_dedup(seed=args.seed, **FULL_SCALE_CONFIG)
+        assert full["dedup_ratio"] >= DEDUP_TARGET, (
+            f"full-scale dedup {full['dedup_ratio']}x below the "
+            f"{DEDUP_TARGET}x target")
+
+        # -- cold run: every class transpiled, cache filled ----------------
+        started = time.perf_counter()
+        cold = run_study(config=config, workers=args.workers,
+                         cache_dir=cache_root)
+        cold_seconds = time.perf_counter() - started
+        assert cold.transpile["cold"] == planned["pairs"]
+
+        # -- warm run: drop the trace, keep the transpile entries ----------
+        for path in cache_root.glob("trace-*"):
+            if path.is_dir():
+                shutil.rmtree(path)
+            else:
+                path.unlink()
+        started = time.perf_counter()
+        warm = run_study(config=config, workers=args.workers,
+                         cache_dir=cache_root)
+        warm_seconds = time.perf_counter() - started
+        assert warm.transpile["cold"] == 0
+
+        # -- cache-off run + the byte-identity contract --------------------
+        uncached = run_study(config=config, workers=args.workers,
+                             use_cache=False)
+        reference = _trace_columns(cold)
+        rank_identity = (_trace_columns(warm) == reference
+                         and _trace_columns(uncached) == reference)
+        assert rank_identity, "cached and uncached rank traces diverged"
+
+        # -- the trace-level baseline the warm run must stay close to ------
+        started = time.perf_counter()
+        baseline = run_study(config=baseline_config, workers=args.workers,
+                             use_cache=False)
+        baseline_seconds = time.perf_counter() - started
+        warm_over_baseline = warm_seconds / max(baseline_seconds, 1e-9)
+
+        # -- per-pass profile, from the summaries the cold run cached ------
+        cache = TranspileCache(cache_root)
+        pass_seconds: Dict[str, float] = {}
+        pass_counts: Dict[str, int] = {}
+        for entry in cache.entries():
+            summary = cache.get(entry.key)
+            if summary is None:
+                continue
+            for pass_name, seconds in summary.pass_timings:
+                pass_seconds[pass_name] = \
+                    pass_seconds.get(pass_name, 0.0) + seconds
+                pass_counts[pass_name] = pass_counts.get(pass_name, 0) + 1
+
+        payload = {
+            "scale": {"jobs": args.jobs, "months": args.months,
+                      "seed": args.seed, "workers": args.workers},
+            "dedup": {
+                "bench_scale": planned,
+                "full_scale": full,
+                "target": DEDUP_TARGET,
+            },
+            "wall_clock": {
+                "cold_seconds": round(cold_seconds, 3),
+                "warm_seconds": round(warm_seconds, 3),
+                "cold_transpile_phase": round(
+                    cold.timings["transpile"], 3),
+                "warm_transpile_phase": round(
+                    warm.timings["transpile"], 3),
+                "trace_level_baseline_seconds": round(baseline_seconds, 3),
+                "warm_over_baseline": round(warm_over_baseline, 2),
+                "baseline_jobs": len(baseline.trace),
+            },
+            "pass_seconds": {name: round(seconds, 4)
+                             for name, seconds
+                             in sorted(pass_seconds.items())},
+            "pass_counts": dict(sorted(pass_counts.items())),
+            "rank_identity": rank_identity,
+            "transpile_cache": {"entries": len(cache.entries()),
+                                "total_bytes": cache.total_bytes()},
+        }
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+
+    Path(args.output).write_text(json.dumps(payload, indent=2))
+    print(json.dumps(payload, indent=2))
+    print(f"\nbench artifact written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

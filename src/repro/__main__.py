@@ -95,6 +95,11 @@ def _add_generation_arguments(parser: argparse.ArgumentParser) -> None:
         help="synthesis shards (default: equal to --workers; the result "
              "never depends on this, only the load balance does)")
     parser.add_argument(
+        "--transpile-workers", type=int, default=None,
+        help="transpile shards for rank-mode policy scenarios (default: "
+             "equal to --workers; like --shards, a load-balance knob the "
+             "result never depends on)")
+    parser.add_argument(
         "--cache-dir", default=os.environ.get("REPRO_CACHE_DIR"),
         help="directory of the on-disk trace cache (default: "
              "$REPRO_CACHE_DIR, or no caching)")
@@ -109,8 +114,10 @@ def _add_generation_arguments(parser: argparse.ArgumentParser) -> None:
              "(default: %(default)s)")
     parser.add_argument(
         "--profile-phases", action="store_true",
-        help="print the per-phase wall-clock breakdown (plan/synthesis/"
-             "simulation/merge) of every study on stderr; the same numbers "
+        help="print the per-phase wall-clock breakdown (plan/transpile/"
+             "synthesis/simulation/merge) of every study on stderr; the "
+             "transpile row is zero unless the study ranks machines over "
+             "transpiled classes; the same numbers "
              "are embedded in the result metadata as 'phase_seconds' and "
              "are the durations of the study.* spans (--trace-out)")
     parser.add_argument(
@@ -146,6 +153,7 @@ def _generate(args: argparse.Namespace, quiet: bool = False) -> StudyResult:
         progress=_progress(quiet),
         use_cache=not args.no_cache,
         engine=getattr(args, "engine", "batched"),
+        transpile_workers=getattr(args, "transpile_workers", None),
     )
     if getattr(args, "profile_phases", False):
         _print_phase_report("study", result.timings)
@@ -554,6 +562,7 @@ def _run_suite(args: argparse.Namespace):
         suite_scheduling=not args.sequential,
         on_event=_event_printer(args),
         engine=getattr(args, "engine", "batched"),
+        transpile_workers=getattr(args, "transpile_workers", None),
     )
     suite = scenario_engine.run(scenarios, use_cache=not args.no_cache)
     if getattr(args, "profile_phases", False):
@@ -777,30 +786,45 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 def cmd_cache(args: argparse.Namespace) -> int:
     from repro.runner import TraceCache
+    from repro.transpiler.cache import TranspileCache
 
     root = args.cache_dir or os.environ.get("REPRO_CACHE_DIR") \
         or ".repro-cache"
     cache = TraceCache(root)
+    transpile_cache = TranspileCache(root)
     entries = cache.entries()
+    transpile_entries = transpile_cache.entries()
     if args.prune:
         if args.max_bytes is None:
             print("repro cache: --prune requires --max-bytes",
                   file=sys.stderr)
             return 2
+        # Traces dwarf transpile summaries, so the byte budget applies to
+        # each namespace independently: pruning traces never starves the
+        # (tiny, expensive-to-refill) transpile entries, and vice versa.
         evicted = cache.prune(args.max_bytes)
+        transpile_evicted = transpile_cache.prune(args.max_bytes)
         print(json.dumps({
             "root": str(cache.root),
             "evicted": [entry.as_dict() for entry in evicted],
             "remaining_bytes": cache.total_bytes(),
+            "transpile_evicted": [entry.as_dict()
+                                  for entry in transpile_evicted],
+            "transpile_remaining_bytes": transpile_cache.total_bytes(),
         }, indent=2))
         return 0
     payload: Dict[str, object] = {
         "root": str(cache.root),
         "entries": len(entries),
         "total_bytes": sum(entry.size_bytes for entry in entries),
+        "transpile_entries": len(transpile_entries),
+        "transpile_total_bytes": sum(entry.size_bytes
+                                     for entry in transpile_entries),
     }
     if args.list_entries:
         payload["cache"] = [entry.as_dict() for entry in entries]
+        payload["transpile_cache"] = [entry.as_dict()
+                                      for entry in transpile_entries]
     print(json.dumps(payload, indent=2))
     return 0
 
@@ -1001,7 +1025,8 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_parser.set_defaults(handler=cmd_metrics)
 
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect or LRU-prune the on-disk trace cache")
+        "cache", help="inspect or LRU-prune the on-disk trace and "
+                      "transpile caches")
     cache_parser.add_argument(
         "--cache-dir", default=None,
         help="cache directory (default: $REPRO_CACHE_DIR or .repro-cache)")

@@ -57,14 +57,26 @@ from repro.runner.pool import SharedWorkerPool, default_workers
 from repro.runner.sharding import (
     MachineGroup,
     ShardSpec,
+    TranspileShard,
     plan_machine_groups,
     plan_shards,
+    plan_transpile_shards,
 )
 from repro.telemetry import get_registry, get_tracer
+from repro.transpiler.cache import (
+    DEFAULT_RANK_SEED,
+    TranspileCache,
+    TranspileSummary,
+    backend_fingerprint,
+    transpile_cache_key,
+)
+from repro.workloads.circuit_metrics import class_fingerprint
 from repro.workloads.generator import (
     TraceGeneratorConfig,
     plan_submissions,
+    plan_transpile_classes,
 )
+from repro.workloads.transpile_classes import ClassRankTable, TranspilePair
 from repro.workloads.trace import (
     TRACE_SCHEMA_VERSION,
     TraceDataset,
@@ -102,9 +114,10 @@ class SuiteEvent:
     """
 
     kind: str                      # queued | cache-hit | shard-done |
+    #                              # transpile-queued | rank-table |
     #                              # sims-queued | study-done | suite-done
     key: Optional[str] = None
-    phase: Optional[str] = None    # synthesis | simulation
+    phase: Optional[str] = None    # transpile | synthesis | simulation
     completed: int = 0
     total: int = 0
     elapsed_seconds: float = 0.0
@@ -201,6 +214,11 @@ class StudyResult:
     shard_sizes: List[int] = field(default_factory=list)
     group_sizes: List[int] = field(default_factory=list)
     engine: str = "batched"
+    #: rank-mode amortisation accounting — ``probes`` (per-job rankings a
+    #: naive implementation would each transpile for), ``pairs`` (classes
+    #: actually transpiled), ``warm``/``cold`` (served from the transpile
+    #: cache vs computed this run).  Empty for trace-level-policy studies.
+    transpile: Dict[str, int] = field(default_factory=dict)
 
     @property
     def dataset(self) -> TraceDataset:
@@ -215,7 +233,7 @@ class StudyResult:
     @property
     def metadata(self) -> Dict[str, object]:
         """Provenance: the trace's metadata plus how this run produced it."""
-        return {
+        payload = {
             **dict(self.trace.metadata),
             "fingerprint": self.fingerprint,
             "workers": self.workers,
@@ -225,6 +243,9 @@ class StudyResult:
             "phase_seconds": {name: round(value, 6)
                               for name, value in sorted(self.timings.items())},
         }
+        if self.transpile:
+            payload["transpile"] = dict(self.transpile)
+        return payload
 
     @property
     def total_seconds(self) -> float:
@@ -252,11 +273,30 @@ class _PendingStudy:
     started: float
     plan_seconds: float
     engine: str = "batched"
+    #: True when the study's scenario selects machines by batch ranking —
+    #: these studies run the extra transpile phase before synthesis
+    rank_mode: bool = False
+    num_submissions: int = 0
     synth_handles: List[object] = field(default_factory=list)
     sim_handles: List[object] = field(default_factory=list)
     groups: List[MachineGroup] = field(default_factory=list)
     synthesis_seconds: float = 0.0
     simulation_seconds: float = 0.0
+    #: the class summaries shipped to every synthesis shard (rank mode)
+    rank_table: Optional[ClassRankTable] = None
+    transpile_shards: List[TranspileShard] = field(default_factory=list)
+    transpile_handles: List[object] = field(default_factory=list)
+    #: summaries served from the on-disk transpile cache during planning
+    transpile_warm: List[TranspileSummary] = field(default_factory=list)
+    #: per-shard computed summaries, filled by completion callbacks in
+    #: shard order (the order that makes the merged table deterministic)
+    transpile_shard_summaries: List[Optional[List[TranspileSummary]]] = \
+        field(default_factory=list)
+    #: transpile shards still outstanding; the callback that takes it to
+    #: zero builds the rank table and queues the study's synthesis
+    transpile_remaining: int = 0
+    transpile_seconds: float = 0.0
+    transpile_stats: Dict[str, int] = field(default_factory=dict)
     #: per-shard synthesis results, filled by completion callbacks in shard
     #: order (the order that makes the merged job list deterministic)
     shard_jobs: List[Optional[List[Job]]] = field(default_factory=list)
@@ -267,6 +307,130 @@ class _PendingStudy:
     #: collection loop — callbacks themselves must never raise)
     callback_error: Optional[BaseException] = None
     lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+def _probe_transpile_cache(
+        pairs: Sequence[TranspilePair],
+        fleet: Dict[str, object],
+        config: TraceGeneratorConfig,
+        transpile_cache: Optional[TranspileCache],
+) -> Tuple[List[TranspileSummary], List[TranspilePair]]:
+    """Split a rank study's pairs into (warm summaries, cold pairs).
+
+    Probing happens in the parent so cold work — not the whole pair list —
+    is what gets sharded across the pool; the cache's own hit/miss
+    counters account the probes.
+    """
+    if transpile_cache is None:
+        return [], list(pairs)
+    level = config.scenario.ranking_level
+    machine_fps: Dict[str, str] = {}
+    warm: List[TranspileSummary] = []
+    cold: List[TranspilePair] = []
+    for family, width, machine in pairs:
+        machine_fp = machine_fps.get(machine)
+        if machine_fp is None:
+            machine_fp = backend_fingerprint(fleet[machine])
+            machine_fps[machine] = machine_fp
+        key = transpile_cache_key(class_fingerprint(family, width),
+                                  machine_fp, level, DEFAULT_RANK_SEED)
+        summary = transpile_cache.get(key)
+        if summary is None:
+            cold.append((family, width, machine))
+        else:
+            warm.append(summary)
+    return warm, cold
+
+
+def _queue_synthesis(pool: SharedWorkerPool, epoch: int,
+                     study: _PendingStudy, tracker: _SuiteTracker) -> None:
+    """Queue a study's synthesis shards (directly, or as the rank-mode
+    transpile phase's completion step — whichever thread that lands on)."""
+    tracker.add_tasks(len(study.shards))
+    tracker.emit("queued", key=study.key, shards=len(study.shards),
+                 submissions=study.num_submissions)
+    study.synth_handles = [
+        pool.submit_synthesis(
+            epoch, study.key, study.config, shard,
+            callback=_shard_callback(pool, epoch, study, index, tracker),
+            rank_table=study.rank_table)
+        for index, shard in enumerate(study.shards)
+    ]
+
+
+def _finish_transpile(pool: SharedWorkerPool, epoch: int,
+                      study: _PendingStudy, tracker: _SuiteTracker,
+                      transpile_cache: Optional[TranspileCache]) -> None:
+    """Merge a rank study's class summaries and queue its synthesis.
+
+    Runs when the last transpile shard lands (or straight from the
+    scheduling loop when every pair was warm).  The merged table is sorted
+    by (family, width, machine), so it is identical for any shard count,
+    completion order, or warm/cold split — which is what keeps cached and
+    uncached rankings byte-equal.
+    """
+    computed = [summary
+                for shard_summaries in study.transpile_shard_summaries
+                for summary in shard_summaries]
+    if transpile_cache is not None:
+        for summary in computed:
+            transpile_cache.put(
+                transpile_cache_key(summary.class_fingerprint,
+                                    summary.backend_fingerprint,
+                                    summary.level, summary.seed),
+                summary)
+    # Metrics are recorded parent-side: worker-registry increments die with
+    # the worker, but the summaries carry the pass timings home.
+    registry = get_registry()
+    registry.counter(
+        "repro_transpile_classes_total", outcome="computed",
+        help="Equivalence-class transpiles of rank-mode studies, by "
+             "whether the summary was computed or served from the "
+             "transpile cache.").inc(len(computed))
+    registry.counter(
+        "repro_transpile_classes_total",
+        outcome="cache-hit").inc(len(study.transpile_warm))
+    for summary in computed:
+        for pass_name, seconds in summary.pass_timings:
+            registry.histogram(
+                "repro_transpile_pass_seconds",
+                help="Wall-clock seconds per transpiler pass across "
+                     "rank-mode class transpiles.",
+                **{"pass": pass_name}).observe(seconds)
+    scenario = study.config.scenario
+    summaries = sorted(computed + study.transpile_warm,
+                       key=lambda s: (s.family, s.width, s.machine))
+    study.rank_table = ClassRankTable(
+        objective=scenario.ranking_objective,
+        level=scenario.ranking_level,
+        summaries=summaries)
+    tracker.emit("rank-table", key=study.key, phase="transpile",
+                 entries=len(summaries), computed=len(computed),
+                 cached=len(study.transpile_warm))
+    _queue_synthesis(pool, epoch, study, tracker)
+
+
+def _transpile_callback(pool: SharedWorkerPool, epoch: int,
+                        study: _PendingStudy, index: int,
+                        tracker: _SuiteTracker,
+                        transpile_cache: Optional[TranspileCache]):
+    """The completion callback of one transpile shard."""
+
+    def _on_transpile_done(summaries):
+        try:
+            with study.lock:
+                study.transpile_shard_summaries[index] = summaries
+                study.transpile_remaining -= 1
+                is_last = study.transpile_remaining == 0
+            tracker.emit("shard-done", key=study.key, phase="transpile",
+                         task_done=True, pairs=len(summaries))
+            if is_last:
+                _finish_transpile(pool, epoch, study, tracker,
+                                  transpile_cache)
+        except BaseException as exc:  # surface on the collection thread
+            study.callback_error = exc
+
+    return _on_transpile_done
 
 
 def _queue_simulations(pool: SharedWorkerPool, epoch: int,
@@ -336,6 +500,7 @@ def run_suite(
     on_event: Optional[EventCallback] = None,
     should_stop: Optional[Callable[[], bool]] = None,
     engine: str = "batched",
+    transpile_workers: Optional[int] = None,
 ) -> Dict[str, StudyResult]:
     """Run many distinct studies as one interleaved queue on a shared pool.
 
@@ -366,6 +531,17 @@ def run_suite(
     reference discrete-event loop.  Traces are byte-identical either way,
     so the choice is a runtime knob only — it does not enter config
     fingerprints or cache keys.
+
+    Rank-mode studies (``scenario.ranking_objective`` set) run an extra
+    **transpile** phase first: the study's cold equivalence-class pairs
+    are sharded across ``transpile_workers`` pool tasks (default: the pool
+    width), warm pairs come from the
+    :class:`~repro.transpiler.cache.TranspileCache` living in the trace
+    cache's directory, and the merged
+    :class:`~repro.workloads.transpile_classes.ClassRankTable` ships with
+    every synthesis shard.  Like the engine, sharding and caching here are
+    runtime knobs — the trace is byte-identical with any worker count,
+    cold or warm.
     """
     keys = [key for key, _ in studies]
     if len(set(keys)) != len(keys):
@@ -385,10 +561,16 @@ def run_suite(
                 studies, transient, num_shards=num_shards, cache=cache,
                 use_cache=use_cache, lazy_cache=lazy_cache,
                 progress=progress, on_event=on_event,
-                should_stop=should_stop, engine=engine)
+                should_stop=should_stop, engine=engine,
+                transpile_workers=transpile_workers)
 
     shards_per_study = max(1, int(num_shards if num_shards is not None
                                   else pool.workers))
+    transpile_shards_per_study = max(
+        1, int(transpile_workers if transpile_workers is not None
+               else pool.workers))
+    transpile_cache = (TranspileCache(cache.root)
+                       if use_cache and cache is not None else None)
     epoch = pool.next_epoch()
     tracker = _SuiteTracker(on_event)
     results: Dict[str, StudyResult] = {}
@@ -424,8 +606,8 @@ def run_suite(
                     now = time.perf_counter()
                     tracer.instant("study.cache-hit", study=key,
                                    jobs=len(cached))
-                    for phase in ("plan", "synthesis", "simulation",
-                                  "merge"):
+                    for phase in ("plan", "transpile", "synthesis",
+                                  "simulation", "merge"):
                         tracer.record_span(
                             f"study.{phase}", start=now, duration=0.0,
                             args={"study": key, "cache_hit": True})
@@ -437,8 +619,9 @@ def run_suite(
                         cache_key=key,
                         cache_hit=True,
                         cache_path=cache.existing_path_for(key),
-                        timings={"plan": 0.0, "synthesis": 0.0,
-                                 "simulation": 0.0, "merge": 0.0,
+                        timings={"plan": 0.0, "transpile": 0.0,
+                                 "synthesis": 0.0, "simulation": 0.0,
+                                 "merge": 0.0,
                                  "total": time.perf_counter() - started},
                         engine=engine,
                     )
@@ -450,22 +633,69 @@ def run_suite(
             study = _PendingStudy(
                 key=key, config=config, shards=shards, started=started,
                 plan_seconds=plan_timer.seconds,
+                rank_mode=(config.scenario is not None
+                           and config.scenario.ranking_objective
+                           is not None),
+                num_submissions=len(submissions),
                 shard_jobs=[None] * len(shards),
                 shards_remaining=len(shards),
                 engine=engine)
-            tracker.add_tasks(len(shards))
-            tracker.emit("queued", key=key, shards=len(shards),
-                         submissions=len(submissions))
-            # Note: with an inline pool each submit runs (and may chain the
-            # study's simulations) synchronously right here.
-            study.synth_handles = [
-                pool.submit_synthesis(
-                    epoch, key, config, shard,
-                    callback=_shard_callback(pool, epoch, study, index,
-                                             tracker))
-                for index, shard in enumerate(study.shards)
-            ]
             pending.append(study)
+            # Note: with an inline pool each submit runs (and may chain the
+            # study's later phases) synchronously right here.
+            if study.rank_mode:
+                # Rank mode: plan the equivalence-class transpiles, serve
+                # warm pairs from the disk cache, shard the cold ones.
+                # Synthesis is queued by the last transpile shard's
+                # completion callback (immediately, when nothing is cold).
+                with tracer.timed("study.transpile-plan",
+                                  study=key) as probe_timer:
+                    fleet = config.build_fleet()
+                    pairs, class_stats = plan_transpile_classes(config,
+                                                                fleet)
+                    warm, cold = _probe_transpile_cache(
+                        pairs, fleet, config, transpile_cache)
+                study.transpile_seconds = probe_timer.seconds
+                study.transpile_warm = warm
+                study.transpile_stats = {**class_stats, "warm": len(warm),
+                                         "cold": len(cold)}
+                progress(
+                    f"study {key} ranks over {class_stats['pairs']} class "
+                    f"transpiles ({len(warm)} cached) amortising "
+                    f"{class_stats['probes']} per-job probes"
+                )
+                if cold:
+                    study.transpile_shards = plan_transpile_shards(
+                        cold, transpile_shards_per_study)
+                    study.transpile_shard_summaries = \
+                        [None] * len(study.transpile_shards)
+                    study.transpile_remaining = len(study.transpile_shards)
+                    tracker.add_tasks(len(study.transpile_shards))
+                    tracker.emit("transpile-queued", key=key,
+                                 phase="transpile",
+                                 shards=len(study.transpile_shards),
+                                 pairs=len(cold), cached=len(warm))
+                    # Timed because an inline (workers == 1) pool runs the
+                    # shards synchronously right here — the phase-2 wait
+                    # would otherwise report a rank study's dominant cost
+                    # as zero.
+                    with tracer.timed("study.transpile-queue",
+                                      study=key) as submit_timer:
+                        study.transpile_handles = [
+                            pool.submit_transpile(
+                                epoch, key, config, shard,
+                                callback=_transpile_callback(
+                                    pool, epoch, study, index, tracker,
+                                    transpile_cache))
+                            for index, shard
+                            in enumerate(study.transpile_shards)
+                        ]
+                    study.transpile_seconds += submit_timer.seconds
+                else:
+                    _finish_transpile(pool, epoch, study, tracker,
+                                      transpile_cache)
+            else:
+                _queue_synthesis(pool, epoch, study, tracker)
             progress(
                 f"queued {len(submissions)} submissions across {len(shards)} "
                 f"shards for study {key} ({pool.workers} workers)"
@@ -477,6 +707,22 @@ def run_suite(
         # callbacks (which run before ``.get()`` returns) have finished.
         for study in pending:
             _check_cancel()
+            if study.rank_mode:
+                with tracer.timed(
+                        "study.transpile", study=study.key,
+                        shards=len(study.transpile_shards),
+                        warm=len(study.transpile_warm)) as transpile_timer:
+                    for handle in study.transpile_handles:
+                        handle.get()
+                study.transpile_seconds += transpile_timer.seconds
+                if study.callback_error is not None:
+                    raise WorkloadError(
+                        f"scheduling study {study.key} failed: "
+                        f"{study.callback_error}") from study.callback_error
+                progress(
+                    f"transpiled {sum(map(len, study.transpile_shards))} "
+                    f"cold classes for study {study.key} in "
+                    f"{study.transpile_seconds:.1f}s")
             with tracer.timed("study.synthesis", study=study.key,
                               shards=len(study.shards)) as synth_timer:
                 for handle in study.synth_handles:
@@ -514,6 +760,7 @@ def run_suite(
             merge_seconds = merge_timer.seconds
 
             for phase, seconds in (("plan", study.plan_seconds),
+                                   ("transpile", study.transpile_seconds),
                                    ("synthesis", study.synthesis_seconds),
                                    ("simulation", study.simulation_seconds),
                                    ("merge", merge_seconds)):
@@ -532,6 +779,7 @@ def run_suite(
                 cache_path=cache_path,
                 timings={
                     "plan": study.plan_seconds,
+                    "transpile": study.transpile_seconds,
                     "synthesis": study.synthesis_seconds,
                     "simulation": study.simulation_seconds,
                     "merge": merge_seconds,
@@ -540,6 +788,7 @@ def run_suite(
                 shard_sizes=[len(shard) for shard in study.shards],
                 group_sizes=[group.expected_jobs for group in study.groups],
                 engine=engine,
+                transpile=dict(study.transpile_stats),
             )
             tracker.emit(
                 "study-done", key=study.key, jobs=total_rows,
@@ -578,10 +827,12 @@ class StudyRunner:
         pool: Optional[SharedWorkerPool] = None,
         on_event: Optional[EventCallback] = None,
         engine: str = "batched",
+        transpile_workers: Optional[int] = None,
     ):
         self.config = config or TraceGeneratorConfig()
         self.pool = pool
         self.engine = engine
+        self.transpile_workers = transpile_workers
         default = pool.workers if pool is not None else default_workers()
         self.workers = max(1, int(workers if workers is not None else default))
         self.num_shards = max(1, int(num_shards if num_shards is not None
@@ -614,6 +865,7 @@ class StudyRunner:
                 progress=self._progress,
                 on_event=self._on_event,
                 engine=self.engine,
+                transpile_workers=self.transpile_workers,
             )
         except BaseException:
             if owned:
@@ -640,6 +892,7 @@ def run_study(
     pool: Optional[SharedWorkerPool] = None,
     on_event: Optional[EventCallback] = None,
     engine: str = "batched",
+    transpile_workers: Optional[int] = None,
 ) -> StudyResult:
     """One-call entry point: run a study config through the sharded runner.
 
@@ -664,5 +917,6 @@ def run_study(
         pool=pool,
         on_event=on_event,
         engine=engine,
+        transpile_workers=transpile_workers,
     )
     return runner.run(use_cache=use_cache)

@@ -48,14 +48,19 @@ from repro.cloud.fastsim import simulate_fleet
 from repro.cloud.job import Job
 from repro.cloud.service import QuantumCloudService
 from repro.core.exceptions import WorkloadError
-from repro.runner.sharding import MachineGroup, ShardSpec
+from repro.runner.sharding import MachineGroup, ShardSpec, TranspileShard
 from repro.telemetry import Tracer, get_registry, get_tracer, set_tracer
+from repro.transpiler.cache import DEFAULT_RANK_SEED, TranspileSummary
 from repro.workloads.generator import (
     JobSynthesizer,
     TraceGeneratorConfig,
     record_for,
 )
 from repro.workloads.trace import ShardColumns
+from repro.workloads.transpile_classes import (
+    ClassRankTable,
+    compute_class_summary,
+)
 
 
 def default_workers() -> int:
@@ -114,12 +119,17 @@ def _state_for(epoch: int, floor: int, key: str,
 
 
 def _synthesise_task(payload: Tuple[int, int, str, TraceGeneratorConfig,
-                                    ShardSpec]) -> List[Job]:
-    epoch, floor, key, config, shard = payload
+                                    ShardSpec, Optional[ClassRankTable]]
+                     ) -> List[Job]:
+    epoch, floor, key, config, shard, rank_table = payload
     state = _state_for(epoch, floor, key, config)
     synthesizer = state["synthesizer"]
     if synthesizer is None:
-        synthesizer = JobSynthesizer(config, state["fleet"])
+        # The rank table is a pure function of the study config, so caching
+        # the synthesizer built from the first shard's copy is safe: every
+        # shard of the study ships an equal table.
+        synthesizer = JobSynthesizer(config, state["fleet"],
+                                     rank_table=rank_table)
         state["synthesizer"] = synthesizer
     jobs: List[Job] = []
     with get_tracer().span("synthesis.shard", study=key,
@@ -130,6 +140,39 @@ def _synthesise_task(payload: Tuple[int, int, str, TraceGeneratorConfig,
             if job is not None:
                 jobs.append(job)
     return jobs
+
+
+def _transpile_task(payload: Tuple[int, int, str, TraceGeneratorConfig,
+                                   TranspileShard]) -> List[TranspileSummary]:
+    epoch, floor, key, config, shard = payload
+    state = _state_for(epoch, floor, key, config)
+    fleet = state["fleet"]
+    level = config.scenario.ranking_level
+    tracer = get_tracer()
+    summaries: List[TranspileSummary] = []
+    with tracer.span("transpile.shard", study=key,
+                     transpile_shard=shard.shard_id, pairs=len(shard.pairs)):
+        for family, width, machine in shard.pairs:
+            with tracer.span("transpile.class", study=key, family=family,
+                             width=width, machine=machine, level=level):
+                started = time.perf_counter()
+                summary = compute_class_summary(
+                    family, width, fleet[machine], level,
+                    seed=DEFAULT_RANK_SEED)
+            # Replay the per-pass wall-clock as child spans.  The recorded
+            # timings are summary telemetry, not span timestamps, so lay
+            # them end to end from the class start; the small gap to the
+            # parent's end is the non-pass overhead (layout, ESP).
+            cursor = started
+            for pass_name, seconds in summary.pass_timings:
+                tracer.record_span(
+                    f"transpile.pass.{pass_name}", start=cursor,
+                    duration=seconds,
+                    args={"family": family, "width": width,
+                          "machine": machine})
+                cursor += seconds
+            summaries.append(summary)
+    return summaries
 
 
 def _simulate_task(payload: Tuple[int, int, str, TraceGeneratorConfig,
@@ -384,18 +427,39 @@ class SharedWorkerPool:
 
     def submit_synthesis(self, epoch: int, key: str,
                          config: TraceGeneratorConfig, shard: ShardSpec,
-                         callback: Optional[Callable[[object], None]] = None):
+                         callback: Optional[Callable[[object], None]] = None,
+                         rank_table: Optional[ClassRankTable] = None):
         """Queue one synthesis shard; returns a handle with ``.get()``.
 
         ``callback`` (if given) receives the shard's job list when it
         completes — on the pool's result-handler thread, or synchronously
         for an inline pool.  It is not invoked when the task raises; the
         error surfaces on ``.get()``.
+
+        ``rank_table`` ships a rank-mode study's precomputed class
+        summaries to the worker; pass the same table with every shard of
+        the study.
         """
         return self._submit(
             _synthesise_task,
-            (epoch, self._epoch_floor(), key, config, shard),
+            (epoch, self._epoch_floor(), key, config, shard, rank_table),
             callback=callback, kind="synthesis", key=key)
+
+    def submit_transpile(self, epoch: int, key: str,
+                         config: TraceGeneratorConfig, shard: TranspileShard,
+                         callback: Optional[Callable[[object], None]] = None):
+        """Queue one transpile shard; returns a handle with ``.get()``.
+
+        The worker transpiles each (family, width, machine) class
+        representative of the shard at the study's ranking level and
+        returns the ordered :class:`~repro.transpiler.cache.
+        TranspileSummary` list.  Each summary is a pure function of its
+        pair, so results are identical for any sharding.
+        """
+        return self._submit(
+            _transpile_task,
+            (epoch, self._epoch_floor(), key, config, shard),
+            callback=callback, kind="transpile", key=key)
 
     def submit_simulation(self, epoch: int, key: str,
                           config: TraceGeneratorConfig, group: MachineGroup,

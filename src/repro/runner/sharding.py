@@ -14,6 +14,11 @@ module owns both partitions:
   per-machine spawned streams, so simulating a sub-fleet reproduces the
   single-service run machine for machine and any grouping yields the same
   merged trace.
+* **Transpile shards** (:class:`TranspileShard`): the cold
+  (equivalence class, machine) transpile pairs of a rank-mode study, dealt
+  round-robin over a *sorted* pair list.  Each pair's summary is a pure
+  function of the pair, so — like synthesis — sharding only changes which
+  process does the work, never the merged rank table.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.exceptions import WorkloadError
 from repro.workloads.generator import PlannedSubmission, TraceGeneratorConfig
+from repro.workloads.transpile_classes import TranspilePair
 
 
 @dataclass(frozen=True)
@@ -35,6 +41,18 @@ class ShardSpec:
 
     def __len__(self) -> int:
         return len(self.submissions)
+
+
+@dataclass(frozen=True)
+class TranspileShard:
+    """One transpile shard: the (family, width, machine) pairs a worker owns."""
+
+    shard_id: int
+    num_shards: int
+    pairs: Tuple[TranspilePair, ...]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
 
 
 @dataclass(frozen=True)
@@ -65,6 +83,29 @@ def plan_shards(config: TraceGeneratorConfig,
         )
         for shard_id in range(num_shards)
     ]
+
+
+def plan_transpile_shards(pairs: Sequence[TranspilePair],
+                          num_shards: int) -> List[TranspileShard]:
+    """Deal the cold transpile pairs round-robin across ``num_shards``.
+
+    The caller supplies the pairs already sorted (the planner emits them
+    in sorted order), so the dealing — and therefore which worker
+    transpiles what — is deterministic.  Wide pairs dominate the cost and
+    sort adjacent by width, so round-robin spreads them evenly.  Shards
+    that would be empty are dropped.
+    """
+    if num_shards < 1:
+        raise WorkloadError("num_shards must be at least 1")
+    shards = [
+        TranspileShard(
+            shard_id=shard_id,
+            num_shards=num_shards,
+            pairs=tuple(pairs[shard_id::num_shards]),
+        )
+        for shard_id in range(num_shards)
+    ]
+    return [shard for shard in shards if shard.pairs]
 
 
 def plan_machine_groups(job_counts: Dict[str, int],

@@ -162,11 +162,15 @@ class ScenarioEngine:
         on_event: Optional[EventCallback] = None,
         should_stop: Optional[Callable[[], bool]] = None,
         engine: str = "batched",
+        transpile_workers: Optional[int] = None,
     ):
         self.base_config = base_config or TraceGeneratorConfig()
         #: simulation core every expanded study runs on ("batched"/"event");
         #: byte-identical traces either way, so not part of cache keys
         self.engine = engine
+        #: transpile-shard count for rank-mode scenarios (None = pool width);
+        #: a runtime knob only — traces are identical for any value
+        self.transpile_workers = transpile_workers
         self.workers = workers
         self.num_shards = num_shards
         if cache is not None and not isinstance(cache, TraceCache):
@@ -256,6 +260,7 @@ class ScenarioEngine:
                 on_event=self._on_event,
                 should_stop=self._should_stop,
                 engine=self.engine,
+                transpile_workers=self.transpile_workers,
             )
         except BaseException:
             if owned:
@@ -304,6 +309,7 @@ class ScenarioEngine:
                 pool=self.pool,
                 on_event=self._on_event,
                 engine=self.engine,
+                transpile_workers=self.transpile_workers,
             )
             result = runner.run(use_cache=use_cache)
             self._progress(
@@ -331,6 +337,7 @@ def run_scenarios(
     on_event: Optional[EventCallback] = None,
     should_stop: Optional[Callable[[], bool]] = None,
     engine: str = "batched",
+    transpile_workers: Optional[int] = None,
 ) -> ScenarioSuiteResult:
     """One-call entry point: run a scenario suite through the shared pool.
 
@@ -352,5 +359,6 @@ def run_scenarios(
         on_event=on_event,
         should_stop=should_stop,
         engine=engine,
+        transpile_workers=transpile_workers,
     )
     return scenario_engine.run(scenarios, use_cache=use_cache)

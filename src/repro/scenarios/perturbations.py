@@ -346,15 +346,28 @@ class FailureRates(Perturbation):
 class PolicySwap(Perturbation):
     """Force one machine-selection behaviour onto every user.
 
-    Accepts either a :class:`~repro.scheduling.policies.SelectionObjective`
-    value (``fidelity`` / ``queue`` / ``balanced`` — the paper's
-    recommendation V-E.3 trade-off) or a
-    :class:`~repro.workloads.users.MachineSelectionPolicy` value directly.
+    Two fidelity models are available through ``mode``:
+
+    * ``"trace"`` (the default, and the historical behaviour) swaps in a
+      trace-level :class:`~repro.workloads.users.MachineSelectionPolicy`
+      — machines are compared by logical circuit metrics.  ``policy``
+      accepts either a :class:`~repro.scheduling.policies.
+      SelectionObjective` value (``fidelity`` / ``queue`` / ``balanced`` —
+      the paper's recommendation V-E.3 trade-off) or a user-policy value
+      directly.
+    * ``"rank"`` makes every user rank machines the way a live
+      :class:`~repro.scheduling.policies.MachineSelector` would: each
+      equivalence class is transpiled per machine at preset ``level`` and
+      scored by estimated success probability against expected queue
+      (recommendation IV-D.1's compiled CX metrics).  ``policy`` must then
+      be a ``SelectionObjective`` value.
     """
 
     kind = "policy_swap"
 
     policy: str = SelectionObjective.BALANCED.value
+    mode: str = "trace"
+    level: int = 3
 
     def resolved_policy(self) -> str:
         policy = OBJECTIVE_POLICIES.get(self.policy, self.policy)
@@ -366,12 +379,36 @@ class PolicySwap(Perturbation):
                 f"a user policy {sorted(valid)}")
         return policy
 
+    def resolved_objective(self) -> str:
+        try:
+            return SelectionObjective(self.policy).value
+        except ValueError:
+            raise ScenarioError(
+                f"rank-mode policy_swap needs a SelectionObjective value "
+                f"{sorted(OBJECTIVE_POLICIES)}, got {self.policy!r}") \
+                from None
+
     def apply(self, config: TraceGeneratorConfig) -> TraceGeneratorConfig:
         knobs = _knobs_of(config)
-        return _with_knobs(config, replace(
-            knobs, forced_policy=self.resolved_policy()))
+        if self.mode == "trace":
+            return _with_knobs(config, replace(
+                knobs, forced_policy=self.resolved_policy()))
+        if self.mode == "rank":
+            if not 0 <= int(self.level) <= 3:
+                raise ScenarioError(
+                    f"transpile preset level must be 0-3, got {self.level}")
+            return _with_knobs(config, replace(
+                knobs,
+                ranking_objective=self.resolved_objective(),
+                ranking_level=int(self.level)))
+        raise ScenarioError(
+            f"unknown policy_swap mode {self.mode!r}; "
+            f"expected 'trace' or 'rank'")
 
     def describe(self) -> str:
+        if self.mode == "rank":
+            return (f"all users rank machines by transpiled "
+                    f"{self.resolved_objective()!r} at level {self.level}")
         return f"all users select machines by {self.resolved_policy()!r}"
 
 

@@ -146,6 +146,19 @@ def builtin_scenarios() -> Dict[str, Scenario]:
             description="every user chases the shortest expected queue",
             perturbations=(PolicySwap(policy="queue"),),
         ),
+        Scenario(
+            "policy-rank",
+            description="every user ranks machines by level-3 transpiled "
+                        "success probability traded against queue "
+                        "(recommendations IV-D.1 + V-E.3)",
+            perturbations=(PolicySwap(policy="balanced", mode="rank"),),
+        ),
+        Scenario(
+            "fidelity-rank",
+            description="every user chases the best transpiled fidelity, "
+                        "queues be damned",
+            perturbations=(PolicySwap(policy="fidelity", mode="rank"),),
+        ),
     ]
     return {scenario.name: scenario for scenario in scenarios}
 

@@ -4,22 +4,38 @@ Recommendation IV-D.1 of the paper: CX-gate based metrics evaluated at
 compile time are a reasonable indicator of an application's fidelity on a
 machine and can aid machine selection.  Recommendation V-E.3: users should
 be allowed to trade fidelity for queue time.  :class:`MachineSelector`
-implements both: it compiles (or estimates) the circuit for each candidate
-machine, estimates success probability and expected wait, and ranks machines
-by a weighted objective.
+implements both: it compiles (or fetches the cached class summary of) the
+circuit for each candidate machine, estimates success probability and
+expected wait, and ranks machines by a weighted objective.
+
+The ranking arithmetic itself lives in :func:`rank_candidates` — one shared
+scoring path used by the interactive selector here *and* by the study-scale
+batch ranking of :mod:`repro.workloads.transpile_classes`, so a policy
+scenario ranks machines with exactly the algebra a live selector would.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.circuits.circuit import QuantumCircuit
 from repro.core.exceptions import ReproError
 from repro.devices.backend import Backend
 from repro.fidelity.estimator import estimate_success_probability
+from repro.transpiler.cache import (
+    PINNED_COMPILE_TIME,
+    TranspileCache,
+    TranspileSummary,
+    backend_fingerprint,
+    summarise_transpile,
+    transpile_cache_key,
+)
 from repro.transpiler.presets import transpile
+
+#: Expected wait assumed for machines the caller supplies no estimate for.
+DEFAULT_WAIT_MINUTES = 60.0
 
 
 class SelectionObjective(enum.Enum):
@@ -28,6 +44,20 @@ class SelectionObjective(enum.Enum):
     FIDELITY = "fidelity"
     QUEUE = "queue"
     BALANCED = "balanced"
+
+
+#: The fidelity weight each objective resolves to (balanced keeps the
+#: selector's configured weight).
+_OBJECTIVE_WEIGHTS = {
+    SelectionObjective.FIDELITY: 1.0,
+    SelectionObjective.QUEUE: 0.0,
+}
+
+
+def objective_weight(objective: SelectionObjective,
+                     fidelity_weight: float = 0.6) -> float:
+    """The fidelity weight of one objective (``balanced`` keeps the knob)."""
+    return _OBJECTIVE_WEIGHTS.get(objective, fidelity_weight)
 
 
 @dataclass(frozen=True)
@@ -52,25 +82,116 @@ class MachineChoice:
         }
 
 
+def rank_candidates(
+    entries: Iterable[Tuple[str, float, int, int]],
+    expected_wait_minutes: Optional[Dict[str, float]] = None,
+    fidelity_weight: float = 0.6,
+) -> List[MachineChoice]:
+    """Score and rank candidate machines (best first).
+
+    ``entries`` are ``(machine, estimated_success, cx_total, cx_depth)``
+    tuples — however they were obtained (a live transpile, a cached class
+    summary).  Waits are normalised against the worst candidate; ties are
+    broken by machine name so the ranking is independent of input order,
+    dict order, or which process computed it.
+    """
+    entries = list(entries)
+    if not entries:
+        raise ReproError("no candidate machines supplied")
+    waits = expected_wait_minutes or {}
+    max_wait = max(waits.get(name, DEFAULT_WAIT_MINUTES)
+                   for name, _, _, _ in entries) or 1.0
+    choices: List[MachineChoice] = []
+    for name, probability, cx_total, cx_depth in entries:
+        wait = waits.get(name, DEFAULT_WAIT_MINUTES)
+        wait_score = 1.0 - min(wait / max(max_wait, 1e-9), 1.0)
+        score = (fidelity_weight * probability
+                 + (1.0 - fidelity_weight) * wait_score)
+        choices.append(MachineChoice(
+            machine=name,
+            estimated_success=probability,
+            cx_total=cx_total,
+            cx_depth=cx_depth,
+            expected_wait_minutes=wait,
+            score=score,
+        ))
+    choices.sort(key=lambda c: (-c.score, c.machine))
+    return choices
+
+
+def rank_summaries(
+    summaries: Sequence[TranspileSummary],
+    expected_wait_minutes: Optional[Dict[str, float]] = None,
+    fidelity_weight: float = 0.6,
+) -> List[MachineChoice]:
+    """Rank machines from precomputed class summaries — no transpiling.
+
+    This is the study-scale path: the runner transpiles each equivalence
+    class once per machine (sharded over the worker pool, memoised in the
+    :class:`~repro.transpiler.cache.TranspileCache`) and every subsequent
+    job ranks from the summaries alone.
+    """
+    return rank_candidates(
+        ((s.machine, s.estimated_success, s.cx_total, s.cx_depth)
+         for s in summaries),
+        expected_wait_minutes=expected_wait_minutes,
+        fidelity_weight=fidelity_weight,
+    )
+
+
 class MachineSelector:
-    """Ranks candidate machines for a circuit by fidelity, queue, or both."""
+    """Ranks candidate machines for a circuit by fidelity, queue, or both.
+
+    With a :class:`~repro.transpiler.cache.TranspileCache` attached,
+    rankings evaluated at the pinned epoch-zero compile time are served
+    from (and written to) the equivalence-class cache, so repeated
+    evaluations of structurally equal circuits pay one transpile per
+    machine in total.
+    """
 
     def __init__(self, objective: SelectionObjective = SelectionObjective.BALANCED,
                  fidelity_weight: float = 0.6, optimization_level: int = 2,
-                 seed: int = 11):
+                 seed: int = 11, cache: Optional[TranspileCache] = None):
         if not 0.0 <= fidelity_weight <= 1.0:
             raise ReproError("fidelity_weight must be in [0, 1]")
         self.objective = objective
         self.fidelity_weight = fidelity_weight
         self.optimization_level = optimization_level
         self.seed = seed
+        self.cache = cache
 
     def _weight(self) -> float:
-        if self.objective is SelectionObjective.FIDELITY:
-            return 1.0
-        if self.objective is SelectionObjective.QUEUE:
-            return 0.0
-        return self.fidelity_weight
+        return objective_weight(self.objective, self.fidelity_weight)
+
+    def _candidate(self, circuit: QuantumCircuit, backend: Backend,
+                   at_time: float) -> Tuple[str, float, int, int]:
+        """(machine, probability, cx_total, cx_depth) for one backend."""
+        if self.cache is not None and at_time == PINNED_COMPILE_TIME:
+            summary = self._cached_summary(circuit, backend)
+            return (summary.machine, summary.estimated_success,
+                    summary.cx_total, summary.cx_depth)
+        compiled = transpile(circuit, backend,
+                             optimization_level=self.optimization_level,
+                             seed=self.seed, compile_time=at_time)
+        calibration = backend.calibration_at(at_time)
+        estimate = estimate_success_probability(compiled.circuit, calibration)
+        return (backend.name, estimate.probability,
+                estimate.cx_metrics.cx_total, estimate.cx_metrics.cx_depth)
+
+    def _cached_summary(self, circuit: QuantumCircuit,
+                        backend: Backend) -> TranspileSummary:
+        from repro.workloads.circuit_metrics import structural_fingerprint
+
+        class_fp = structural_fingerprint(circuit)
+        key = transpile_cache_key(class_fp, backend_fingerprint(backend),
+                                  self.optimization_level, self.seed)
+        summary = self.cache.get(key)
+        if summary is None:
+            summary = summarise_transpile(
+                circuit, backend, self.optimization_level, seed=self.seed,
+                class_fp=class_fp)
+            self.cache.put(key, summary)
+        return summary
 
     def evaluate(
         self,
@@ -82,33 +203,17 @@ class MachineSelector:
         """Rank the candidate machines (best first)."""
         if not backends:
             raise ReproError("no candidate machines supplied")
-        waits = expected_wait_minutes or {}
-        choices: List[MachineChoice] = []
         eligible = [b for b in backends if b.num_qubits >= circuit.num_qubits]
         if not eligible:
             raise ReproError(
                 f"no candidate machine has {circuit.num_qubits} qubits"
             )
-        max_wait = max([waits.get(b.name, 60.0) for b in eligible]) or 1.0
-        weight = self._weight()
-        for backend in eligible:
-            compiled = transpile(circuit, backend,
-                                 optimization_level=self.optimization_level,
-                                 seed=self.seed, compile_time=at_time)
-            calibration = backend.calibration_at(at_time)
-            estimate = estimate_success_probability(compiled.circuit, calibration)
-            wait = waits.get(backend.name, 60.0)
-            wait_score = 1.0 - min(wait / max(max_wait, 1e-9), 1.0)
-            score = weight * estimate.probability + (1.0 - weight) * wait_score
-            choices.append(MachineChoice(
-                machine=backend.name,
-                estimated_success=estimate.probability,
-                cx_total=estimate.cx_metrics.cx_total,
-                cx_depth=estimate.cx_metrics.cx_depth,
-                expected_wait_minutes=wait,
-                score=score,
-            ))
-        return sorted(choices, key=lambda c: c.score, reverse=True)
+        return rank_candidates(
+            (self._candidate(circuit, backend, at_time)
+             for backend in eligible),
+            expected_wait_minutes=expected_wait_minutes,
+            fidelity_weight=self._weight(),
+        )
 
     def select(self, circuit: QuantumCircuit, backends: Sequence[Backend],
                expected_wait_minutes: Optional[Dict[str, float]] = None,

@@ -301,8 +301,12 @@ class StudyService:
     # -- the HTTP surface --------------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:
+        from repro.transpiler.cache import TranspileCache
+
         metrics = get_registry()
-        kinds = ("synthesis", "simulation", "task")
+        kinds = ("transpile", "synthesis", "simulation", "task")
+        transpile_cache = TranspileCache(self.store.root)
+        transpile_entries = transpile_cache.entries()
         return {
             "service": "repro-study-service",
             "version": __version__,
@@ -310,6 +314,20 @@ class StudyService:
             "executors": self.executors,
             "registry": self.registry.stats(),
             "store": self.store.stats(),
+            "transpile_cache": {
+                "entries": len(transpile_entries),
+                "total_bytes": sum(entry.size_bytes
+                                   for entry in transpile_entries),
+                # Process-wide counters (summed over every TranspileCache
+                # instance): the caches the runner opened did the probing,
+                # not the throwaway instance scanning the directory here.
+                "hits": int(metrics.value(
+                    "repro_transpile_cache_hits_total")),
+                "misses": int(metrics.value(
+                    "repro_transpile_cache_misses_total")),
+                "evictions": int(metrics.value(
+                    "repro_transpile_cache_evictions_total")),
+            },
             "pool": {
                 "workers": self.pool.workers,
                 "queue_depth": int(

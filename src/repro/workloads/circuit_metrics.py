@@ -17,9 +17,11 @@ This module provides those metrics in two steps:
 from __future__ import annotations
 
 import functools
+import hashlib
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.circuits.circuit import QuantumCircuit
 from repro.circuits.library import build_circuit
 from repro.core.exceptions import WorkloadError
 from repro.core.rng import RandomSource
@@ -60,6 +62,55 @@ class CircuitMetrics:
 
 #: Widths up to this bound are measured by building the actual circuit.
 _EXACT_WIDTH_LIMIT = 24
+
+
+def structural_fingerprint(circuit: QuantumCircuit) -> str:
+    """Stable hash of a circuit's *structure*, with parameters abstracted.
+
+    Two circuits share a fingerprint iff they have the same qubit/clbit
+    counts and the same ordered sequence of (gate name, parameter count,
+    qubits, clbits).  Parameter *values* are deliberately excluded: the
+    study's parameterised families (qaoa, vqe, random rotations) differ only
+    in rotation angles, which never change layout, routing or gate-level
+    optimisation decisions in our pass library — so all draws of one
+    (family, width) template collapse into a single transpile equivalence
+    class.
+
+    The digest is derived purely from instruction content (no ``id()``,
+    ``hash()`` or dict iteration), so it is stable across processes and
+    ``PYTHONHASHSEED`` values.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"v1|{circuit.num_qubits}|{circuit.num_clbits}".encode())
+    for instruction in circuit.instructions:
+        record = "|{name}:{params}:{qubits}:{clbits}".format(
+            name=instruction.name,
+            params=len(instruction.gate.params),
+            qubits=",".join(str(q) for q in instruction.qubits),
+            clbits=",".join(str(c) for c in instruction.clbits),
+        )
+        hasher.update(record.encode())
+    return hasher.hexdigest()[:24]
+
+
+@functools.lru_cache(maxsize=1024)
+def representative_circuit(family: str, width: int) -> QuantumCircuit:
+    """The canonical member of the (family, width) equivalence class.
+
+    Built with the same pinned RNG stream as :func:`logical_metrics`, so the
+    representative is identical in every process and every worker — the
+    fingerprint of this circuit *is* the class identity used by the
+    transpile cache.
+    """
+    if width < 1:
+        raise WorkloadError("width must be at least 1")
+    return build_circuit(family, width, rng=RandomSource(width, name="metrics"))
+
+
+@functools.lru_cache(maxsize=1024)
+def class_fingerprint(family: str, width: int) -> str:
+    """Structural fingerprint of the (family, width) representative."""
+    return structural_fingerprint(representative_circuit(family, width))
 
 
 #: CX-equivalent cost of each two-qubit gate once translated to the IBM basis.

@@ -35,6 +35,7 @@ from repro.core.units import DAY_SECONDS
 from repro.devices.backend import Backend
 from repro.devices.calibration import DriftModel
 from repro.devices.catalog import STUDY_MONTHS, fleet_in_study
+from repro.scheduling.policies import SelectionObjective
 from repro.telemetry import get_tracer
 from repro.workloads.circuit_metrics import compiled_metrics
 from repro.workloads.compile_model import CompileTimeModel
@@ -95,6 +96,14 @@ class ScenarioKnobs:
     #: machine-selection policy forced onto every user (policy swap);
     #: a :class:`~repro.workloads.users.MachineSelectionPolicy` value
     forced_policy: Optional[str] = None
+    #: full transpile-based ranking forced onto every user
+    #: (``PolicySwap(mode="rank")``): a
+    #: :class:`~repro.scheduling.policies.SelectionObjective` value.  Every
+    #: job then picks its machine from the equivalence-class rank table
+    #: instead of the trace-level policy heuristics.
+    ranking_objective: Optional[str] = None
+    #: preset optimisation level the rank table transpiles classes at
+    ranking_level: int = 3
 
     def __post_init__(self):
         if self.demand_scale <= 0:
@@ -121,6 +130,21 @@ class ScenarioKnobs:
                 raise WorkloadError(
                     f"unknown forced policy {self.forced_policy!r}; "
                     f"choose one of {sorted(valid)}")
+        if self.ranking_objective is not None:
+            valid = {o.value for o in SelectionObjective}
+            if self.ranking_objective not in valid:
+                raise WorkloadError(
+                    f"unknown ranking objective {self.ranking_objective!r}; "
+                    f"choose one of {sorted(valid)}")
+            if self.forced_policy is not None:
+                raise WorkloadError(
+                    "forced_policy and ranking_objective are mutually "
+                    "exclusive: a rank-mode scenario replaces the "
+                    "trace-level policy swap entirely")
+        if not 0 <= self.ranking_level <= 3:
+            raise WorkloadError(
+                f"ranking_level must be a preset level 0-3, "
+                f"got {self.ranking_level}")
 
     def is_neutral(self) -> bool:
         """True if the knobs leave the baseline study untouched."""
@@ -346,11 +370,24 @@ class JobSynthesizer:
 
     def __init__(self, config: TraceGeneratorConfig,
                  fleet: Dict[str, Backend],
-                 pending_estimator: Optional[PendingEstimator] = None):
+                 pending_estimator: Optional[PendingEstimator] = None,
+                 rank_table: Optional["ClassRankTable"] = None):
         self.config = config
         self.fleet = fleet
         self._root = RandomSource(config.seed, name="trace_generator")
         self._pending = pending_estimator or expected_pending_estimator(fleet)
+        scenario = config.scenario
+        if rank_table is None and scenario is not None \
+                and scenario.ranking_objective is not None:
+            # Rank-mode study without a prebuilt table (the single-process
+            # reference path): selections compute class summaries inline.
+            # Every summary is a pure function, so this is byte-identical
+            # to the runner's sharded warm-up — just slower on cold classes.
+            from repro.workloads.transpile_classes import ClassRankTable
+            rank_table = ClassRankTable(
+                objective=scenario.ranking_objective,
+                level=scenario.ranking_level)
+        self.rank_table = rank_table
 
     def _build_circuits(self, rng: RandomSource, family: str, width: int,
                         batch_size: int, base_metrics) -> CircuitBatch:
@@ -390,11 +427,20 @@ class JobSynthesizer:
             eligible.append(backend)
         return eligible
 
-    def synthesise(self, planned: PlannedSubmission) -> Optional[Job]:
-        """Build the job for one planned submission (None if nothing fits)."""
+    def _draw_prefix(self, planned: PlannedSubmission):
+        """Replay the fixed draw prefix of one job's random stream.
+
+        Everything up to (but excluding) machine selection: the user, the
+        privileged draw, the circuit shape, and the eligibility/shrink
+        loop.  This is the part of :meth:`synthesise` whose outcome decides
+        which transpile equivalence class the job probes, factored out so
+        :meth:`class_requirement` — the rank-mode transpile planner — and
+        the synthesis path replay *the same code* and can never drift
+        apart.  Returns ``None`` when nothing fits, else
+        ``(rng, user, privileged, family, width, eligible)`` with ``rng``
+        positioned exactly where machine selection would continue.
+        """
         config = self.config
-        month = planned.month
-        submit_time = planned.submit_time
         rng = self._root.spawn(planned.job_index)
         distributions = config.distributions
 
@@ -406,23 +452,65 @@ class JobSynthesizer:
             user = replace(user, policy=MachineSelectionPolicy(
                 config.scenario.forced_policy))
         privileged = rng.random() < user.privileged_probability
-        provider = "academic-hub" if privileged else "open"
 
         width = distributions.width.sample(rng)
         family = distributions.family.sample(rng)
-        eligible = self._eligible_backends(month, width, privileged)
+        eligible = self._eligible_backends(planned.month, width, privileged)
         if not eligible:
             # Shrink the circuit until something fits (tiny early-fleet months).
             while width > 1 and not eligible:
                 width = max(1, width // 2)
-                eligible = self._eligible_backends(month, width, privileged)
+                eligible = self._eligible_backends(planned.month, width,
+                                                   privileged)
             if not eligible:
                 return None
+        return rng, user, privileged, family, width, eligible
+
+    def class_requirement(
+            self, planned: PlannedSubmission
+    ) -> Optional[Tuple[str, int, Tuple[str, ...]]]:
+        """The transpile class one planned job will probe, without
+        synthesising it: ``(family, width, eligible machine names)``.
+
+        Used by the runner's rank-mode warm-up to enumerate exactly the
+        (class, machine) transpiles the study needs.  Cheap: only the draw
+        prefix is replayed, and each job spawns a fresh stream, so probing
+        job ``i`` here never perturbs job ``i``'s synthesis.
+        """
+        prefix = self._draw_prefix(planned)
+        if prefix is None:
+            return None
+        _, _, _, family, width, eligible = prefix
+        return family, width, tuple(b.name for b in eligible)
+
+    def synthesise(self, planned: PlannedSubmission) -> Optional[Job]:
+        """Build the job for one planned submission (None if nothing fits)."""
+        config = self.config
+        month = planned.month
+        submit_time = planned.submit_time
+        distributions = config.distributions
+
+        prefix = self._draw_prefix(planned)
+        if prefix is None:
+            return None
+        rng, user, privileged, family, width, eligible = prefix
+        provider = "academic-hub" if privileged else "open"
+
         pending_estimate = {
             b.name: self._pending(b, submit_time) for b in eligible
         }
-        backend = user.select_machine(eligible, rng, timestamp=submit_time,
-                                      pending_estimate=pending_estimate)
+        if self.rank_table is not None:
+            # Rank mode: every user selects through the batch-ranked
+            # equivalence-class table (the full MachineSelector algebra)
+            # instead of the trace-level policy heuristics.  No rng draws —
+            # the selection is a pure function of the class summaries and
+            # the expected pending load.
+            backend = self.rank_table.select(family, width, eligible,
+                                             pending_estimate)
+        else:
+            backend = user.select_machine(eligible, rng,
+                                          timestamp=submit_time,
+                                          pending_estimate=pending_estimate)
         width = min(width, backend.num_qubits)
         if width < 1:
             width = 1
@@ -449,11 +537,53 @@ class JobSynthesizer:
             metadata={
                 "family": family,
                 "month_index": month,
-                "user_policy": user.policy.value,
+                "user_policy": (
+                    f"rank-{self.rank_table.objective.value}"
+                    if self.rank_table is not None else user.policy.value),
                 "job_index": planned.job_index,
             },
         )
         return job
+
+
+def plan_transpile_classes(
+        config: TraceGeneratorConfig,
+        fleet: Dict[str, Backend],
+) -> Tuple[List[Tuple[str, int, str]], Dict[str, int]]:
+    """Enumerate the (family, width, machine) transpiles a rank study needs.
+
+    Replays the draw prefix of every planned submission (cheap — no circuit
+    building, no selection) and unions the (class, eligible machine) pairs
+    the selections will probe.  The pair list is sorted, so shard planning
+    over it is deterministic for any worker count.
+
+    Returns ``(pairs, stats)`` where ``stats`` counts the amortisation:
+    ``probes`` is how many per-job machine rankings the study will perform,
+    ``circuits`` would each have paid a transpile in a naive per-circuit
+    implementation, and ``pairs`` is what the study actually transpiles.
+    """
+    synthesizer = JobSynthesizer(config, fleet,
+                                 pending_estimator=lambda backend, t: 0.0)
+    pairs = set()
+    probes = 0
+    jobs = 0
+    for planned in plan_submissions(config):
+        requirement = synthesizer.class_requirement(planned)
+        if requirement is None:
+            continue
+        family, width, machines = requirement
+        jobs += 1
+        probes += len(machines)
+        for machine in machines:
+            pairs.add((family, width, machine))
+    ordered = sorted(pairs)
+    stats = {
+        "jobs": jobs,
+        "probes": probes,
+        "classes": len({(family, width) for family, width, _ in ordered}),
+        "pairs": len(ordered),
+    }
+    return ordered, stats
 
 
 def record_for(job: Job, fleet: Dict[str, Backend]) -> JobRecord:
